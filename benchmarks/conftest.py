@@ -1,0 +1,55 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper at a
+reduced-but-faithful scale (the simulator compresses minutes of testbed
+time into seconds). Expensive window banks are session-scoped so
+Figure 3(a) and Figure 4 share one IO500 sweep, exactly like the paper
+reuses its IO500 dataset.
+"""
+
+import pytest
+
+from repro.experiments.fig3 import collect_dlio_bank, collect_io500_bank
+from repro.experiments.runner import ExperimentConfig
+
+#: Noise mix used across benchmarks (one per access family).
+NOISE_TASKS = ("ior-easy-write", "ior-easy-read", "mdt-hard-write")
+
+
+def bench_config(seed: int = 0) -> ExperimentConfig:
+    return ExperimentConfig(
+        window_size=0.25,
+        sample_interval=0.125,
+        warmup=1.0,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="session")
+def io500_bank():
+    """The IO500 window bank shared by Figure 3(a), Figure 4 and A1/A2."""
+    return collect_io500_bank(
+        bench_config(),
+        target_ranks=4,
+        target_scale=0.8,
+        max_level=3,
+        noise_scale=0.25,
+    )
+
+
+@pytest.fixture(scope="session")
+def dlio_bank():
+    """The DLIO window bank for Figure 3(b).
+
+    DLIO uses a wider window than IO500: its ops are sparse (one sample
+    read per compute step), so 0.5 s windows hold enough ops for stable
+    degradation levels.
+    """
+    config = ExperimentConfig(
+        window_size=0.5,
+        sample_interval=0.125,
+        warmup=1.0,
+        seed=0,
+    )
+    return collect_dlio_bank(config, max_level=3, noise_ranks=3,
+                             noise_scale=0.25, steps_per_epoch=16)

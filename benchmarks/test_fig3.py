@@ -1,0 +1,42 @@
+"""Benchmarks E5/E6 — Figure 3: binary interference prediction.
+
+Trains the kernel network on the IO500 and DLIO window banks with the
+paper's 80/20 protocol and asserts the paper's headline: accurate binary
+prediction (high F1, small off-diagonal mass) on both benchmark families,
+with DLIO's dataset skewed negative (compute-dominated) and IO500's
+skewed positive.
+"""
+
+from repro.experiments.fig3 import run_fig3_dlio, run_fig3_io500
+
+
+def test_fig3a_io500_binary(benchmark, io500_bank):
+    result = benchmark.pedantic(lambda: run_fig3_io500(bank=io500_bank),
+                                rounds=1, iterations=1)
+    print("\nFigure 3(a) — IO500, binary:")
+    print(result.render())
+    report = result.report
+    assert report.accuracy > 0.85
+    assert report.macro_f1 > 0.80
+    # The interference class must be well-detected, like the paper's
+    # matrix (F1 > 90% headline; we allow simulator slack).
+    assert report.f1[1] > 0.85
+    # IO500 windows are mostly interference-affected (8647 vs 2991 in the
+    # paper): positives dominate here too.
+    assert result.train_counts[1] > result.train_counts[0]
+
+
+def test_fig3b_dlio_binary(benchmark, dlio_bank):
+    result = benchmark.pedantic(lambda: run_fig3_dlio(bank=dlio_bank),
+                                rounds=1, iterations=1)
+    print("\nFigure 3(b) — DLIO, binary:")
+    print(result.render())
+    report = result.report
+    # DLIO is the hardest dataset here: sparse ops make windows hover
+    # around the 2x threshold, so a single-seed run carries label noise
+    # the paper's testbed (coarser windows, more data) averages out.
+    assert report.accuracy > 0.75
+    assert report.macro_f1 > 0.72
+    # DLIO is compute-dominated: negatives dominate (14724 vs 3702 in the
+    # paper).
+    assert result.train_counts[0] > result.train_counts[1]

@@ -1,0 +1,43 @@
+"""Benchmark E8 — Figure 5: binary prediction on real applications.
+
+One model per application (AMReX, Enzo, OpenPMD), each trained on its own
+windows from a quiet run plus three increasing IO500 noise intensities —
+the paper's per-application protocol. Expected shape: the two
+data-intensive applications classify well; OpenPMD, which produces the
+fewest samples, is the weakest.
+"""
+
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.runner import ExperimentConfig
+
+
+def _config():
+    return ExperimentConfig(window_size=0.25, sample_interval=0.125,
+                            warmup=1.0, seed=0)
+
+
+def test_fig5_real_applications(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig5(_config(), max_level=3, noise_scale=0.25),
+        rounds=1, iterations=1,
+    )
+    print("\nFigure 5 — real applications, binary:")
+    print(result.render())
+
+    for app in ("amrex", "enzo", "openpmd"):
+        assert app in result.results
+
+    # Data-intensive applications classify well (paper: "good
+    # performance" for AMReX and Enzo). Margins allow single-seed noise
+    # on the minority (<2x) class, which is small by construction here
+    # as in the paper's per-application datasets.
+    assert result.results["amrex"].report.accuracy > 0.75
+    assert result.results["enzo"].report.accuracy > 0.75
+    assert result.macro_f1("amrex") > 0.6
+    assert result.macro_f1("enzo") > 0.6
+
+    # OpenPMD yields the fewest windows — the paper's explanation for its
+    # weaker model.
+    n = {app: r.n_windows for app, r in result.results.items()}
+    print(f"windows per app: {n}")
+    assert n["openpmd"] <= min(n["amrex"], n["enzo"])

@@ -1,0 +1,70 @@
+"""Benchmark A8 — which collected metrics carry the interference signal?
+
+Permutation importance for the trained IO500 binary model, measured two
+ways: per feature (reported, but known to under-attribute because the 40
+features are redundant) and per feature *family* (client-side metrics,
+device counters, queue statistics — jointly permuted), which answers the
+question Table II's design actually poses: does each collected family
+contribute?
+"""
+
+from repro.core.importance import grouped_importance, permutation_importance
+from repro.core.labeling import BINARY_THRESHOLDS
+from repro.core.nn.train import TrainConfig
+from repro.core.predictor import InterferencePredictor
+from repro.experiments.datagen import bank_to_dataset
+from repro.core.dataset import train_test_split
+from repro.monitor.schema import CLIENT_FEATURES, VECTOR_FEATURES
+
+
+def _feature_groups() -> dict[str, list[int]]:
+    """Table II families (plus the client family), by vector index."""
+    idx = {name: i for i, name in enumerate(VECTOR_FEATURES)}
+    groups: dict[str, list[int]] = {
+        "client-side": [idx[n] for n in CLIENT_FEATURES],
+        "io-speed": [i for n, i in idx.items()
+                     if n.startswith("ios_completed")],
+        "device-sectors": [i for n, i in idx.items()
+                           if n.startswith("sectors_")],
+        "queue-stats": [i for n, i in idx.items()
+                        if n.startswith(("queue_", "requests_merged",
+                                         "io_ticks", "weighted_time"))],
+        "cache-and-mds": [i for n, i in idx.items()
+                          if n.startswith(("cache_dirty", "mds_ops"))],
+    }
+    return groups
+
+
+def test_a8_feature_importance(benchmark, io500_bank):
+    dataset = bank_to_dataset(io500_bank, BINARY_THRESHOLDS)
+    train_set, test_set = train_test_split(dataset, 0.2, seed=0)
+    predictor = InterferencePredictor.train(
+        train_set, BINARY_THRESHOLDS, config=TrainConfig(seed=0), seed=0)
+
+    def run():
+        per_feature = permutation_importance(
+            predictor.predict, test_set.X, test_set.y, VECTOR_FEATURES,
+            n_repeats=3,
+        )
+        per_group = grouped_importance(
+            predictor.predict, test_set.X, test_set.y, _feature_groups(),
+            n_repeats=3,
+        )
+        return per_feature, per_group
+
+    per_feature, per_group = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("per-feature (under-attributes on redundant features):")
+    print(per_feature.render(k=8))
+    print("\nper-family (jointly permuted):")
+    print(per_group.render(k=5))
+
+    # The model is healthy.
+    assert per_group.baseline_accuracy > 0.8
+    # Whole families carry real signal even where single features are
+    # individually replaceable.
+    drops = dict(per_group.top(len(_feature_groups())))
+    assert max(drops.values()) > 0.05, drops
+    # At least two independent families matter — the paper collects both
+    # client- and server-side metrics for a reason.
+    assert sum(1 for d in drops.values() if d > 0.02) >= 2, drops

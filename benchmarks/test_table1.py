@@ -1,0 +1,49 @@
+"""Benchmark E1 — Table I: the 7x7 IO500 cross-interference matrix.
+
+Regenerates the paper's Table I on the simulated cluster and asserts its
+qualitative shape (who interferes with whom, by roughly what factor).
+Absolute values differ from the paper — the substrate is a simulator —
+but every directional claim must hold.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.table1 import run_table1, shape_checks
+from repro.workloads.io500 import IO500_TASKS
+
+
+def _config():
+    return ExperimentConfig(window_size=0.25, sample_interval=0.125,
+                            warmup=1.0, seed=0)
+
+
+def test_table1_matrix(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table1(
+            _config(),
+            target_ranks=4,
+            target_scale=0.4,
+            noise_instances=3,
+            noise_ranks=3,
+            noise_scale=0.25,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nTable I (slowdown of row task under column noise):")
+    print(result.render())
+    print("\nstandalone runtimes (s):")
+    for task, t in result.standalone_runtime.items():
+        print(f"  {task:16s} {t:.2f}")
+
+    checks = shape_checks(result)
+    print("\nshape checks vs paper Table I:")
+    for name, ok in checks.items():
+        print(f"  [{'ok' if ok else 'MISS'}] {name}")
+    failed = [name for name, ok in checks.items() if not ok]
+    assert not failed, f"Table I shape mismatches: {failed}"
+
+    # Every cell is a positive, finite slowdown ratio.
+    assert result.matrix.shape == (len(IO500_TASKS), len(IO500_TASKS))
+    assert (result.matrix > 0).all()

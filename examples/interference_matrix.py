@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""A compact Table I: the IO500 cross-interference slowdown matrix.
+
+Reproduces the paper's Table I at reduced scale (a 4x4 sub-matrix by
+default, the full 7x7 with ``--full``): each cell is the runtime slowdown
+of the row task when the column task generates background noise from the
+other compute nodes.
+
+Run:  python examples/interference_matrix.py [--full]
+"""
+
+import sys
+
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.table1 import run_table1, shape_checks
+from repro.workloads.io500 import IO500_TASKS
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    tasks = IO500_TASKS if full else (
+        "ior-easy-read", "ior-easy-write", "mdt-easy-write", "mdt-hard-write",
+    )
+    config = ExperimentConfig(window_size=0.25, warmup=1.0)
+    print(f"computing {len(tasks)}x{len(tasks)} slowdown matrix "
+          f"({len(tasks) * (len(tasks) + 1)} runs) ...\n")
+    result = run_table1(config, tasks=tasks, target_scale=0.4,
+                        noise_ranks=3, noise_scale=0.25)
+    print(result.render())
+    if full:
+        print("\nqualitative shape vs the paper's Table I:")
+        for name, ok in shape_checks(result).items():
+            print(f"  [{'ok' if ok else 'MISS'}] {name}")
+
+
+if __name__ == "__main__":
+    main()

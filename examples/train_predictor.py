@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Train the kernel-based interference predictor end-to-end.
+
+Follows the paper's full §III pipeline at laptop scale: sweep IO500
+targets under increasing noise levels, label every time window from the
+paired baseline run, assemble per-server vectors, train the kernel
+network on an 80/20 split and print the Figure-3-style confusion matrix.
+
+Run:  python examples/train_predictor.py
+"""
+
+from repro.experiments.datagen import collect_windows, standard_scenarios
+from repro.experiments.fig3 import evaluate_bank
+from repro.experiments.runner import ExperimentConfig
+from repro.workloads.io500 import make_io500_task
+
+
+def main() -> None:
+    config = ExperimentConfig(window_size=0.25, sample_interval=0.125, warmup=1.0)
+    targets = [
+        make_io500_task(task, ranks=4, scale=0.5)
+        for task in ("ior-easy-read", "ior-easy-write", "mdt-hard-write")
+    ]
+    scenarios = standard_scenarios(
+        max_level=2,
+        tasks=("ior-easy-write", "ior-easy-read"),
+        ranks=3,
+        scale=0.25,
+    )
+    print(f"collecting windows: {len(targets)} targets x {len(scenarios)} "
+          "scenarios (2 runs each) ...")
+    bank = collect_windows(targets, scenarios, config)
+    print(f"collected {len(bank)} labelled windows; "
+          f"{(bank.levels >= 2).sum()} with >= 2x degradation\n")
+    result = evaluate_bank(bank, "quickstart-io500")
+    print(result.render())
+
+
+if __name__ == "__main__":
+    main()

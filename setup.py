@@ -1,0 +1,4 @@
+"""Shim for offline editable installs (``pip install -e .`` without wheel)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,179 @@
+"""Command-line entry point: regenerate paper artefacts.
+
+Usage::
+
+    python -m repro list                 # show available experiments
+    python -m repro table1 [--fast]      # the 7x7 slowdown matrix
+    python -m repro fig1                 # Enzo latency series
+    python -m repro table2               # server-metric catalogue
+    python -m repro fig3 | fig4 | fig5   # model evaluations
+    python -m repro all [--fast]         # everything, in order
+
+``--fast`` shrinks workloads for a quick smoke pass; default sizes match
+the benchmark suite. Results print to stdout; pass ``--out DIR`` to also
+write one text file per experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments.runner import ExperimentConfig
+
+#: Paper artefacts (run by ``all``).
+EXPERIMENTS = ("table1", "fig1", "table2", "fig3", "fig4", "fig5")
+
+#: Extension experiments beyond the paper (run individually).
+EXTENSIONS = ("devices", "crosscluster")
+
+
+def _config(fast: bool) -> ExperimentConfig:
+    return ExperimentConfig(window_size=0.25, sample_interval=0.125,
+                            warmup=0.5 if fast else 1.0, seed=0)
+
+
+def _scales(fast: bool) -> dict[str, float]:
+    return {
+        "target_scale": 0.15 if fast else 0.4,
+        "noise_scale": 0.15 if fast else 0.25,
+    }
+
+
+def run_table1(fast: bool) -> str:
+    from repro.experiments.table1 import run_table1, shape_checks
+
+    s = _scales(fast)
+    result = run_table1(_config(fast), target_scale=s["target_scale"],
+                        noise_ranks=2 if fast else 3,
+                        noise_instances=2 if fast else 3,
+                        noise_scale=s["noise_scale"])
+    lines = [result.render(), ""]
+    for name, ok in shape_checks(result).items():
+        lines.append(f"[{'ok' if ok else 'MISS'}] {name}")
+    return "\n".join(lines)
+
+
+def run_fig1(fast: bool) -> str:
+    from repro.experiments.fig1 import run_fig1a, run_fig1b
+    from repro.workloads.apps import EnzoConfig
+
+    enzo = EnzoConfig(ranks=4, cycles=3 if fast else 5)
+    a = run_fig1a(_config(fast), enzo, max_level=2 if fast else 3,
+                  noise_scale=_scales(fast)["noise_scale"])
+    b = run_fig1b(_config(fast), enzo,
+                  noise_scale=_scales(fast)["noise_scale"])
+    return "Figure 1(a)\n" + a.render() + "\n\nFigure 1(b)\n" + b.render()
+
+
+def run_table2(fast: bool) -> str:
+    from repro.experiments.table2 import run_table2
+
+    return run_table2(_config(fast),
+                      scale=_scales(fast)["target_scale"]).render()
+
+
+def run_fig3(fast: bool) -> str:
+    from repro.experiments.fig3 import (
+        collect_dlio_bank,
+        collect_io500_bank,
+        run_fig3_dlio,
+        run_fig3_io500,
+    )
+
+    s = _scales(fast)
+    io500 = collect_io500_bank(_config(fast), target_scale=s["target_scale"],
+                               max_level=2 if fast else 3,
+                               noise_scale=s["noise_scale"])
+    dlio_cfg = ExperimentConfig(window_size=0.5, sample_interval=0.125,
+                                warmup=1.0, seed=0)
+    dlio = collect_dlio_bank(dlio_cfg, max_level=2 if fast else 3,
+                             noise_scale=s["noise_scale"],
+                             steps_per_epoch=8 if fast else 12)
+    a = run_fig3_io500(bank=io500)
+    b = run_fig3_dlio(bank=dlio)
+    return a.render() + "\n\n" + b.render()
+
+
+def run_fig4(fast: bool) -> str:
+    from repro.experiments.fig4 import run_fig4 as _run
+
+    s = _scales(fast)
+    return _run(_config(fast), target_scale=s["target_scale"],
+                max_level=2 if fast else 3,
+                noise_scale=s["noise_scale"]).render()
+
+
+def run_fig5(fast: bool) -> str:
+    from repro.experiments.fig5 import run_fig5 as _run
+
+    return _run(_config(fast), max_level=2 if fast else 3,
+                noise_scale=_scales(fast)["noise_scale"]).render()
+
+
+def run_devices(fast: bool) -> str:
+    from repro.experiments.devices import run_device_ablation
+
+    return run_device_ablation(
+        _config(fast), target_scale=_scales(fast)["target_scale"]
+    ).render()
+
+
+def run_crosscluster(fast: bool) -> str:
+    from repro.experiments.cross_cluster import run_cross_cluster
+
+    kwargs = {}
+    if fast:
+        kwargs = dict(target_tasks=("ior-easy-write", "ior-easy-read"),
+                      target_scale=0.4, max_level=2)
+    return run_cross_cluster(_config(fast), **kwargs).render()
+
+
+_RUNNERS = {
+    "table1": run_table1,
+    "fig1": run_fig1,
+    "table2": run_table2,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "devices": run_devices,
+    "crosscluster": run_crosscluster,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiment",
+                        choices=("list", "all", *EXPERIMENTS, *EXTENSIONS))
+    parser.add_argument("--fast", action="store_true",
+                        help="shrink workloads for a quick smoke pass")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="also write one text file per experiment here")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in (*EXPERIMENTS, *EXTENSIONS):
+            print(name)
+        return 0
+
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    if args.out:
+        args.out.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        start = time.time()
+        print(f"==== {name} ====")
+        text = _RUNNERS[name](args.fast)
+        print(text)
+        print(f"({time.time() - start:.0f}s)\n")
+        if args.out:
+            (args.out / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

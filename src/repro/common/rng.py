@@ -1,0 +1,34 @@
+"""Deterministic RNG derivation.
+
+Reproducing the paper's labelling pipeline requires *exactly* repeatable
+runs: the baseline execution and the interference execution of a workload
+must issue the identical operation sequence so per-operation latency
+ratios can be matched (paper §III-D). Every stochastic component therefore
+derives its generator from the experiment seed plus a stable string path,
+never from global state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(seed: int, *path: str | int) -> int:
+    """Derive a child seed from ``seed`` and a path of string/int keys.
+
+    Uses BLAKE2b over the rendered path so the mapping is stable across
+    Python versions and processes (``hash()`` is salted and unusable here).
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(str(int(seed)).encode())
+    for part in path:
+        h.update(b"/")
+        h.update(str(part).encode())
+    return int.from_bytes(h.digest(), "little")
+
+
+def derive_rng(seed: int, *path: str | int) -> np.random.Generator:
+    """A :class:`numpy.random.Generator` derived from ``seed`` and a path."""
+    return np.random.default_rng(derive_seed(seed, *path))

@@ -1,0 +1,54 @@
+"""Fixed-size time windows.
+
+The whole framework is windowed: monitors aggregate per user-defined time
+window, labels are computed per window, and the model predicts per window
+(paper §III). A window ``w`` covers ``[w*size, (w+1)*size)`` seconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class TimeWindow:
+    """Half-open time interval ``[start, end)`` with its index."""
+
+    index: int
+    start: float
+    end: float
+
+    @property
+    def size(self) -> float:
+        return self.end - self.start
+
+    def contains(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+def window_index(t: float, window_size: float) -> int:
+    """Index of the window containing time ``t``.
+
+    Times exactly on a boundary belong to the *later* window, consistent
+    with the half-open convention.
+    """
+    if window_size <= 0:
+        raise ValueError(f"window_size must be positive, got {window_size}")
+    if t < 0:
+        raise ValueError(f"negative time: {t}")
+    idx = int(t / window_size)
+    # Guard against float rounding placing a boundary time one window early.
+    if t >= (idx + 1) * window_size:
+        idx += 1
+    return idx
+
+
+def iter_windows(horizon: float, window_size: float) -> Iterator[TimeWindow]:
+    """All windows needed to cover ``[0, horizon)``."""
+    if window_size <= 0:
+        raise ValueError(f"window_size must be positive, got {window_size}")
+    count = max(0, math.ceil(horizon / window_size))
+    for i in range(count):
+        yield TimeWindow(i, i * window_size, (i + 1) * window_size)

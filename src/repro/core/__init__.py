@@ -1,0 +1,46 @@
+"""The paper's contribution: interference labelling, features and model.
+
+* :mod:`repro.core.labeling` — per-operation baseline/interference
+  matching, window degradation levels, severity binning (§III-D);
+* :mod:`repro.core.dataset` — dataset container, train/test splitting and
+  feature normalisation;
+* :mod:`repro.core.nn` — from-scratch NumPy neural network stack and the
+  kernel-based per-server architecture (§III-C);
+* :mod:`repro.core.baselines` — logistic regression and random forest
+  baselines implemented from scratch;
+* :mod:`repro.core.metrics` — confusion matrices and P/R/F1 scores;
+* :mod:`repro.core.predictor` — the deployable predictor bundling the
+  normaliser, the model and the binning thresholds.
+"""
+
+from repro.core.labeling import (
+    BINARY_THRESHOLDS,
+    MULTICLASS_THRESHOLDS,
+    DegradationLabeller,
+    bin_level,
+    match_operations,
+)
+from repro.core.dataset import Dataset, Normalizer, train_test_split
+from repro.core.metrics import (
+    ClassificationReport,
+    confusion_matrix,
+    evaluate,
+    render_confusion,
+)
+from repro.core.predictor import InterferencePredictor
+
+__all__ = [
+    "BINARY_THRESHOLDS",
+    "MULTICLASS_THRESHOLDS",
+    "DegradationLabeller",
+    "bin_level",
+    "match_operations",
+    "Dataset",
+    "Normalizer",
+    "train_test_split",
+    "ClassificationReport",
+    "confusion_matrix",
+    "evaluate",
+    "render_confusion",
+    "InterferencePredictor",
+]

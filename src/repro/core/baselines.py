@@ -1,0 +1,200 @@
+"""Baseline classifiers implemented from scratch (no scikit-learn offline).
+
+Used by the ablation experiments (A1) to quantify what the kernel network
+buys over simpler models on the same per-server vectors (flattened):
+
+* :class:`LogisticRegressionClassifier` — multinomial softmax regression
+  trained with full-batch gradient descent + L2;
+* :class:`RandomForestClassifier` — bagged CART trees with Gini impurity,
+  quantile-candidate splits and sqrt-feature subsampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.rng import derive_rng
+from repro.core.nn.losses import softmax_cross_entropy, softmax_probs
+
+__all__ = ["LogisticRegressionClassifier", "RandomForestClassifier"]
+
+
+def _flatten(X: np.ndarray) -> np.ndarray:
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 3:
+        return X.reshape(len(X), -1)
+    if X.ndim == 2:
+        return X
+    raise ValueError(f"expected 2-D or 3-D input, got shape {X.shape}")
+
+
+class LogisticRegressionClassifier:
+    """Multinomial logistic regression with L2 regularisation."""
+
+    def __init__(self, n_classes: int, lr: float = 0.1, epochs: int = 300,
+                 l2: float = 1e-4, seed: int = 0) -> None:
+        if n_classes < 2:
+            raise ValueError(f"need >= 2 classes, got {n_classes}")
+        self.n_classes = n_classes
+        self.lr = lr
+        self.epochs = epochs
+        self.l2 = l2
+        self.seed = seed
+        self.W: np.ndarray | None = None
+        self.b: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegressionClassifier":
+        Xf = _flatten(X)
+        y = np.asarray(y, dtype=int)
+        n, d = Xf.shape
+        rng = derive_rng(self.seed, "logreg")
+        self.W = rng.normal(0.0, 0.01, size=(d, self.n_classes))
+        self.b = np.zeros(self.n_classes)
+        for _ in range(self.epochs):
+            logits = Xf @ self.W + self.b
+            _, dlogits = softmax_cross_entropy(logits, y)
+            self.W -= self.lr * (Xf.T @ dlogits + self.l2 * self.W)
+            self.b -= self.lr * dlogits.sum(axis=0)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.W is None:
+            raise RuntimeError("predict before fit")
+        return softmax_probs(_flatten(X) @ self.W + self.b)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.predict_proba(X).argmax(axis=-1)
+
+
+@dataclass
+class _TreeNode:
+    """One CART node; leaves carry a class distribution."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_TreeNode | None" = None
+    right: "_TreeNode | None" = None
+    distribution: np.ndarray | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.distribution is not None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - (p * p).sum())
+
+
+class _CartTree:
+    """A single Gini-impurity decision tree with quantile split candidates."""
+
+    def __init__(self, n_classes: int, max_depth: int, min_leaf: int,
+                 n_feature_candidates: int, n_thresholds: int,
+                 rng: np.random.Generator) -> None:
+        self.n_classes = n_classes
+        self.max_depth = max_depth
+        self.min_leaf = min_leaf
+        self.n_feature_candidates = n_feature_candidates
+        self.n_thresholds = n_thresholds
+        self.rng = rng
+        self.root: _TreeNode | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        self.root = self._build(X, y, depth=0)
+
+    def _leaf(self, y: np.ndarray) -> _TreeNode:
+        counts = np.bincount(y, minlength=self.n_classes).astype(float)
+        return _TreeNode(distribution=counts / max(1.0, counts.sum()))
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _TreeNode:
+        if depth >= self.max_depth or len(y) < 2 * self.min_leaf or len(set(y.tolist())) == 1:
+            return self._leaf(y)
+        n_feats = X.shape[1]
+        feats = self.rng.choice(n_feats, size=min(self.n_feature_candidates, n_feats),
+                                replace=False)
+        parent_counts = np.bincount(y, minlength=self.n_classes)
+        best = (0.0, -1, 0.0)  # (gain, feature, threshold)
+        parent_gini = _gini(parent_counts)
+        for f in feats:
+            col = X[:, f]
+            qs = np.quantile(col, np.linspace(0.1, 0.9, self.n_thresholds))
+            for t in np.unique(qs):
+                mask = col <= t
+                n_left = int(mask.sum())
+                if n_left < self.min_leaf or len(y) - n_left < self.min_leaf:
+                    continue
+                lc = np.bincount(y[mask], minlength=self.n_classes)
+                rc = parent_counts - lc
+                w = n_left / len(y)
+                gain = parent_gini - (w * _gini(lc) + (1 - w) * _gini(rc))
+                if gain > best[0]:
+                    best = (gain, int(f), float(t))
+        if best[1] < 0:
+            return self._leaf(y)
+        _, f, t = best
+        mask = X[:, f] <= t
+        return _TreeNode(
+            feature=f,
+            threshold=t,
+            left=self._build(X[mask], y[mask], depth + 1),
+            right=self._build(X[~mask], y[~mask], depth + 1),
+        )
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.root is None:
+            raise RuntimeError("predict before fit")
+        out = np.zeros((len(X), self.n_classes))
+        for i, row in enumerate(X):
+            node = self.root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.distribution
+        return out
+
+
+class RandomForestClassifier:
+    """Bootstrap-aggregated CART trees."""
+
+    def __init__(self, n_classes: int, n_trees: int = 20, max_depth: int = 10,
+                 min_leaf: int = 4, n_thresholds: int = 12, seed: int = 0) -> None:
+        if n_classes < 2:
+            raise ValueError(f"need >= 2 classes, got {n_classes}")
+        if n_trees < 1:
+            raise ValueError(f"need >= 1 tree, got {n_trees}")
+        self.n_classes = n_classes
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_leaf = min_leaf
+        self.n_thresholds = n_thresholds
+        self.seed = seed
+        self.trees: list[_CartTree] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        Xf = _flatten(X)
+        y = np.asarray(y, dtype=int)
+        n, d = Xf.shape
+        n_candidates = max(1, int(np.sqrt(d)))
+        self.trees = []
+        for i in range(self.n_trees):
+            rng = derive_rng(self.seed, "rf", i)
+            idx = rng.integers(0, n, size=n)  # bootstrap sample
+            tree = _CartTree(self.n_classes, self.max_depth, self.min_leaf,
+                             n_candidates, self.n_thresholds, rng)
+            tree.fit(Xf[idx], y[idx])
+            self.trees.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self.trees:
+            raise RuntimeError("predict before fit")
+        Xf = _flatten(X)
+        return np.mean([t.predict_proba(Xf) for t in self.trees], axis=0)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.predict_proba(X).argmax(axis=-1)

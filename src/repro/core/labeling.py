@@ -1,0 +1,127 @@
+"""Ground-truth labelling from paired baseline/interference runs.
+
+The paper collects labelled data by executing the *target workload* twice:
+once alone (baseline) and once with *interference workloads* on other
+nodes. The relative latency of the *same* operations determines the
+degradation level per window (§III-D)::
+
+    Level_degrade = avg_{i in IORequests} iotime_interf(i) / iotime_base(i)
+
+Operations match exactly by ``(job, rank, op_id)`` because workloads are
+deterministic generators (see :mod:`repro.workloads.base`). Levels are
+binned into severity classes: binary at 2x (Figure 3/5), or the
+mild / moderate / severe bins [<2, 2–5, >=5) of Figure 4 following
+Lu et al.'s Perseus taxonomy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.records import IORecord
+from repro.common.windows import window_index
+
+__all__ = [
+    "BINARY_THRESHOLDS",
+    "MULTICLASS_THRESHOLDS",
+    "match_operations",
+    "bin_level",
+    "DegradationLabeller",
+]
+
+#: Binary classification: below / at-or-above 2x slowdown.
+BINARY_THRESHOLDS: tuple[float, ...] = (2.0,)
+
+#: 3-class: mild (<2x), moderate (2-5x), severe (>=5x).
+MULTICLASS_THRESHOLDS: tuple[float, ...] = (2.0, 5.0)
+
+#: Latency floor guarding ratios of near-instant baseline ops.
+_MIN_BASELINE_SECONDS = 1e-9
+
+
+def match_operations(
+    baseline: list[IORecord],
+    interference: list[IORecord],
+    job: str,
+) -> list[tuple[IORecord, IORecord]]:
+    """Pair each interference-run op of ``job`` with its baseline twin.
+
+    Matching is exact on ``(job, rank, op_id)``. Ops present in only one
+    run (e.g. the interference run was truncated) are dropped, mirroring
+    the paper's offline trace matching.
+    """
+    base_by_key = {r.key: r for r in baseline if r.job == job}
+    pairs: list[tuple[IORecord, IORecord]] = []
+    for rec in interference:
+        if rec.job != job:
+            continue
+        twin = base_by_key.get(rec.key)
+        if twin is not None:
+            pairs.append((twin, rec))
+    return pairs
+
+
+def bin_level(level: float, thresholds: tuple[float, ...]) -> int:
+    """Severity class of a degradation level: #thresholds it reaches."""
+    if level < 0:
+        raise ValueError(f"negative degradation level: {level}")
+    if list(thresholds) != sorted(thresholds):
+        raise ValueError(f"thresholds must be ascending, got {thresholds}")
+    return int(sum(level >= t for t in thresholds))
+
+
+@dataclass
+class DegradationLabeller:
+    """Computes per-window degradation levels and class labels."""
+
+    window_size: float = 1.0
+    thresholds: tuple[float, ...] = BINARY_THRESHOLDS
+    #: Ops whose baseline duration is below this floor are skipped: their
+    #: ratio is numerically meaningless (both runs effectively free).
+    min_baseline: float = _MIN_BASELINE_SECONDS
+
+    def __post_init__(self) -> None:
+        if self.window_size <= 0:
+            raise ValueError("window_size must be positive")
+        if not self.thresholds:
+            raise ValueError("need at least one severity threshold")
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.thresholds) + 1
+
+    def window_levels(
+        self,
+        baseline: list[IORecord],
+        interference: list[IORecord],
+        job: str,
+    ) -> dict[int, float]:
+        """Mean per-op slowdown ratio per window of the interference run.
+
+        Windows are indexed by the op's completion time in the
+        *interference* run — the run the monitors observed.
+        """
+        sums: dict[int, float] = {}
+        counts: dict[int, int] = {}
+        for base, interf in match_operations(baseline, interference, job):
+            if base.duration < self.min_baseline:
+                continue
+            ratio = interf.duration / base.duration
+            win = window_index(interf.end, self.window_size)
+            sums[win] = sums.get(win, 0.0) + ratio
+            counts[win] = counts.get(win, 0) + 1
+        return {w: sums[w] / counts[w] for w in sums}
+
+    def window_labels(
+        self,
+        baseline: list[IORecord],
+        interference: list[IORecord],
+        job: str,
+    ) -> dict[int, int]:
+        """Severity class per window (windows without matched ops omitted)."""
+        return {
+            w: bin_level(level, self.thresholds)
+            for w, level in self.window_levels(baseline, interference, job).items()
+        }

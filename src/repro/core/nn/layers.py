@@ -1,0 +1,137 @@
+"""Neural-network layers with explicit backpropagation.
+
+Layers operate on arrays of shape ``(..., features)``: any number of
+leading batch dimensions. That is what lets the kernel network apply ONE
+:class:`Dense` stack to a ``(batch, servers, features)`` tensor — the
+weight-sharing across servers that defines the paper's architecture falls
+out of broadcasting, and gradients accumulate over all leading dims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Param", "Layer", "Dense", "ReLU", "Dropout", "Sequential"]
+
+
+@dataclass
+class Param:
+    """A trainable tensor and its accumulated gradient."""
+
+    value: np.ndarray
+    grad: np.ndarray
+
+    @classmethod
+    def of(cls, value: np.ndarray) -> "Param":
+        return cls(value=value, grad=np.zeros_like(value))
+
+
+class Layer:
+    """Base layer: forward caches whatever backward needs."""
+
+    def params(self) -> list[Param]:
+        return []
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class Dense(Layer):
+    """Affine layer ``y = x @ W + b`` with He-normal initialisation."""
+
+    def __init__(self, in_dim: int, out_dim: int,
+                 rng: np.random.Generator | None = None) -> None:
+        if in_dim < 1 or out_dim < 1:
+            raise ValueError(f"bad dense shape: {in_dim} -> {out_dim}")
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / in_dim)
+        self.W = Param.of(rng.normal(0.0, scale, size=(in_dim, out_dim)))
+        self.b = Param.of(np.zeros(out_dim))
+        self._x: np.ndarray | None = None
+
+    def params(self) -> list[Param]:
+        return [self.W, self.b]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.shape[-1] != self.W.value.shape[0]:
+            raise ValueError(
+                f"input has {x.shape[-1]} features, layer expects "
+                f"{self.W.value.shape[0]}"
+            )
+        self._x = x
+        return x @ self.W.value + self.b.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward before forward")
+        x = self._x
+        xf = x.reshape(-1, x.shape[-1])
+        gf = grad.reshape(-1, grad.shape[-1])
+        self.W.grad += xf.T @ gf
+        self.b.grad += gf.sum(axis=0)
+        return (gf @ self.W.value.T).reshape(x.shape)
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward before forward")
+        return np.where(self._mask, grad, 0.0)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, p: float, rng: np.random.Generator | None = None) -> None:
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout p must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng or np.random.default_rng(0)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask
+
+
+class Sequential(Layer):
+    """A chain of layers."""
+
+    def __init__(self, layers: list[Layer]) -> None:
+        self.layers = list(layers)
+
+    def params(self) -> list[Param]:
+        return [p for layer in self.layers for p in layer.params()]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad

@@ -1,0 +1,73 @@
+"""Optimisers: Adam and plain SGD over :class:`~repro.core.nn.layers.Param`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.nn.layers import Param
+
+__all__ = ["SGD", "Adam"]
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: list[Param], lr: float = 1e-2,
+                 momentum: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.value) for p in self.params]
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad[...] = 0.0
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            v *= self.momentum
+            v -= self.lr * p.grad
+            p.value += v
+
+
+class Adam:
+    """Adam (Kingma & Ba) with optional decoupled weight decay."""
+
+    def __init__(self, params: list[Param], lr: float = 1e-3,
+                 beta1: float = 0.9, beta2: float = 0.999,
+                 eps: float = 1e-8, weight_decay: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not (0 <= beta1 < 1 and 0 <= beta2 < 1):
+            raise ValueError("betas must be in [0, 1)")
+        self.params = list(params)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.value) for p in self.params]
+        self._v = [np.zeros_like(p.value) for p in self.params]
+        self._t = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad[...] = 0.0
+
+    def step(self) -> None:
+        self._t += 1
+        b1c = 1.0 - self.beta1**self._t
+        b2c = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * p.grad**2
+            update = (m / b1c) / (np.sqrt(v / b2c) + self.eps)
+            if self.weight_decay:
+                update = update + self.weight_decay * p.value
+            p.value -= self.lr * update

@@ -1,0 +1,151 @@
+"""Online prediction during a live run (the paper's deployment mode).
+
+After offline training, the paper's model runs on the training server and
+"receives time window metrics from both the server-side and client-side
+monitors in the same per-server vector format at runtime" (§III-C). This
+module implements that loop inside the simulator: a
+:class:`StreamingPredictor` is attached to a live cluster and, every time
+a window closes, assembles that window's per-server vector from the
+records and samples accumulated *so far* and emits a severity prediction
+— while the target application is still running.
+
+The streaming vector assembly is incremental (cursor over the trace and
+sample streams) and produces bit-identical vectors to the offline
+:func:`repro.monitor.aggregator.assemble_vectors`, which the integration
+tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.common.records import IORecord, ServerId
+from repro.monitor.client_monitor import ClientWindowAggregator
+from repro.monitor.schema import CLIENT_FEATURES, SERVER_FEATURES
+from repro.monitor.server_monitor import ServerMonitor
+from repro.core.predictor import InterferencePredictor
+from repro.sim.cluster import Cluster
+
+__all__ = ["WindowPrediction", "StreamingPredictor"]
+
+
+@dataclass(frozen=True)
+class WindowPrediction:
+    """One runtime prediction: emitted as soon as the window closed."""
+
+    window: int
+    severity: int
+    probabilities: tuple[float, ...]
+    emitted_at: float  #: simulated time the prediction was produced
+
+
+@dataclass
+class StreamingPredictor:
+    """Drives a trained predictor against a live simulated run."""
+
+    predictor: InterferencePredictor
+    cluster: Cluster
+    monitor: ServerMonitor
+    job: str
+    window_size: float = 0.5
+    #: Called with each WindowPrediction as it is emitted (optional).
+    on_prediction: Callable[[WindowPrediction], None] | None = None
+
+    predictions: list[WindowPrediction] = field(default_factory=list)
+    _record_cursor: int = field(default=0, repr=False)
+    _sample_cursor: int = field(default=0, repr=False)
+    _window_records: dict[int, list[IORecord]] = field(default_factory=dict,
+                                                       repr=False)
+    _window_samples: dict[tuple[int, ServerId], list[dict]] = field(
+        default_factory=dict, repr=False)
+    _started: bool = field(default=False, repr=False)
+
+    def start(self) -> None:
+        """Arm the per-window prediction loop on the cluster's engine."""
+        if self._started:
+            raise RuntimeError("streaming predictor already started")
+        if self.window_size <= 0:
+            raise ValueError("window_size must be positive")
+        self._started = True
+        self.cluster.env.process(self._loop())
+
+    # -- incremental ingestion --------------------------------------------------
+
+    def _ingest(self) -> None:
+        from repro.common.windows import window_index
+
+        records = self.cluster.collector.records
+        while self._record_cursor < len(records):
+            rec = records[self._record_cursor]
+            self._record_cursor += 1
+            if rec.job != self.job:
+                continue
+            w = window_index(rec.end, self.window_size)
+            self._window_records.setdefault(w, []).append(rec)
+        samples = self.monitor.samples
+        half = self.monitor.sample_interval / 2
+        while self._sample_cursor < len(samples):
+            t, server, metrics = samples[self._sample_cursor]
+            self._sample_cursor += 1
+            w = window_index(max(0.0, t - half), self.window_size)
+            self._window_samples.setdefault((w, server), []).append(metrics)
+
+    def _vector_for(self, window: int) -> np.ndarray:
+        """Per-server vector of one closed window (offline-identical)."""
+        aggregator = ClientWindowAggregator(self.window_size)
+        client = aggregator.aggregate(self._window_records.get(window, []),
+                                      self.job)
+        servers = self.cluster.servers
+        n_feats = len(CLIENT_FEATURES) + len(SERVER_FEATURES)
+        X = np.zeros((1, len(servers), n_feats))
+        for si, sid in enumerate(servers):
+            cf = client.get((window, sid))
+            if cf is not None:
+                for fi, name in enumerate(CLIENT_FEATURES):
+                    X[0, si, fi] = cf[name]
+            rows = self._window_samples.get((window, sid))
+            if rows:
+                sf = self._aggregate_samples(rows)
+                base = len(CLIENT_FEATURES)
+                for fi, name in enumerate(SERVER_FEATURES):
+                    X[0, si, base + fi] = sf[name]
+        return X
+
+    @staticmethod
+    def _aggregate_samples(rows: list[dict]) -> dict[str, float]:
+        from repro.monitor.schema import SERVER_METRICS, SERVER_STATS
+
+        feats: dict[str, float] = {}
+        for metric in SERVER_METRICS:
+            values = np.array([row[metric] for row in rows], dtype=float)
+            feats[f"{metric}_sum"] = float(values.sum())
+            feats[f"{metric}_mean"] = float(values.mean())
+            feats[f"{metric}_std"] = float(values.std())
+        return feats
+
+    # -- the loop -----------------------------------------------------------------
+
+    def _loop(self):
+        env = self.cluster.env
+        window = 0
+        while True:
+            # Wake just after the window boundary so the boundary sample
+            # (taken exactly at the edge) has been recorded.
+            target_time = (window + 1) * self.window_size + 1e-9
+            yield env.timeout(max(0.0, target_time - env.now))
+            self._ingest()
+            X = self._vector_for(window)
+            probs = self.predictor.predict_proba(X)[0]
+            pred = WindowPrediction(
+                window=window,
+                severity=int(np.argmax(probs)),
+                probabilities=tuple(float(p) for p in probs),
+                emitted_at=env.now,
+            )
+            self.predictions.append(pred)
+            if self.on_prediction is not None:
+                self.on_prediction(pred)
+            window += 1

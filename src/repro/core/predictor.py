@@ -1,0 +1,107 @@
+"""The deployable interference predictor.
+
+Bundles everything the paper's training server deploys after training:
+the feature normaliser, the kernel-based model and the severity
+thresholds. At runtime it consumes the same per-server vectors the
+monitors emit and predicts each window's interference severity class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dataset import Dataset, Normalizer
+from repro.core.labeling import BINARY_THRESHOLDS
+from repro.core.metrics import ClassificationReport, evaluate
+from repro.core.nn.kernelnet import KernelInterferenceNet
+from repro.core.nn.train import TrainConfig, TrainHistory, train_classifier
+from repro.monitor.aggregator import MonitoredRun, assemble_vectors
+
+__all__ = ["InterferencePredictor"]
+
+
+@dataclass
+class InterferencePredictor:
+    """Normaliser + kernel network + severity thresholds."""
+
+    model: KernelInterferenceNet
+    normalizer: Normalizer
+    thresholds: tuple[float, ...] = BINARY_THRESHOLDS
+    history: TrainHistory | None = field(default=None, repr=False)
+
+    @property
+    def n_classes(self) -> int:
+        return self.model.n_classes
+
+    @classmethod
+    def train(
+        cls,
+        train_set: Dataset,
+        thresholds: tuple[float, ...] = BINARY_THRESHOLDS,
+        config: TrainConfig | None = None,
+        kernel_hidden: tuple[int, ...] = (64, 32),
+        head_hidden: tuple[int, ...] = (32,),
+        seed: int = 0,
+        restarts: int = 3,
+    ) -> "InterferencePredictor":
+        """Train a predictor on a labelled dataset.
+
+        The kernel architecture squeezes every server through a single
+        scalar, which makes optimisation sensitive to an unlucky
+        initialisation; training therefore runs ``restarts`` independent
+        initialisations and keeps the model with the best validation
+        loss (deterministic given ``seed``).
+        """
+        if restarts < 1:
+            raise ValueError(f"restarts must be >= 1, got {restarts}")
+        n_classes = len(thresholds) + 1
+        if train_set.n_classes > n_classes:
+            raise ValueError(
+                f"dataset has {train_set.n_classes} classes but thresholds "
+                f"define {n_classes}"
+            )
+        normalizer = Normalizer().fit(train_set.X)
+        X = normalizer.transform(train_set.X)
+        config = config or TrainConfig(seed=seed)
+        best: tuple[float, KernelInterferenceNet, TrainHistory] | None = None
+        for restart in range(restarts):
+            model = KernelInterferenceNet(
+                n_servers=train_set.n_servers,
+                n_features=train_set.n_features,
+                n_classes=n_classes,
+                kernel_hidden=kernel_hidden,
+                head_hidden=head_hidden,
+                seed=seed + 7919 * restart,
+            )
+            history = train_classifier(model, X, train_set.y, config)
+            score = min(history.val_loss) if history.val_loss else float("inf")
+            if best is None or score < best[0]:
+                best = (score, model, history)
+        assert best is not None
+        return cls(model=best[1], normalizer=normalizer, thresholds=thresholds,
+                   history=best[2])
+
+    # -- inference -----------------------------------------------------------
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Severity classes for raw (unnormalised) per-server vectors."""
+        return self.model.predict(self.normalizer.transform(np.asarray(X, float)))
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return self.model.predict_proba(
+            self.normalizer.transform(np.asarray(X, float))
+        )
+
+    def predict_run(self, run: MonitoredRun, window_size: float = 1.0,
+                    sample_interval: float = 0.25) -> dict[int, int]:
+        """Per-window severity predictions for a monitored run."""
+        X, windows = assemble_vectors(run, window_size, sample_interval)
+        preds = self.predict(X)
+        return dict(zip(windows, preds.tolist()))
+
+    def evaluate(self, test_set: Dataset) -> ClassificationReport:
+        """Confusion matrix + P/R/F1 on a held-out set."""
+        preds = self.predict(test_set.X)
+        return evaluate(test_set.y, preds, n_classes=self.n_classes)

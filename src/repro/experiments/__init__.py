@@ -1,0 +1,47 @@
+"""Experiment harness reproducing every table and figure of the paper.
+
+* :mod:`repro.experiments.runner` — paired baseline/interference
+  executions with monitors attached;
+* :mod:`repro.experiments.datagen` — labelled-dataset generation from
+  scenario sweeps (§III-D);
+* :mod:`repro.experiments.table1` — the 7x7 IO500 slowdown matrix;
+* :mod:`repro.experiments.fig1` — Enzo per-op latencies under growing /
+  differently-typed interference;
+* :mod:`repro.experiments.table2` — server-metric catalogue validation;
+* :mod:`repro.experiments.fig3` — binary classification on IO500 & DLIO;
+* :mod:`repro.experiments.fig4` — 3-class classification on IO500;
+* :mod:`repro.experiments.fig5` — binary classification on AMReX / Enzo /
+  OpenPMD;
+* :mod:`repro.experiments.ablations` — model/feature/window ablations;
+* :mod:`repro.experiments.reporting` — ASCII rendering helpers.
+"""
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    InterferenceSpec,
+    PairedRuns,
+    execute_run,
+    run_pair,
+)
+from repro.experiments.datagen import (
+    Scenario,
+    WindowBank,
+    bank_to_dataset,
+    collect_windows,
+    generate_dataset,
+    standard_scenarios,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "InterferenceSpec",
+    "PairedRuns",
+    "execute_run",
+    "run_pair",
+    "Scenario",
+    "WindowBank",
+    "bank_to_dataset",
+    "collect_windows",
+    "generate_dataset",
+    "standard_scenarios",
+]

@@ -1,0 +1,164 @@
+"""Labelled-dataset generation from interference scenario sweeps.
+
+The paper trains per-benchmark models on windows collected while the
+target runs under "varying levels of background I/O requests (using
+IO500) to cover different types and levels of I/O interference" (§III-D).
+A :class:`Scenario` is one such condition (which noise tasks, how many
+concurrent instances). :func:`collect_windows` sweeps targets x scenarios
+and returns a :class:`WindowBank` holding per-server vectors plus raw
+degradation *levels*; binning into class labels happens afterwards
+(:func:`bank_to_dataset`), so the binary (Figure 3/5) and 3-class
+(Figure 4) datasets share one expensive simulation sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.labeling import BINARY_THRESHOLDS, DegradationLabeller, bin_level
+from repro.monitor.aggregator import assemble_vectors
+from repro.workloads.base import Workload
+from repro.experiments.runner import ExperimentConfig, InterferenceSpec, run_pair
+
+__all__ = [
+    "Scenario",
+    "WindowBank",
+    "standard_scenarios",
+    "collect_windows",
+    "bank_to_dataset",
+    "generate_dataset",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One interference condition for data collection."""
+
+    name: str
+    interference: tuple[InterferenceSpec, ...] = ()
+
+    @property
+    def is_baseline(self) -> bool:
+        return not self.interference
+
+
+@dataclass
+class WindowBank:
+    """Collected windows with raw degradation levels (not yet binned)."""
+
+    X: np.ndarray  # (n, servers, features)
+    levels: np.ndarray  # (n,) mean per-op slowdown ratios
+    sources: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.X) != len(self.levels):
+            raise ValueError("X and levels length mismatch")
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+    @staticmethod
+    def concatenate(parts: list["WindowBank"]) -> "WindowBank":
+        if not parts:
+            raise RuntimeError("no labelled windows were produced")
+        return WindowBank(
+            np.concatenate([p.X for p in parts]),
+            np.concatenate([p.levels for p in parts]),
+            sources=[s for p in parts for s in p.sources],
+        )
+
+
+def standard_scenarios(
+    max_level: int = 3,
+    tasks: tuple[str, ...] = ("ior-easy-write", "ior-hard-write", "mdt-hard-write"),
+    ranks: int = 2,
+    scale: float = 0.25,
+) -> list[Scenario]:
+    """The paper's sweep: increasing instance counts of IO500 noise.
+
+    Produces one quiet scenario plus ``max_level`` intensities per noise
+    task type ("repeated three times with increasing amounts of
+    concurrent instances of IO500").
+    """
+    scenarios = [Scenario("quiet")]
+    for task in tasks:
+        for level in range(1, max_level + 1):
+            scenarios.append(
+                Scenario(
+                    f"{task}-x{level}",
+                    (InterferenceSpec(task, instances=level, ranks=ranks,
+                                      scale=scale),),
+                )
+            )
+    return scenarios
+
+
+def collect_windows(
+    targets: list[Workload],
+    scenarios: list[Scenario],
+    config: ExperimentConfig,
+    include_quiet_windows: bool = True,
+) -> WindowBank:
+    """Run every (target, scenario) pair and label windows with levels.
+
+    Windows without matched target operations carry no label and are
+    dropped (the paper's labelling is defined over windows with I/O).
+    """
+    labeller = DegradationLabeller(window_size=config.window_size)
+    parts: list[WindowBank] = []
+    for target in targets:
+        for scenario in scenarios:
+            if scenario.is_baseline and not include_quiet_windows:
+                continue
+            pair = run_pair(target, list(scenario.interference), config,
+                            seed_salt=scenario.name)
+            run = pair.interfered
+            levels = labeller.window_levels(
+                pair.baseline.records, run.records, target.name
+            )
+            if not levels:
+                continue
+            X, windows = assemble_vectors(run, config.window_size,
+                                          config.sample_interval)
+            keep = [w for w in windows if w in levels]
+            if not keep:
+                continue
+            parts.append(
+                WindowBank(
+                    X[keep],
+                    np.array([levels[w] for w in keep]),
+                    sources=[f"{target.name}:{scenario.name}"] * len(keep),
+                )
+            )
+    return WindowBank.concatenate(parts)
+
+
+def bank_to_dataset(
+    bank: WindowBank,
+    thresholds: tuple[float, ...] = BINARY_THRESHOLDS,
+    source: str = "",
+) -> Dataset:
+    """Bin a window bank's levels into severity classes."""
+    from repro.monitor.schema import VECTOR_FEATURES
+
+    y = np.array([bin_level(lv, thresholds) for lv in bank.levels])
+    n_feats = bank.X.shape[2]
+    names = (VECTOR_FEATURES if n_feats == len(VECTOR_FEATURES)
+             else tuple(f"f{i}" for i in range(n_feats)))
+    return Dataset(bank.X, y, feature_names=names, source=source)
+
+
+def generate_dataset(
+    targets: list[Workload],
+    scenarios: list[Scenario],
+    config: ExperimentConfig,
+    thresholds: tuple[float, ...] = BINARY_THRESHOLDS,
+    include_quiet_windows: bool = True,
+    source: str = "",
+) -> Dataset:
+    """One-shot convenience: collect windows and bin them."""
+    bank = collect_windows(targets, scenarios, config, include_quiet_windows)
+    return bank_to_dataset(bank, thresholds, source=source)

@@ -1,0 +1,88 @@
+"""Device ablation: rotational disks vs flash (A4).
+
+The paper's testbed uses 7200 RPM SATA disks, and its most extreme
+interference cells (Table I's 29x read/read) are seek phenomena. This
+ablation re-runs the critical interference cells on an identically-shaped
+cluster whose OSTs are flash devices: with no mechanical positioning,
+read/read interference collapses to plain bandwidth sharing, while
+write/write interference (a cache/throttling phenomenon) survives. The
+contrast quantifies how much of the paper's observed interference is
+storage-technology-specific.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    InterferenceSpec,
+    execute_run,
+)
+from repro.experiments.table1 import _target_runtime
+from repro.sim.disk import FlashParams
+from repro.workloads.io500 import make_io500_task
+
+__all__ = ["DeviceAblationResult", "run_device_ablation"]
+
+
+@dataclass
+class DeviceAblationResult:
+    """Key interference cells per device technology."""
+
+    #: (device, cell) -> slowdown, e.g. ("hdd", "read_read") -> 48.0
+    slowdowns: dict[tuple[str, str], float]
+
+    def cell(self, device: str, cell: str) -> float:
+        return self.slowdowns[(device, cell)]
+
+    def render(self) -> str:
+        cells = sorted({c for _, c in self.slowdowns})
+        lines = [f"{'cell':>16} {'hdd':>10} {'ssd':>10}"]
+        for cell in cells:
+            lines.append(
+                f"{cell:>16} {self.slowdowns[('hdd', cell)]:>10.2f} "
+                f"{self.slowdowns[('ssd', cell)]:>10.2f}"
+            )
+        return "\n".join(lines)
+
+
+_CELLS: dict[str, tuple[str, str]] = {
+    # cell name -> (target task, noise task)
+    "read_read": ("ior-easy-read", "ior-easy-read"),
+    "write_write": ("ior-easy-write", "ior-easy-write"),
+    "read_vs_write": ("ior-easy-read", "ior-easy-write"),
+}
+
+
+def run_device_ablation(
+    config: ExperimentConfig | None = None,
+    target_scale: float = 0.4,
+    noise_instances: int = 3,
+    noise_ranks: int = 3,
+    noise_scale: float = 0.25,
+) -> DeviceAblationResult:
+    """Measure the critical Table I cells on HDD- and flash-backed OSTs."""
+    config = config or ExperimentConfig()
+    slowdowns: dict[tuple[str, str], float] = {}
+    for device in ("hdd", "ssd"):
+        if device == "hdd":
+            dev_config = config
+        else:
+            dev_config = replace(
+                config, cluster=replace(config.cluster, disk=FlashParams())
+            )
+        for cell, (target_task, noise_task) in _CELLS.items():
+            target = make_io500_task(target_task, ranks=4, scale=target_scale)
+            base = _target_runtime(
+                execute_run(target, [], dev_config,
+                            seed_salt=f"dev-{device}-{cell}-base")
+            )
+            noise = [InterferenceSpec(noise_task, instances=noise_instances,
+                                      ranks=noise_ranks, scale=noise_scale)]
+            noisy = _target_runtime(
+                execute_run(target, noise, dev_config,
+                            seed_salt=f"dev-{device}-{cell}")
+            )
+            slowdowns[(device, cell)] = noisy / base
+    return DeviceAblationResult(slowdowns=slowdowns)

@@ -1,0 +1,136 @@
+"""Fail-slow generalisation (A7): does the model transfer across causes?
+
+The paper borrows its severity bins from Perseus (Lu et al., FAST'23), a
+*fail-slow* detection framework — degradation caused by a sick device
+rather than by a competing application. This experiment asks whether a
+predictor trained purely on **interference**-caused degradation
+generalises to **fail-slow**-caused degradation: the same target runs on
+a quiet cluster whose OSTs are degraded mid-run by a service-time
+multiplier, windows are labelled against the healthy baseline, and the
+interference-trained model is scored zero-shot.
+
+The mechanism link: both causes manifest in the same Table II symptoms
+(rising queue time, falling completion rate), so transfer is plausible —
+and measuring it probes whether the model learned the *symptoms* or the
+*cause signature* of its training noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.rng import derive_seed
+from repro.core.labeling import DegradationLabeller
+from repro.core.metrics import ClassificationReport, evaluate
+from repro.core.predictor import InterferencePredictor
+from repro.monitor.aggregator import MonitoredRun, assemble_vectors
+from repro.monitor.server_monitor import ServerMonitor
+from repro.sim.cluster import Cluster
+from repro.workloads.base import Workload, launch
+from repro.experiments.runner import ExperimentConfig
+
+__all__ = ["FailSlowResult", "run_failslow_run", "run_failslow_transfer"]
+
+
+@dataclass
+class FailSlowResult:
+    """Zero-shot transfer of an interference model to fail-slow windows.
+
+    ``X``/``y`` carry the labelled fail-slow windows so callers can
+    augment a training set with them (the mixed-training arm of A7).
+    """
+
+    report: ClassificationReport
+    n_windows: int
+    class_counts: list[int]
+    X: np.ndarray = field(repr=False, default=None)
+    y: np.ndarray = field(repr=False, default=None)
+
+    def render(self) -> str:
+        return (
+            "== fail-slow transfer (interference-trained model, zero-shot) ==\n"
+            f"windows={self.n_windows} classes={self.class_counts}\n"
+            + self.report.summary()
+        )
+
+
+def run_failslow_run(
+    target: Workload,
+    config: ExperimentConfig,
+    slow_factor: float = 8.0,
+    onset: float = 0.0,
+    degraded_osts: tuple[int, ...] | None = None,
+    seed_salt: str = "failslow",
+) -> MonitoredRun:
+    """Run ``target`` alone on a cluster whose OSTs turn fail-slow.
+
+    ``onset`` seconds after the run starts, the listed OSTs (default:
+    all) have their device service times multiplied by ``slow_factor``.
+    """
+    if slow_factor <= 0:
+        raise ValueError("slow_factor must be positive")
+    cluster = Cluster(config.cluster)
+    monitor = ServerMonitor(cluster, sample_interval=config.sample_interval)
+    monitor.start()
+    victims = (tuple(range(config.cluster.n_osts))
+               if degraded_osts is None else degraded_osts)
+
+    def degrade():
+        yield cluster.env.timeout(onset)
+        for idx in victims:
+            cluster.osts[idx].device.inject_slowdown(slow_factor)
+
+    if slow_factor != 1.0:
+        cluster.env.process(degrade())
+    handle = launch(cluster, target, list(config.target_nodes),
+                    derive_seed(config.seed, "target", target.name))
+    cluster.env.run(until=handle.done)
+    cluster.env.run(until=cluster.env.now + config.sample_interval)
+    return MonitoredRun(
+        job=target.name,
+        records=cluster.collector.records,
+        server_samples=monitor.samples,
+        servers=cluster.servers,
+        duration=cluster.env.now,
+        metadata={"slow_factor": slow_factor, "onset": onset,
+                  "degraded_osts": list(victims)},
+    )
+
+
+def run_failslow_transfer(
+    predictor: InterferencePredictor,
+    target: Workload,
+    config: ExperimentConfig,
+    slow_factors: tuple[float, ...] = (4.0, 8.0, 16.0),
+) -> FailSlowResult:
+    """Score an interference-trained predictor on fail-slow degradation."""
+    labeller = DegradationLabeller(window_size=config.window_size,
+                                   thresholds=predictor.thresholds)
+    X_parts: list[np.ndarray] = []
+    y_parts: list[int] = []
+    baseline = run_failslow_run(target, config, slow_factor=1.0,
+                                seed_salt="fs-base")
+    for factor in (1.0, *slow_factors):
+        run = run_failslow_run(target, config, slow_factor=factor,
+                               seed_salt=f"fs-{factor}")
+        labels = labeller.window_labels(baseline.records, run.records,
+                                        target.name)
+        if not labels:
+            continue
+        X, windows = assemble_vectors(run, config.window_size,
+                                      config.sample_interval)
+        keep = [w for w in windows if w in labels]
+        X_parts.append(X[keep])
+        y_parts.extend(labels[w] for w in keep)
+    if not X_parts:
+        raise RuntimeError("fail-slow runs produced no labelled windows")
+    X = np.concatenate(X_parts)
+    y = np.array(y_parts)
+    preds = predictor.predict(X)
+    report = evaluate(y, preds, n_classes=predictor.n_classes)
+    counts = np.bincount(y, minlength=predictor.n_classes)
+    return FailSlowResult(report=report, n_windows=len(y),
+                          class_counts=[int(c) for c in counts],
+                          X=X, y=y)

@@ -1,0 +1,22 @@
+"""Figure 4: 3-class (mild / moderate / severe) prediction on IO500.
+
+The paper adjusts only the output layer to three bins with thresholds at
+2x and 5x (following Perseus' mild/moderate/severe taxonomy) and retrains
+on the IO500 data. Reuses the IO500 window bank from Figure 3 when given.
+"""
+
+from __future__ import annotations
+
+from repro.core.labeling import MULTICLASS_THRESHOLDS
+from repro.experiments.datagen import WindowBank
+from repro.experiments.fig3 import ModelEvalResult, collect_io500_bank, evaluate_bank
+from repro.experiments.runner import ExperimentConfig
+
+__all__ = ["run_fig4"]
+
+
+def run_fig4(config: ExperimentConfig | None = None,
+             bank: WindowBank | None = None, **bank_kwargs) -> ModelEvalResult:
+    """3-class classification on the IO500 window bank."""
+    bank = bank or collect_io500_bank(config, **bank_kwargs)
+    return evaluate_bank(bank, "fig4-io500-3class", MULTICLASS_THRESHOLDS)

@@ -1,0 +1,90 @@
+"""ASCII rendering helpers for experiment outputs.
+
+The paper presents its results as a slowdown table (Table I), latency
+series plots (Figure 1) and confusion matrices (Figures 3-5); these
+helpers render the same content as terminal text so benchmarks can print
+paper-comparable artefacts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_table", "moving_average", "render_series", "render_matrix"]
+
+
+def render_table(
+    rows: list[str],
+    cols: list[str],
+    values: np.ndarray,
+    corner: str = "",
+    fmt: str = "{:.2f}",
+) -> str:
+    """A labelled 2-D table."""
+    values = np.asarray(values)
+    if values.shape != (len(rows), len(cols)):
+        raise ValueError(
+            f"values shape {values.shape} does not match {len(rows)}x{len(cols)}"
+        )
+    cells = [[fmt.format(v) for v in row] for row in values]
+    width = max(
+        [len(corner)] + [len(c) for c in cols] + [len(r) for r in rows]
+        + [len(c) for row in cells for c in row]
+    ) + 2
+    lines = ["".join([f"{corner:>{width}}"] + [f"{c:>{width}}" for c in cols])]
+    for label, row in zip(rows, cells):
+        lines.append("".join([f"{label:>{width}}"] + [f"{c:>{width}}" for c in row]))
+    return "\n".join(lines)
+
+
+def moving_average(values: np.ndarray, window: int) -> np.ndarray:
+    """Centered-ish moving average, same length as the input.
+
+    The paper smooths Figure 1's latency series with a moving window.
+    """
+    values = np.asarray(values, dtype=float)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if window == 1 or len(values) == 0:
+        return values.copy()
+    kernel = np.ones(min(window, len(values))) / min(window, len(values))
+    padded = np.concatenate([
+        np.full(len(kernel) // 2, values[0]),
+        values,
+        np.full(len(kernel) - 1 - len(kernel) // 2, values[-1]),
+    ])
+    return np.convolve(padded, kernel, mode="valid")
+
+
+def render_series(series: dict[str, np.ndarray], height: int = 12,
+                  width: int = 72) -> str:
+    """A crude multi-series ASCII line chart (log-ish scaling not applied)."""
+    if not series:
+        raise ValueError("no series to render")
+    arrays = {k: np.asarray(v, dtype=float) for k, v in series.items()}
+    n = max(len(v) for v in arrays.values())
+    if n == 0:
+        raise ValueError("empty series")
+    top = max(v.max() for v in arrays.values() if len(v))
+    top = top if top > 0 else 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    for mi, (name, values) in enumerate(arrays.items()):
+        marker = markers[mi % len(markers)]
+        for i, v in enumerate(values):
+            x = int(i / max(1, n - 1) * (width - 1))
+            y = height - 1 - int(min(1.0, v / top) * (height - 1))
+            grid[y][x] = marker
+    lines = ["".join(row) for row in grid]
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(arrays)
+    )
+    return "\n".join(lines + [f"max={top:.4g}", legend])
+
+
+def render_matrix(name: str, matrix: np.ndarray,
+                  class_names: list[str]) -> str:
+    """Confusion-matrix block with a title, like one panel of Figure 3-5."""
+    from repro.core.metrics import render_confusion
+
+    return f"== {name} ==\n{render_confusion(np.asarray(matrix), class_names)}"

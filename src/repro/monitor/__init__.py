@@ -1,0 +1,32 @@
+"""Runtime monitors: the paper's client-side and server-side collectors.
+
+* :mod:`repro.monitor.schema` — canonical feature-name registry shared by
+  monitors, dataset assembly and the model;
+* :mod:`repro.monitor.client_monitor` — Darshan-DXT-like aggregation of an
+  application's I/O records into per-(window, server) client features;
+* :mod:`repro.monitor.server_monitor` — a 1 Hz sampling process over every
+  PFS server's counters, aggregated per window as sum/mean/std (Table II);
+* :mod:`repro.monitor.aggregator` — assembles the final per-server vectors
+  (client features ++ server features), the training server's input.
+"""
+
+from repro.monitor.schema import (
+    CLIENT_FEATURES,
+    SERVER_FEATURES,
+    SERVER_METRICS,
+    VECTOR_FEATURES,
+)
+from repro.monitor.client_monitor import ClientWindowAggregator
+from repro.monitor.server_monitor import ServerMonitor
+from repro.monitor.aggregator import MonitoredRun, assemble_vectors
+
+__all__ = [
+    "CLIENT_FEATURES",
+    "SERVER_FEATURES",
+    "SERVER_METRICS",
+    "VECTOR_FEATURES",
+    "ClientWindowAggregator",
+    "ServerMonitor",
+    "MonitoredRun",
+    "assemble_vectors",
+]

@@ -1,0 +1,97 @@
+"""Vector assembly: the training server's input format.
+
+The training server fills the periodically collected metrics into a set of
+*per-server vectors* — one vector per storage server per window, holding
+one window of client-side metrics targeting that server followed by the
+server's own metrics (§III-C). :func:`assemble_vectors` produces exactly
+that: an ``(n_windows, n_servers, n_features)`` array plus the window ids,
+with missing (idle) cells zero-filled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.records import IORecord, ServerId
+from repro.monitor.client_monitor import ClientWindowAggregator
+from repro.monitor.schema import CLIENT_FEATURES, SERVER_FEATURES
+from repro.monitor.server_monitor import ServerMonitor
+
+__all__ = ["MonitoredRun", "assemble_vectors"]
+
+
+@dataclass
+class MonitoredRun:
+    """Everything one monitored execution produced.
+
+    Attributes
+    ----------
+    job:
+        The target workload's job name.
+    records:
+        Full DXT-style trace (all jobs; filtering happens at aggregation).
+    server_samples:
+        Per-second server metric rows from the :class:`ServerMonitor`.
+    servers:
+        All server targets of the cluster, in stable order.
+    duration:
+        Simulated seconds the measured run took.
+    """
+
+    job: str
+    records: list[IORecord]
+    server_samples: list[tuple[float, ServerId, dict[str, float]]]
+    servers: list[ServerId]
+    duration: float
+    metadata: dict = field(default_factory=dict)
+
+
+def assemble_vectors(
+    run: MonitoredRun,
+    window_size: float = 1.0,
+    sample_interval: float = 0.25,
+) -> tuple[np.ndarray, list[int]]:
+    """Build per-server vectors for every window of a monitored run.
+
+    Returns ``(X, window_ids)`` where ``X`` has shape
+    ``(n_windows, n_servers, n_features)`` with the feature layout of
+    :data:`repro.monitor.schema.VECTOR_FEATURES`, and ``window_ids`` are
+    the corresponding window indices. Windows beyond the run duration are
+    not emitted; windows with no activity at all still appear (all-zero
+    except gauges), because "idle" is a state the model must recognise.
+    """
+    client = ClientWindowAggregator(window_size).aggregate(run.records, run.job)
+    # Re-aggregate raw samples through a throwaway monitor-shaped object.
+    server = _server_features_from_samples(
+        run.server_samples, window_size, sample_interval
+    )
+    n_windows = max(1, int(np.ceil(run.duration / window_size)))
+    servers = run.servers
+    n_feats = len(CLIENT_FEATURES) + len(SERVER_FEATURES)
+    X = np.zeros((n_windows, len(servers), n_feats), dtype=float)
+    for w in range(n_windows):
+        for si, sid in enumerate(servers):
+            cf = client.get((w, sid))
+            if cf is not None:
+                for fi, name in enumerate(CLIENT_FEATURES):
+                    X[w, si, fi] = cf[name]
+            sf = server.get((w, sid))
+            if sf is not None:
+                base = len(CLIENT_FEATURES)
+                for fi, name in enumerate(SERVER_FEATURES):
+                    X[w, si, base + fi] = sf[name]
+    return X, list(range(n_windows))
+
+
+def _server_features_from_samples(
+    samples: list[tuple[float, ServerId, dict[str, float]]],
+    window_size: float,
+    sample_interval: float,
+) -> dict[tuple[int, ServerId], dict[str, float]]:
+    """Window-aggregate raw samples without needing a live cluster."""
+    monitor = ServerMonitor.__new__(ServerMonitor)
+    monitor.sample_interval = sample_interval
+    monitor.samples = samples
+    return ServerMonitor.window_features(monitor, window_size)

@@ -1,0 +1,102 @@
+"""DXT-style trace log serialisation.
+
+The paper's client-side monitor is a modified Darshan whose DXT
+(extended tracing) logs record one line per I/O operation; the labelling
+is done offline on such logs. This module serialises our
+:class:`~repro.common.records.IORecord` traces into a DXT-like text
+format and parses them back, so collected traces can be stored, shipped
+and re-labelled offline exactly like the paper's pipeline — and so the
+repository can exchange traces with external tooling.
+
+Format (one record per line, tab-separated, ``#`` comments)::
+
+    # quanterference-dxt v1
+    <job>\t<rank>\t<op_id>\t<op>\t<path>\t<offset>\t<size>\t<start>\t<end>\t<servers>
+
+``servers`` is a comma-separated list like ``ost0,ost3,mdt0``.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, TextIO
+
+from repro.common.records import IORecord, OpType, ServerId, ServerKind
+
+__all__ = ["write_dxt", "read_dxt", "dumps_dxt", "loads_dxt"]
+
+_HEADER = "# quanterference-dxt v1"
+
+
+def _server_to_str(server: ServerId) -> str:
+    return f"{server.kind.value}{server.index}"
+
+
+def _server_from_str(text: str) -> ServerId:
+    for kind in ServerKind:
+        if text.startswith(kind.value):
+            suffix = text[len(kind.value):]
+            if suffix.isdigit():
+                return ServerId(kind, int(suffix))
+    raise ValueError(f"unparseable server id: {text!r}")
+
+
+def write_dxt(records: Iterable[IORecord], fp: TextIO) -> int:
+    """Write records as DXT lines; returns the record count."""
+    fp.write(_HEADER + "\n")
+    count = 0
+    for rec in records:
+        servers = ",".join(_server_to_str(s) for s in rec.servers)
+        if "\t" in rec.path or "\n" in rec.path:
+            raise ValueError(f"path contains separator characters: {rec.path!r}")
+        fp.write(
+            f"{rec.job}\t{rec.rank}\t{rec.op_id}\t{rec.op.value}\t{rec.path}\t"
+            f"{rec.offset}\t{rec.size}\t{rec.start!r}\t{rec.end!r}\t{servers}\n"
+        )
+        count += 1
+    return count
+
+
+def read_dxt(fp: TextIO) -> list[IORecord]:
+    """Parse a DXT log written by :func:`write_dxt`."""
+    first = fp.readline().strip()
+    if first != _HEADER:
+        raise ValueError(f"not a quanterference DXT log (header {first!r})")
+    records: list[IORecord] = []
+    for lineno, line in enumerate(fp, start=2):
+        line = line.rstrip("\n")
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("\t")
+        if len(parts) != 10:
+            raise ValueError(f"line {lineno}: expected 10 fields, got {len(parts)}")
+        job, rank, op_id, op, path, offset, size, start, end, servers = parts
+        records.append(
+            IORecord(
+                job=job,
+                rank=int(rank),
+                op_id=int(op_id),
+                op=OpType(op),
+                path=path,
+                offset=int(offset),
+                size=int(size),
+                start=float(start),
+                end=float(end),
+                servers=tuple(
+                    _server_from_str(s) for s in servers.split(",") if s
+                ),
+            )
+        )
+    return records
+
+
+def dumps_dxt(records: Iterable[IORecord]) -> str:
+    """Serialise records to a DXT string."""
+    buf = io.StringIO()
+    write_dxt(records, buf)
+    return buf.getvalue()
+
+
+def loads_dxt(text: str) -> list[IORecord]:
+    """Parse records from a DXT string."""
+    return read_dxt(io.StringIO(text))

@@ -1,0 +1,72 @@
+"""Canonical feature names for per-server vectors.
+
+Keeping one registry guarantees the monitors, dataset assembly and the
+trained model always agree on vector layout. The layout is::
+
+    [ client features (10) | server features (len(SERVER_METRICS) * 3) ]
+
+Client features follow the paper §III-A (request counts by type, byte
+sums, actual I/O time, throughput, IOPS); server features are the
+Table II metrics sampled once per second and aggregated per window as
+sum, mean and standard deviation (§III-B).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CLIENT_FEATURES",
+    "SERVER_METRICS",
+    "SERVER_STATS",
+    "SERVER_FEATURES",
+    "VECTOR_FEATURES",
+    "vector_dim",
+]
+
+#: Client-side per-(window, server) features (paper §III-A).
+CLIENT_FEATURES: tuple[str, ...] = (
+    "n_read",          # read requests completed in the window
+    "n_write",         # write requests completed in the window
+    "n_meta",          # metadata requests completed in the window
+    "n_total",         # all requests (combined count)
+    "bytes_read",      # bytes read
+    "bytes_written",   # bytes written
+    "bytes_total",     # combined bytes
+    "io_time",         # total time spent in I/O calls
+    "throughput",      # bytes_total / window size
+    "iops",            # n_total / window size
+)
+
+#: Server-side per-second metrics (paper Table II + the queue gauges the
+#: simulator exposes). Counter metrics are per-second deltas; gauge
+#: metrics are instantaneous values at the sample tick.
+SERVER_METRICS: tuple[str, ...] = (
+    "ios_completed",      # I/O Speed: completed I/O requests
+    "sectors_read",       # Device Metrics: disk sectors read
+    "sectors_written",    # Device Metrics: disk sectors written
+    "queue_insertions",   # R/W Queue (1): requests queued
+    "requests_merged",    # R/W Queue (2): requests merged in the queue
+    "io_ticks",           # R/W Queue (3): time the queue was non-empty
+    "weighted_time",      # R/W Queue (4): queue-depth-weighted wait time
+    "mds_ops_completed",  # metadata ops served (MDT only; 0 on OSTs)
+    "queue_depth",        # gauge: outstanding requests at the tick
+    "cache_dirty_bytes",  # gauge: dirty page-cache bytes at the tick
+)
+
+#: Which SERVER_METRICS are gauges (sampled values, not deltas).
+GAUGE_METRICS: frozenset[str] = frozenset({"queue_depth", "cache_dirty_bytes"})
+
+#: Per-window aggregation statistics over the per-second samples.
+SERVER_STATS: tuple[str, ...] = ("sum", "mean", "std")
+
+#: Flattened server feature names, e.g. ``ios_completed_sum``.
+SERVER_FEATURES: tuple[str, ...] = tuple(
+    f"{metric}_{stat}" for metric in SERVER_METRICS for stat in SERVER_STATS
+)
+
+#: Full per-server vector layout.
+VECTOR_FEATURES: tuple[str, ...] = CLIENT_FEATURES + SERVER_FEATURES
+
+
+def vector_dim() -> int:
+    """Dimensionality of one per-server vector."""
+    return len(VECTOR_FEATURES)

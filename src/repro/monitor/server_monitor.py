@@ -1,0 +1,116 @@
+"""Server-side monitor: 1 Hz counter sampling plus window aggregation.
+
+The paper's server-side monitor runs as an independent process on every
+PFS server, pulling the Table II statistics once per second and shipping
+window aggregates (sum / mean / std over the seconds of each window) to
+the training server (§III-B). Here a simulator process samples every
+server's cumulative counters at a fixed interval, converts counters to
+per-interval deltas (gauges stay instantaneous) and offers the same
+window aggregation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.common.records import ServerId
+from repro.common.windows import window_index
+from repro.monitor.schema import GAUGE_METRICS, SERVER_METRICS, SERVER_STATS
+from repro.sim.cluster import Cluster
+
+__all__ = ["ServerMonitor"]
+
+#: Maps schema metric names to the cluster counter keys they derive from.
+_COUNTER_SOURCES: dict[str, tuple[str, ...]] = {
+    "ios_completed": ("reads_completed", "writes_completed"),
+    "sectors_read": ("sectors_read",),
+    "sectors_written": ("sectors_written",),
+    "queue_insertions": ("queue_insertions",),
+    "requests_merged": ("reads_merged", "writes_merged"),
+    "io_ticks": ("io_ticks",),
+    "weighted_time": ("weighted_time",),
+    "mds_ops_completed": ("mds_ops_completed",),
+}
+
+_GAUGE_SOURCES: dict[str, str] = {
+    "queue_depth": "queue_depth",
+    "cache_dirty_bytes": "cache_dirty_bytes",
+}
+
+
+class ServerMonitor:
+    """Samples every server's counters at a fixed interval.
+
+    Call :meth:`start` before running the simulation; samples accumulate
+    in :attr:`samples` as ``(time, server, metrics-dict)`` rows.
+    """
+
+    def __init__(self, cluster: Cluster, sample_interval: float = 0.25) -> None:
+        if sample_interval <= 0:
+            raise ValueError(
+                f"sample_interval must be positive, got {sample_interval}"
+            )
+        self.cluster = cluster
+        self.sample_interval = sample_interval
+        self.samples: list[tuple[float, ServerId, dict[str, float]]] = []
+        self._last_counters: dict[ServerId, dict[str, float]] = {}
+        self._started = False
+
+    def start(self) -> None:
+        """Arm the sampling process on the cluster's environment."""
+        if self._started:
+            raise RuntimeError("monitor already started")
+        self._started = True
+        for server in self.cluster.servers:
+            self._last_counters[server] = self.cluster.server_counters(server)
+        self.cluster.env.process(self._loop())
+
+    def _loop(self):
+        env = self.cluster.env
+        while True:
+            yield env.timeout(self.sample_interval)
+            t = env.now
+            for server in self.cluster.servers:
+                counters = self.cluster.server_counters(server)
+                prev = self._last_counters[server]
+                metrics: dict[str, float] = {}
+                for name, sources in _COUNTER_SOURCES.items():
+                    metrics[name] = sum(
+                        counters[s] - prev[s] for s in sources
+                    )
+                for name, source in _GAUGE_SOURCES.items():
+                    metrics[name] = counters[source]
+                self._last_counters[server] = counters
+                self.samples.append((t, server, metrics))
+
+    def window_features(
+        self, window_size: float
+    ) -> dict[tuple[int, ServerId], dict[str, float]]:
+        """Aggregate samples per (window, server) as sum/mean/std.
+
+        A sample taken at time ``t`` summarises the preceding interval, so
+        it belongs to the window containing ``t - interval/2``.
+        """
+        if window_size <= 0:
+            raise ValueError(f"window_size must be positive, got {window_size}")
+        grouped: dict[tuple[int, ServerId], list[dict[str, float]]] = defaultdict(list)
+        for t, server, metrics in self.samples:
+            win = window_index(max(0.0, t - self.sample_interval / 2), window_size)
+            grouped[(win, server)].append(metrics)
+        out: dict[tuple[int, ServerId], dict[str, float]] = {}
+        for key, rows in grouped.items():
+            feats: dict[str, float] = {}
+            for metric in SERVER_METRICS:
+                values = np.array([row[metric] for row in rows], dtype=float)
+                for stat in SERVER_STATS:
+                    if stat == "sum":
+                        v = float(values.sum())
+                    elif stat == "mean":
+                        v = float(values.mean())
+                    else:
+                        v = float(values.std())
+                    feats[f"{metric}_{stat}"] = v
+            out[key] = feats
+        return out

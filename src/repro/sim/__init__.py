@@ -1,0 +1,35 @@
+"""Discrete-event Lustre-like parallel file system simulator.
+
+This subpackage is the substrate substitute for the paper's 11-node Lustre
+2.12.8 cluster (see DESIGN.md §2). It provides:
+
+* :mod:`repro.sim.engine` — a minimal SimPy-like coroutine event kernel
+  with deterministic ordering;
+* :mod:`repro.sim.resources` — semaphores, barriers and stores built on
+  the kernel;
+* :mod:`repro.sim.netmodel` — a max-min fair-share fluid-flow network;
+* :mod:`repro.sim.disk` — a rotational-disk service model plus
+  ``/proc/diskstats``-style counters;
+* :mod:`repro.sim.scheduler` — an elevator/merging block scheduler;
+* :mod:`repro.sim.cache` — an OSS write-back page cache with dirty
+  throttling;
+* :mod:`repro.sim.ost` / :mod:`repro.sim.mds` — object storage targets and
+  the metadata server;
+* :mod:`repro.sim.filesystem` — namespace and striping;
+* :mod:`repro.sim.client` — the Lustre-like client (striped RPCs, RPC
+  windows, metadata calls);
+* :mod:`repro.sim.cluster` — configuration and wiring of a full cluster.
+"""
+
+from repro.sim.engine import Environment, Event, Process, Timeout, AllOf
+from repro.sim.cluster import Cluster, ClusterConfig
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Process",
+    "Timeout",
+    "AllOf",
+    "Cluster",
+    "ClusterConfig",
+]

@@ -1,0 +1,296 @@
+"""OSS write-back page cache with dirty throttling and readahead.
+
+This single component produces the asymmetry at the heart of the paper's
+Table I: *reads* must reach the rotational disk and therefore interfere
+with each other through seeks and queueing, while *writes* complete into
+server memory and only become disk-bound once dirty pages exceed the
+throttle limit — at which point writers block behind the background
+flusher and small writers (e.g. ``mdtest-hard``) can be crushed by bulk
+write interference.
+
+The model mirrors Linux semantics loosely: a background flusher drains
+dirty extents to the block device whenever any exist; writers are
+throttled (blocked) while dirty bytes exceed ``dirty_limit_fraction`` of
+the cache. Reads consult a chunk-granular LRU of cached data and extend
+misses by a readahead window.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.units import KIB, MIB
+from repro.sim.engine import Environment, Event
+from repro.sim.scheduler import BlockDevice
+
+__all__ = ["CacheParams", "PageCache"]
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Sizing and speed of one server's page cache."""
+
+    capacity_bytes: int = 1024 * MIB
+    #: Writers block while dirty bytes exceed this fraction of capacity.
+    dirty_limit_fraction: float = 0.4
+    #: Cache/page-copy bandwidth (memory speed), bytes/s.
+    memcpy_bandwidth: float = 5 * 1024 * MIB
+    #: Granularity of the cached-chunk LRU.
+    chunk_bytes: int = 256 * KIB
+    #: Extra bytes fetched past a *sequential* read miss. Generous, like
+    #: Lustre's per-file readahead (tens of MiB): large sequential reads
+    #: must amortise the seeks that competing streams and writeback turns
+    #: force on them, or every big read degrades ~2x under any write
+    #: noise, which Table I rules out. Random reads get no readahead —
+    #: sequentiality is detected per object, as Linux/Lustre do.
+    readahead_bytes: int = 4 * MIB
+    #: Largest extent handed to the block layer per flush I/O.
+    flush_extent_bytes: int = 1 * MIB
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.chunk_bytes <= 0:
+            raise ValueError("cache capacity and chunk size must be positive")
+        if not 0.0 < self.dirty_limit_fraction <= 1.0:
+            raise ValueError("dirty_limit_fraction must be in (0, 1]")
+
+    @property
+    def dirty_limit_bytes(self) -> int:
+        return int(self.capacity_bytes * self.dirty_limit_fraction)
+
+
+class PageCache:
+    """Write-back cache in front of one :class:`BlockDevice`.
+
+    ``resolve`` maps a logical ``(object_id, offset, size)`` extent to a
+    list of ``(device_byte_offset, nbytes)`` segments (supplied by the OST,
+    which owns the extent allocator).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        device: BlockDevice,
+        params: CacheParams,
+        resolve: Callable[[int, int, int], list[tuple[int, int]]],
+    ) -> None:
+        self.env = env
+        self.device = device
+        self.params = params
+        self.resolve = resolve
+        self.dirty_bytes = 0
+        #: (object_id, offset, size) extents awaiting flush, FIFO.
+        self._dirty_extents: deque[tuple[int, int, int]] = deque()
+        self._throttled: deque[tuple[Event, int]] = deque()
+        self._flusher_running = False
+        # Cached chunks, split by dirtiness so eviction never scans
+        # unevictable (dirty) entries: the clean side is an LRU
+        # (OrderedDict, oldest first), the dirty side a plain set-like
+        # dict. A chunk lives in exactly one of the two.
+        self._clean: OrderedDict[tuple[int, int], None] = OrderedDict()
+        self._dirty_chunks: dict[tuple[int, int], None] = {}
+        #: Per-object next expected sequential offset (readahead gating).
+        self._next_offset: dict[int, int] = {}
+        # Counters for tests and monitors.
+        self.read_hits = 0
+        self.read_misses = 0
+        self.throttle_events = 0
+
+    @property
+    def cached_chunk_count(self) -> int:
+        return len(self._clean) + len(self._dirty_chunks)
+
+    @property
+    def dirty_chunk_count(self) -> int:
+        return len(self._dirty_chunks)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _chunk_range(self, object_id: int, offset: int, size: int):
+        cb = self.params.chunk_bytes
+        first = offset // cb
+        last = (offset + max(1, size) - 1) // cb
+        return ((object_id, c) for c in range(first, last + 1))
+
+    def _touch_chunks(self, object_id: int, offset: int, size: int, dirty: bool) -> None:
+        for key in self._chunk_range(object_id, offset, size):
+            if key in self._dirty_chunks:
+                continue  # dirty dominates; stays until flushed
+            if dirty:
+                self._clean.pop(key, None)
+                self._dirty_chunks[key] = None
+            else:
+                self._clean.pop(key, None)
+                self._clean[key] = None  # move to MRU end
+        self._evict()
+
+    def _mark_clean(self, object_id: int, offset: int, size: int) -> None:
+        """Clear the dirty flag after a flush (keeps chunks cached)."""
+        for key in self._chunk_range(object_id, offset, size):
+            if self._dirty_chunks.pop(key, False) is None:
+                self._clean[key] = None
+        self._evict()
+
+    def _evict(self) -> None:
+        max_chunks = max(1, self.params.capacity_bytes // self.params.chunk_bytes)
+        while self.cached_chunk_count > max_chunks and self._clean:
+            self._clean.popitem(last=False)  # oldest clean chunk
+
+    def _cached(self, object_id: int, offset: int, size: int) -> bool:
+        return all(
+            key in self._clean or key in self._dirty_chunks
+            for key in self._chunk_range(object_id, offset, size)
+        )
+
+    def _memcpy_delay(self, size: int) -> float:
+        return size / self.params.memcpy_bandwidth
+
+    def prefill(self, object_id: int, offset: int, size: int) -> None:
+        """Mark an extent resident (clean) without simulated I/O.
+
+        Used when staging pre-existing data that would realistically be
+        server-cache-warm at measurement start — e.g. the tiny files of
+        ``mdtest-hard-read``, whose write phase immediately precedes the
+        read phase in a real IO500 run. Subject to normal LRU eviction.
+        """
+        if size <= 0:
+            raise ValueError(f"prefill size must be positive, got {size}")
+        self._touch_chunks(object_id, offset, size, dirty=False)
+
+    # -- write path ------------------------------------------------------------
+
+    def write(self, object_id: int, offset: int, size: int):
+        """Process generator: complete a write into the cache.
+
+        Blocks while the cache is over its dirty limit (dirty throttling),
+        then copies the payload and queues it for background flush.
+        """
+        if size <= 0:
+            raise ValueError(f"write size must be positive, got {size}")
+        if size > self.params.dirty_limit_bytes:
+            raise ValueError(
+                f"single write of {size} B exceeds the dirty limit "
+                f"({self.params.dirty_limit_bytes} B); split at the RPC layer"
+            )
+        # Admission is strictly FIFO: once any writer is throttled, later
+        # writers queue behind it even if they would fit in the remaining
+        # slack. This mirrors balance_dirty_pages(), which pauses every
+        # writer above the dirty limit regardless of write size — and it
+        # is what lets bulk write noise crush small writers (the paper's
+        # 26x/41x mdt-hard-write cells in Table I).
+        if self._throttled or self.dirty_bytes + size > self.params.dirty_limit_bytes:
+            self.throttle_events += 1
+            gate = Event(self.env)
+            self._throttled.append((gate, size))
+            self._kick_flusher()
+            yield gate  # the releaser reserves our dirty pages for us
+        else:
+            self.dirty_bytes += size
+        yield self.env.timeout(self._memcpy_delay(size))
+        self._dirty_extents.append((object_id, offset, size))
+        self._touch_chunks(object_id, offset, size, dirty=True)
+        self._kick_flusher()
+
+    # -- read path --------------------------------------------------------------
+
+    def _sequential(self, object_id: int, offset: int) -> bool:
+        """Does this read continue the object's detected stream?
+
+        Readahead only arms once a stream is established (second access
+        onwards), so single-shot small-file reads (mdtest-hard) never
+        trigger it. The forward window is generous because a client's
+        concurrent RPCs land slightly out of order, and strided-but-
+        monotonic scans (ior-hard) legitimately benefit from readahead.
+        """
+        expected = self._next_offset.get(object_id)
+        if expected is None:
+            return False
+        lo = expected - self.params.chunk_bytes
+        hi = expected + 2 * self.params.readahead_bytes
+        return lo <= offset <= hi
+
+    def read(self, object_id: int, offset: int, size: int):
+        """Process generator: complete a read, from cache or disk."""
+        if size <= 0:
+            raise ValueError(f"read size must be positive, got {size}")
+        sequential = self._sequential(object_id, offset)
+        self._next_offset[object_id] = offset + size
+        if self._cached(object_id, offset, size):
+            self.read_hits += 1
+            self._touch_chunks(object_id, offset, size, dirty=False)
+            yield self.env.timeout(self._memcpy_delay(size))
+            return
+        self.read_misses += 1
+        readahead = self.params.readahead_bytes if sequential else 0
+        fetch_size = size + readahead
+        segments = self.resolve(object_id, offset, fetch_size)
+        done = [
+            self.device.submit_bytes(dev_off, nbytes, is_write=False)
+            for dev_off, nbytes in segments
+        ]
+        from repro.sim.engine import AllOf
+
+        yield AllOf(self.env, done)
+        self._touch_chunks(object_id, offset, fetch_size, dirty=False)
+        yield self.env.timeout(self._memcpy_delay(size))
+
+    # -- flusher -----------------------------------------------------------------
+
+    def _kick_flusher(self) -> None:
+        if not self._flusher_running and (self._dirty_extents or self._throttled):
+            self._flusher_running = True
+            self.env.process(self._flush_loop())
+
+    #: Flush I/Os kept in flight concurrently. Writeback keeps the device
+    #: queue populated so contiguous dirty extents can merge at the block
+    #: layer (and the elevator can order them) — one-at-a-time flushing
+    #: would serialise writeback at zero queue depth, which no real
+    #: flusher does.
+    FLUSH_INFLIGHT = 4
+
+    def _flush_units(self, object_id: int, offset: int, size: int):
+        """Bounded flush extents of one dirty record."""
+        flushed = 0
+        while flushed < size:
+            nbytes = min(self.params.flush_extent_bytes, size - flushed)
+            yield (object_id, offset + flushed, nbytes)
+            flushed += nbytes
+
+    def _flush_loop(self):
+        from repro.sim.engine import AllOf
+
+        while self._dirty_extents:
+            # Gather up to FLUSH_INFLIGHT flush units across dirty extents.
+            batch: list[tuple[int, int, int]] = []
+            records: list[tuple[int, int, int]] = []
+            while self._dirty_extents and len(batch) < self.FLUSH_INFLIGHT:
+                record = self._dirty_extents.popleft()
+                records.append(record)
+                batch.extend(self._flush_units(*record))
+            pending = []
+            for object_id, unit_offset, nbytes in batch:
+                for dev_off, seg_bytes in self.resolve(object_id, unit_offset,
+                                                       nbytes):
+                    pending.append(
+                        self.device.submit_bytes(dev_off, seg_bytes,
+                                                 is_write=True)
+                    )
+            yield AllOf(self.env, pending)
+            for object_id, unit_offset, nbytes in batch:
+                self.dirty_bytes -= nbytes
+            for record in records:
+                self._mark_clean(*record)
+            self._release_throttled()
+        self._flusher_running = False
+
+    def _release_throttled(self) -> None:
+        while self._throttled:
+            gate, size = self._throttled[0]
+            if self.dirty_bytes + size > self.params.dirty_limit_bytes:
+                break
+            self._throttled.popleft()
+            # Reserve on the waiter's behalf so admission stays atomic and
+            # strictly FIFO.
+            self.dirty_bytes += size
+            gate.succeed()

@@ -1,0 +1,241 @@
+"""Lustre-like client: striped data RPCs, RPC windows, metadata calls.
+
+Each compute node owns a :class:`ClientNode` (one NIC link plus per-OST
+RPC credit windows mirroring ``max_rpcs_in_flight``). Workload ranks talk
+through a :class:`ClientSession`, which tags every completed operation
+with the job name, rank and a deterministic per-rank sequence number and
+appends a DXT-style :class:`~repro.common.records.IORecord` to the run's
+trace — this is the simulated counterpart of the paper's modified-Darshan
+client-side monitor.
+
+All session methods are generators meant to be driven with ``yield from``
+inside a rank process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.common.records import IORecord, OpType, ServerId, ServerKind
+from repro.common.units import MIB
+from repro.sim.engine import AllOf
+from repro.sim.netmodel import Link
+from repro.sim.resources import Semaphore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.cluster import Cluster
+
+__all__ = ["ClientParams", "ClientNode", "ClientSession", "TraceCollector"]
+
+
+@dataclass(frozen=True)
+class ClientParams:
+    """Client-side RPC behaviour (Lustre OSC/MDC tunables)."""
+
+    max_rpc_bytes: int = 1 * MIB
+    max_rpcs_in_flight: int = 8
+    #: Fixed per-RPC overhead covering the request message and the ack.
+    rpc_latency: float = 200e-6
+
+    def __post_init__(self) -> None:
+        if self.max_rpc_bytes <= 0 or self.max_rpcs_in_flight <= 0:
+            raise ValueError("RPC size and window must be positive")
+        if self.rpc_latency < 0:
+            raise ValueError("rpc_latency must be non-negative")
+
+
+class TraceCollector:
+    """Accumulates the DXT-style records of one simulated run."""
+
+    def __init__(self) -> None:
+        self.records: list[IORecord] = []
+
+    def add(self, record: IORecord) -> None:
+        self.records.append(record)
+
+    def for_job(self, job: str) -> list[IORecord]:
+        return [r for r in self.records if r.job == job]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class NullCollector(TraceCollector):
+    """Discards records. Used for interference jobs whose traces nobody
+    reads (the monitors only consume the target application's records);
+    long noise loops would otherwise accumulate hundreds of thousands of
+    dead records per run."""
+
+    def add(self, record: IORecord) -> None:
+        pass
+
+
+class ClientNode:
+    """One compute node: a NIC plus per-OST RPC credit windows."""
+
+    def __init__(self, cluster: "Cluster", index: int, link: Link,
+                 params: ClientParams) -> None:
+        self.cluster = cluster
+        self.index = index
+        self.link = link
+        self.params = params
+        self._rpc_slots: dict[int, Semaphore] = {}
+        self._mds_slots = Semaphore(cluster.env, params.max_rpcs_in_flight)
+
+    def rpc_window(self, ost_index: int) -> Semaphore:
+        slot = self._rpc_slots.get(ost_index)
+        if slot is None:
+            slot = Semaphore(self.cluster.env, self.params.max_rpcs_in_flight)
+            self._rpc_slots[ost_index] = slot
+        return slot
+
+
+class ClientSession:
+    """Per-(job, rank) handle issuing I/O and recording its trace."""
+
+    def __init__(self, node: ClientNode, job: str, rank: int,
+                 collector: TraceCollector) -> None:
+        self.node = node
+        self.job = job
+        self.rank = rank
+        self.collector = collector
+        self._op_id = 0
+
+    # -- internal helpers ----------------------------------------------------
+
+    @property
+    def env(self):
+        return self.node.cluster.env
+
+    def _next_op_id(self) -> int:
+        self._op_id += 1
+        return self._op_id
+
+    def _record(self, op: OpType, path: str, offset: int, size: int,
+                start: float, servers: tuple[ServerId, ...]) -> IORecord:
+        rec = IORecord(
+            job=self.job,
+            rank=self.rank,
+            op_id=self._next_op_id(),
+            op=op,
+            path=path,
+            offset=offset,
+            size=size,
+            start=start,
+            end=self.env.now,
+            servers=servers,
+        )
+        self.collector.add(rec)
+        return rec
+
+    def _data_rpc(self, ost_index: int, object_id: int, obj_offset: int,
+                  nbytes: int, is_write: bool):
+        """One bulk RPC to one OST, gated by the RPC window."""
+        cluster = self.node.cluster
+        ost = cluster.osts[ost_index]
+        window = self.node.rpc_window(ost_index)
+        yield window.acquire()
+        try:
+            yield self.env.timeout(self.node.params.rpc_latency)
+            path = cluster.route(self.node.link, ost.oss_link)
+            if is_write:
+                yield cluster.net.transfer(nbytes, path)
+                yield ost.write(object_id, obj_offset, nbytes, job=self.job)
+            else:
+                yield ost.read(object_id, obj_offset, nbytes, job=self.job)
+                yield cluster.net.transfer(nbytes, path)
+        finally:
+            window.release()
+
+    def _data_op(self, op: OpType, path: str, offset: int, size: int):
+        cluster = self.node.cluster
+        f = cluster.fs.lookup(path)
+        start = self.env.now
+        rpcs = []
+        touched: dict[ServerId, int] = {}
+        max_rpc = self.node.params.max_rpc_bytes
+        for ost_idx, object_id, obj_off, nbytes in f.layout.map_extent(offset, size):
+            sid = ServerId(ServerKind.OST, ost_idx)
+            touched[sid] = touched.get(sid, 0) + nbytes
+            sent = 0
+            while sent < nbytes:
+                piece = min(max_rpc, nbytes - sent)
+                rpcs.append(
+                    self.env.process(
+                        self._data_rpc(
+                            ost_idx, object_id, obj_off + sent, piece,
+                            is_write=(op is OpType.WRITE),
+                        )
+                    )
+                )
+                sent += piece
+        yield AllOf(self.env, rpcs)
+        if op is OpType.WRITE:
+            f.size = max(f.size, offset + size)
+        self._record(op, path, offset, size, start, tuple(sorted(touched)))
+
+    def _meta_op(self, op: OpType, path: str, parent: str):
+        cluster = self.node.cluster
+        start = self.env.now
+        yield self._mds_gate_acquire()
+        try:
+            yield self.env.timeout(self.node.params.rpc_latency)
+            yield cluster.mds.handle(op, parent)
+        finally:
+            self.node._mds_slots.release()
+        self._record(op, path, 0, 0, start, (cluster.mds.server_id,))
+
+    def _mds_gate_acquire(self):
+        return self.node._mds_slots.acquire()
+
+    # -- public generator API ---------------------------------------------------
+
+    def create(self, path: str, stripe_count: int = 1,
+               stripe_size: int | None = None):
+        """Create a file: MDS transaction plus layout assignment."""
+        cluster = self.node.cluster
+        if path not in cluster.fs:
+            cluster.fs.create(path, stripe_count=stripe_count, stripe_size=stripe_size)
+        f = cluster.fs.lookup(path)
+        yield from self._meta_op(OpType.CREATE, path, f.parent)
+
+    def _parent_of(self, path: str) -> str:
+        """Parent directory; falls back to string parsing for paths not in
+        the namespace — a lookup of a missing or directory path is still a
+        real MDS round-trip (ENOENT costs the same trip as success)."""
+        import posixpath
+
+        cluster = self.node.cluster
+        if path in cluster.fs:
+            return cluster.fs.lookup(path).parent
+        return posixpath.dirname(path) or "/"
+
+    def open(self, path: str):
+        yield from self._meta_op(OpType.OPEN, path, self._parent_of(path))
+
+    def close(self, path: str):
+        yield from self._meta_op(OpType.CLOSE, path, self._parent_of(path))
+
+    def stat(self, path: str):
+        yield from self._meta_op(OpType.STAT, path, self._parent_of(path))
+
+    def unlink(self, path: str):
+        cluster = self.node.cluster
+        yield from self._meta_op(OpType.UNLINK, path, self._parent_of(path))
+        if path in cluster.fs:
+            cluster.fs.unlink(path)
+
+    def mkdir(self, path: str):
+        import posixpath
+
+        parent = posixpath.dirname(path) or "/"
+        yield from self._meta_op(OpType.MKDIR, path, parent)
+
+    def write(self, path: str, offset: int, size: int):
+        """Write ``size`` bytes at ``offset``; striped, windowed RPCs."""
+        yield from self._data_op(OpType.WRITE, path, offset, size)
+
+    def read(self, path: str, offset: int, size: int):
+        """Read ``size`` bytes at ``offset``; striped, windowed RPCs."""
+        yield from self._data_op(OpType.READ, path, offset, size)

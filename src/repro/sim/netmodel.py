@@ -1,0 +1,195 @@
+"""Fluid-flow network with global max-min fair sharing.
+
+The paper's testbed interconnect is 1 GB/s Ethernet shared by every
+client and server NIC; network contention is one of the root causes of
+I/O interference it cites (Bhatele et al., Yildiz et al.). We model each
+NIC as a :class:`Link` with fixed capacity and every bulk transfer as a
+:class:`Flow` traversing a path of links. Rates follow the classic
+*max-min progressive filling* allocation, recomputed whenever a flow
+arrives or departs; between recomputations each flow progresses linearly,
+so completions can be scheduled exactly.
+
+This fluid model skips per-packet behaviour but preserves what matters to
+the interference study: bandwidth sharing, bottleneck shifting and
+transfer-time inflation under contention.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from repro.sim.engine import Environment, Event
+
+__all__ = ["Link", "Flow", "FlowNetwork"]
+
+
+@dataclass
+class Link:
+    """A network link (NIC) with a fixed capacity in bytes/second."""
+
+    name: str
+    capacity: float
+
+    #: Flows currently traversing this link, keyed in arrival (fid) order —
+    #: a dict-as-ordered-set so every iteration is deterministic (managed
+    #: by FlowNetwork).
+    flows: dict["Flow", None] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"link {self.name}: capacity must be positive")
+
+    def __hash__(self) -> int:  # identity hashing; links are unique objects
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of capacity currently allocated to flows."""
+        return sum(f.rate for f in self.flows) / self.capacity
+
+
+class Flow:
+    """One in-progress bulk transfer across a path of links."""
+
+    __slots__ = ("fid", "links", "remaining", "rate", "done")
+
+    def __init__(self, fid: int, links: tuple[Link, ...], size: float, done: Event):
+        self.fid = fid
+        self.links = links
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.done = done
+
+
+class FlowNetwork:
+    """Manages all active flows and their max-min fair rates."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        # dict-as-ordered-set: iteration in flow-arrival order keeps float
+        # accumulation deterministic across identical runs.
+        self._flows: dict[Flow, None] = {}
+        self._fid = itertools.count()
+        self._last_update = 0.0
+        self._timer_generation = 0
+        #: Total bytes delivered, for conservation checks in tests.
+        self.bytes_delivered = 0.0
+
+    # -- public API --------------------------------------------------------
+
+    def transfer(self, size: float, links: tuple[Link, ...]) -> Event:
+        """Start a transfer of ``size`` bytes over ``links``.
+
+        Returns an event that fires when the last byte is delivered. A
+        zero-size transfer completes immediately (still via the event
+        loop, so ordering stays deterministic).
+        """
+        done = Event(self.env)
+        if size < 0:
+            raise ValueError(f"negative transfer size: {size}")
+        if size == 0 or not links:
+            done.succeed()
+            return done
+        self._advance()
+        flow = Flow(next(self._fid), tuple(links), size, done)
+        self._flows[flow] = None
+        for link in flow.links:
+            link.flows[flow] = None
+        self._reschedule()
+        return done
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    # -- internals ----------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Progress all flows to ``env.now`` at their current rates."""
+        dt = self.env.now - self._last_update
+        if dt > 0:
+            for flow in self._flows:
+                moved = flow.rate * dt
+                flow.remaining -= moved
+                self.bytes_delivered += moved
+        self._last_update = self.env.now
+
+    def _recompute_rates(self) -> None:
+        """Max-min progressive filling over all links and flows.
+
+        All iteration happens in flow-arrival / link-discovery order so
+        tie-breaking and float accumulation are identical across runs.
+        """
+        # Per-link [residual capacity, unfrozen flow count], discovered in
+        # flow-arrival order for determinism.
+        state: dict[Link, list[float]] = {}
+        for flow in self._flows:
+            flow.rate = 0.0
+            for link in flow.links:
+                entry = state.get(link)
+                if entry is None:
+                    state[link] = [link.capacity, 1.0]
+                else:
+                    entry[1] += 1.0
+        frozen: set[Flow] = set()
+        while True:
+            best_share = math.inf
+            best_link: Link | None = None
+            for link, (residual, live) in state.items():
+                if live <= 0:
+                    continue
+                share = residual / live
+                if share < best_share:
+                    best_share = share
+                    best_link = link
+            if best_link is None:
+                break
+            # Clamp against float noise: a chain of share subtractions can
+            # leave a residual a few ULPs below zero, which would otherwise
+            # produce negative rates and a zero-delay timer spin.
+            best_share = max(0.0, best_share)
+            for flow in best_link.flows:  # fid order via dict insertion
+                if flow in frozen:
+                    continue
+                flow.rate = best_share
+                frozen.add(flow)
+                for link in flow.links:
+                    entry = state[link]
+                    entry[0] = max(0.0, entry[0] - best_share)
+                    entry[1] -= 1.0
+
+    def _reschedule(self) -> None:
+        """Recompute rates and arm a timer for the next flow completion."""
+        self._recompute_rates()
+        self._timer_generation += 1
+        generation = self._timer_generation
+        if not self._flows:
+            return
+        candidates = [f.remaining / f.rate for f in self._flows if f.rate > 0]
+        if not candidates:  # pragma: no cover - defensive; capacity > 0
+            raise RuntimeError("active flows but no positive rates")
+        next_done = min(candidates)
+        timer = self.env.timeout(max(0.0, next_done))
+        timer.callbacks.append(lambda _ev, g=generation: self._on_timer(g))
+
+    def _on_timer(self, generation: int) -> None:
+        if generation != self._timer_generation:
+            return  # stale timer: flows changed since it was armed
+        self._advance()
+        # Sub-millibyte residues are pure float error; transfers are whole
+        # bytes, so anything below this is complete.
+        eps = 1e-3
+        finished = [f for f in self._flows if f.remaining <= eps]
+        for flow in finished:
+            self.bytes_delivered += max(0.0, flow.remaining)
+            flow.remaining = 0.0
+            self._flows.pop(flow, None)
+            for link in flow.links:
+                link.flows.pop(flow, None)
+            flow.done.succeed()
+        self._reschedule()

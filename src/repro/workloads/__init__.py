@@ -1,0 +1,33 @@
+"""Workload generators: IO500 tasks, DLIO models and HPC application models.
+
+Every workload implements :class:`repro.workloads.base.Workload` and is a
+*pure access-pattern generator*: all timing comes from the simulator, all
+randomness from the experiment seed, so re-running the same (workload,
+seed) on any cluster state yields the identical operation sequence — the
+property the labelling pipeline needs.
+"""
+
+from repro.workloads.base import Workload, WorkloadHandle, launch, launch_interference
+from repro.workloads.ior import IorConfig, IorWorkload
+from repro.workloads.mdtest import MDTestConfig, MDTestWorkload
+from repro.workloads.io500 import IO500_TASKS, make_io500_task
+from repro.workloads.dlio import DLIOConfig, DLIOWorkload
+from repro.workloads.apps import AmrexWorkload, EnzoWorkload, OpenPMDWorkload
+
+__all__ = [
+    "Workload",
+    "WorkloadHandle",
+    "launch",
+    "launch_interference",
+    "IorConfig",
+    "IorWorkload",
+    "MDTestConfig",
+    "MDTestWorkload",
+    "IO500_TASKS",
+    "make_io500_task",
+    "DLIOConfig",
+    "DLIOWorkload",
+    "AmrexWorkload",
+    "EnzoWorkload",
+    "OpenPMDWorkload",
+]

@@ -1,0 +1,20 @@
+"""Phase-structured models of the paper's three real HPC applications.
+
+These replicate the *I/O behaviour* (operation mix, sizes, cadence) of
+AMReX, Enzo and OpenPMD as the paper characterises them: AMReX and Enzo
+are data-intensive (checkpoint/plotfile-dominated), OpenPMD is
+metadata-intensive. Physics is replaced by compute delays.
+"""
+
+from repro.workloads.apps.amrex import AmrexConfig, AmrexWorkload
+from repro.workloads.apps.enzo import EnzoConfig, EnzoWorkload
+from repro.workloads.apps.openpmd import OpenPMDConfig, OpenPMDWorkload
+
+__all__ = [
+    "AmrexConfig",
+    "AmrexWorkload",
+    "EnzoConfig",
+    "EnzoWorkload",
+    "OpenPMDConfig",
+    "OpenPMDWorkload",
+]

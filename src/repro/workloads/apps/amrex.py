@@ -1,0 +1,89 @@
+"""AMReX block-structured AMR I/O model.
+
+AMReX applications write *plotfiles*: per step, each rank streams its
+distribution of FABs (fortran array boxes) into a small number of level
+files with large sequential appends, plus a header written by rank 0.
+Compared to Enzo the op mix is more write-heavy with larger transfers,
+making it the paper's second data-intensive application (Figure 5 left).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.units import KIB, MIB
+from repro.sim.client import ClientSession
+from repro.sim.cluster import Cluster
+from repro.workloads.base import Workload
+
+__all__ = ["AmrexConfig", "AmrexWorkload"]
+
+
+@dataclass(frozen=True)
+class AmrexConfig:
+    """Shape of one AMReX run."""
+
+    ranks: int = 4
+    steps: int = 4
+    levels: int = 2
+    #: bytes of FAB data per rank per level per plotfile.
+    fab_bytes: int = 8 * MIB
+    compute_time: float = 0.15
+
+    def __post_init__(self) -> None:
+        if min(self.ranks, self.steps, self.levels) < 1:
+            raise ValueError("ranks, steps and levels must be >= 1")
+
+
+class AmrexWorkload(Workload):
+    """One AMReX run: compute steps interleaved with plotfile dumps."""
+
+    def __init__(self, config: AmrexConfig | None = None,
+                 name: str = "amrex") -> None:
+        self.config = config or AmrexConfig()
+        self.name = name
+
+    @property
+    def ranks(self) -> int:
+        return self.config.ranks
+
+    def prepare(self, cluster: Cluster, rng: np.random.Generator) -> None:
+        # AMReX runs restart from a checkpoint; stage a small one.
+        for rank in range(self.config.ranks):
+            cluster.fs.ensure(f"/{self.name}/chk00000/rank{rank}", 1 * MIB)
+
+    def rank_body(self, session: ClientSession, rank: int,
+                  rng: np.random.Generator, instance: int = 0):
+        cfg = self.config
+        # Restart read.
+        chk = f"/{self.name}/chk00000/rank{rank}"
+        yield from session.open(chk)
+        yield from session.read(chk, 0, 1 * MIB)
+        yield from session.close(chk)
+
+        for step in range(cfg.steps):
+            yield session.env.timeout(cfg.compute_time * float(rng.uniform(0.9, 1.1)))
+            plt = f"/{self.name}/it{instance}/plt{step:05d}"
+            if rank == 0:
+                yield from session.mkdir(plt)
+                header = f"{plt}/Header"
+                yield from session.create(header, stripe_count=1)
+                yield from session.write(header, 0, 16 * KIB)
+                yield from session.close(header)
+            else:
+                yield session.env.timeout(1e-3)
+            for level in range(cfg.levels):
+                # Ranks append into a shared per-level cell file at
+                # rank-strided offsets (AMReX's NFiles-coalesced output).
+                path = f"{plt}/Level_{level}/Cell_D_{rank % 2:05d}"
+                yield from session.create(path, stripe_count=2)
+                base = (rank // 2) * cfg.fab_bytes
+                offset = 0
+                while offset < cfg.fab_bytes:
+                    piece = min(1 * MIB, cfg.fab_bytes - offset)
+                    yield from session.write(path, base + offset, piece)
+                    offset += piece
+                yield from session.close(path)
+            yield from session.stat(f"{plt}/Header" if rank != 0 else plt)

@@ -1,0 +1,117 @@
+"""Enzo collapse-test I/O model.
+
+Enzo (adaptive mesh refinement astrophysics) running the paper's
+non-cosmological collapse test alternates short compute cycles with
+checkpoint dumps of the AMR hierarchy: every dump opens/creates a
+hierarchy of per-grid files, writes grid blocks of varying size, reads
+back small boundary/restart data, and stats files while building the
+hierarchy metadata — the paper observes "read, write, open, close and
+stats within the first 50 seconds" (Figure 1). Grid sizes vary with
+refinement level, which is what makes per-operation interference impact
+non-uniform within a single application run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.units import KIB, MIB
+from repro.sim.client import ClientSession
+from repro.sim.cluster import Cluster
+from repro.workloads.base import Workload
+
+__all__ = ["EnzoConfig", "EnzoWorkload"]
+
+
+@dataclass(frozen=True)
+class EnzoConfig:
+    """Shape of one Enzo collapse-test run."""
+
+    ranks: int = 4
+    cycles: int = 6
+    #: AMR grids written per rank per dump; sizes vary by level.
+    grids_per_rank: int = 4
+    base_grid_bytes: int = 4 * MIB
+    #: compute time between dump cycles, seconds.
+    compute_time: float = 0.2
+
+    def __post_init__(self) -> None:
+        if min(self.ranks, self.cycles, self.grids_per_rank) < 1:
+            raise ValueError("ranks, cycles and grids_per_rank must be >= 1")
+
+
+class EnzoWorkload(Workload):
+    """One Enzo run: compute cycles interleaved with hierarchy dumps."""
+
+    def __init__(self, config: EnzoConfig | None = None,
+                 name: str = "enzo") -> None:
+        self.config = config or EnzoConfig()
+        self.name = name
+
+    @property
+    def ranks(self) -> int:
+        return self.config.ranks
+
+    def _restart_path(self, rank: int) -> str:
+        return f"/{self.name}/input/restart{rank}.cpu"
+
+    def prepare(self, cluster: Cluster, rng: np.random.Generator) -> None:
+        # Initial conditions read at startup.
+        for rank in range(self.config.ranks):
+            cluster.fs.ensure(self._restart_path(rank), 2 * MIB)
+        # Pre-register the boundary-exchange read targets of the measured
+        # instance so the op sequence never depends on neighbour timing
+        # (determinism requirement for baseline/interference matching).
+        for cycle in range(self.config.cycles):
+            for rank in range(self.config.ranks):
+                cluster.fs.ensure(
+                    f"/{self.name}/it0/DD{cycle:04d}/grid.r{rank}.g0", 64 * KIB
+                )
+
+    def _grid_bytes(self, level: int) -> int:
+        # Refined grids are smaller: level l grid is base / 2^l, >= 64 KiB.
+        return max(64 * KIB, self.config.base_grid_bytes >> level)
+
+    def rank_body(self, session: ClientSession, rank: int,
+                  rng: np.random.Generator, instance: int = 0):
+        cfg = self.config
+        # Startup: read initial conditions / restart data.
+        restart = self._restart_path(rank)
+        yield from session.open(restart)
+        yield from session.read(restart, 0, 2 * MIB)
+        yield from session.close(restart)
+
+        for cycle in range(cfg.cycles):
+            yield session.env.timeout(cfg.compute_time * float(rng.uniform(0.8, 1.2)))
+            dump_dir = f"/{self.name}/it{instance}/DD{cycle:04d}"
+            # Hierarchy metadata file (rank 0 writes it, everyone stats it).
+            hierarchy = f"{dump_dir}/hierarchy"
+            if rank == 0:
+                yield from session.create(hierarchy, stripe_count=1)
+                yield from session.write(hierarchy, 0, 128 * KIB)
+            else:
+                yield session.env.timeout(1e-3)
+                yield from session.stat(hierarchy)
+            # Per-grid dumps at mixed refinement levels.
+            for g in range(cfg.grids_per_rank):
+                level = int(rng.integers(0, 3))
+                path = f"{dump_dir}/grid.r{rank}.g{g}"
+                size = self._grid_bytes(level)
+                yield from session.create(path, stripe_count=1)
+                # One HDF5-style write per grid; the client splits it into
+                # RPCs internally. Op sizes therefore vary with refinement
+                # level, which drives the non-uniform impact in Figure 1.
+                yield from session.write(path, 0, size)
+                yield from session.close(path)
+            # Boundary exchange: read back a neighbour's coarse data. Only
+            # the measured instance (0) has these targets pre-registered;
+            # looping interference instances skip the exchange.
+            if instance == 0:
+                neighbour = (rank + 1) % cfg.ranks
+                peer = f"{dump_dir}/grid.r{neighbour}.g0"
+                yield from session.open(peer)
+                yield from session.read(peer, 0, 64 * KIB)
+                yield from session.close(peer)
+            yield from session.stat(hierarchy)

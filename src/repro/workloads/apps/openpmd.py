@@ -1,0 +1,78 @@
+"""OpenPMD series-writing I/O model.
+
+OpenPMD structures scientific output as a *series* of iterations, each
+holding many small records (meshes, particle patches) with rich
+attributes. The practical I/O signature is metadata-heavy: many file
+creates, stats and opens with small data payloads per record — the
+paper's representative metadata-intensive application (Figure 5 right,
+where the model performs worst due to few collected samples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.units import KIB
+from repro.sim.client import ClientSession
+from repro.sim.cluster import Cluster
+from repro.workloads.base import Workload
+
+__all__ = ["OpenPMDConfig", "OpenPMDWorkload"]
+
+
+@dataclass(frozen=True)
+class OpenPMDConfig:
+    """Shape of one OpenPMD series-writing run."""
+
+    ranks: int = 4
+    iterations: int = 8
+    records_per_iteration: int = 12
+    record_bytes: int = 64 * KIB
+    compute_time: float = 0.05
+
+    def __post_init__(self) -> None:
+        if min(self.ranks, self.iterations, self.records_per_iteration) < 1:
+            raise ValueError("ranks, iterations and records must be >= 1")
+
+
+class OpenPMDWorkload(Workload):
+    """One OpenPMD series write: iteration dirs of many small records."""
+
+    def __init__(self, config: OpenPMDConfig | None = None,
+                 name: str = "openpmd") -> None:
+        self.config = config or OpenPMDConfig()
+        self.name = name
+
+    @property
+    def ranks(self) -> int:
+        return self.config.ranks
+
+    def prepare(self, cluster: Cluster, rng: np.random.Generator) -> None:
+        return  # pure output workload
+
+    def rank_body(self, session: ClientSession, rank: int,
+                  rng: np.random.Generator, instance: int = 0):
+        cfg = self.config
+        series_dir = f"/{self.name}/it{instance}/series"
+        if rank == 0:
+            yield from session.mkdir(series_dir)
+        for it in range(cfg.iterations):
+            yield session.env.timeout(cfg.compute_time * float(rng.uniform(0.8, 1.2)))
+            it_dir = f"{series_dir}/i{it:06d}"
+            if rank == 0:
+                yield from session.mkdir(it_dir)
+            else:
+                yield session.env.timeout(5e-4)
+                yield from session.stat(series_dir)
+            for r in range(cfg.records_per_iteration):
+                path = f"{it_dir}/record.{rank}.{r}"
+                yield from session.create(path, stripe_count=1)
+                yield from session.write(path, 0, cfg.record_bytes)
+                # Attribute updates: stat + tiny appended payload.
+                yield from session.stat(path)
+                yield from session.write(path, cfg.record_bytes, 4 * KIB)
+                yield from session.close(path)
+            # Series index refresh.
+            yield from session.stat(it_dir)

@@ -1,0 +1,151 @@
+"""DLIO-like deep-learning I/O emulation (Unet3d and BERT profiles).
+
+DLIO replays the I/O behaviour of DL training: epochs of sample reads
+interleaved with compute, plus periodic checkpoint writes. The paper uses
+two configurations:
+
+* **unet3d** — file-per-sample dataset, one large sample read per step in
+  shuffled order, sizeable compute between steps, checkpoints every epoch;
+* **bert** — a few large packed record files read sequentially in small
+  chunks, short compute between batches, rare large checkpoints.
+
+Compute phases make most windows interference-free, matching the paper's
+DLIO class balance (3.7k positive vs 14.7k negative samples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.units import KIB, MIB
+from repro.sim.client import ClientSession
+from repro.sim.cluster import Cluster
+from repro.workloads.base import Workload
+
+__all__ = ["DLIOConfig", "DLIOWorkload"]
+
+
+@dataclass(frozen=True)
+class DLIOConfig:
+    """Shape of one DLIO run."""
+
+    model: str  # "unet3d" | "bert"
+    ranks: int = 4
+    epochs: int = 2
+    steps_per_epoch: int = 16
+    #: unet3d: size of each sample file; bert: size of each packed record file.
+    sample_bytes: int = 4 * MIB
+    #: bert reads this much per step from the packed file.
+    batch_read_bytes: int = 512 * KIB
+    #: mean compute time between steps (seconds).
+    compute_time: float = 0.05
+    checkpoint_bytes: int = 8 * MIB
+
+    def __post_init__(self) -> None:
+        if self.model not in ("unet3d", "bert"):
+            raise ValueError(f"model must be 'unet3d' or 'bert', got {self.model!r}")
+        if min(self.ranks, self.epochs, self.steps_per_epoch) < 1:
+            raise ValueError("ranks, epochs and steps_per_epoch must be >= 1")
+
+    @property
+    def task_name(self) -> str:
+        return f"dlio-{self.model}"
+
+
+class DLIOWorkload(Workload):
+    """One DLIO training-emulation instance."""
+
+    def __init__(self, config: DLIOConfig, name: str | None = None) -> None:
+        self.config = config
+        self.name = name or config.task_name
+
+    @property
+    def ranks(self) -> int:
+        return self.config.ranks
+
+    @property
+    def _n_samples(self) -> int:
+        # Enough distinct samples that shuffled epochs revisit data rarely.
+        return self.config.ranks * self.config.steps_per_epoch
+
+    def _sample_path(self, i: int) -> str:
+        return f"/{self.name}/data/sample{i}.npz"
+
+    def _packed_path(self, i: int) -> str:
+        return f"/{self.name}/data/part{i}.tfrecord"
+
+    @property
+    def _n_packed(self) -> int:
+        return max(1, min(4, self.config.ranks))
+
+    def prepare(self, cluster: Cluster, rng: np.random.Generator) -> None:
+        cfg = self.config
+        if cfg.model == "unet3d":
+            for i in range(self._n_samples):
+                cluster.fs.ensure(self._sample_path(i), cfg.sample_bytes)
+        else:
+            steps = cfg.steps_per_epoch * cfg.ranks
+            packed_size = max(
+                cfg.sample_bytes, steps * cfg.batch_read_bytes // self._n_packed
+            )
+            for i in range(self._n_packed):
+                cluster.fs.ensure(self._packed_path(i), packed_size, stripe_count=-1)
+
+    def rank_body(self, session: ClientSession, rank: int,
+                  rng: np.random.Generator, instance: int = 0):
+        if self.config.model == "unet3d":
+            yield from self._unet3d_body(session, rank, rng, instance)
+        else:
+            yield from self._bert_body(session, rank, rng, instance)
+
+    def _compute(self, session: ClientSession, rng: np.random.Generator):
+        # Log-normal-ish jitter around the configured mean compute time.
+        t = self.config.compute_time * float(rng.uniform(0.7, 1.3))
+        yield session.env.timeout(t)
+
+    def _checkpoint(self, session: ClientSession, rank: int, instance: int,
+                    epoch: int):
+        cfg = self.config
+        path = f"/{self.name}/it{instance}/ckpt{epoch}/rank{rank}.pt"
+        yield from session.create(path, stripe_count=1)
+        offset = 0
+        while offset < cfg.checkpoint_bytes:
+            size = min(1 * MIB, cfg.checkpoint_bytes - offset)
+            yield from session.write(path, offset, size)
+            offset += size
+        yield from session.close(path)
+
+    def _unet3d_body(self, session: ClientSession, rank: int,
+                     rng: np.random.Generator, instance: int):
+        cfg = self.config
+        for epoch in range(cfg.epochs):
+            order = rng.permutation(self._n_samples)
+            for step in range(cfg.steps_per_epoch):
+                sample = int(order[(rank * cfg.steps_per_epoch + step) % self._n_samples])
+                path = self._sample_path(sample)
+                yield from session.open(path)
+                yield from session.read(path, 0, cfg.sample_bytes)
+                yield from session.close(path)
+                yield from self._compute(session, rng)
+            if rank == 0:
+                yield from self._checkpoint(session, rank, instance, epoch)
+
+    def _bert_body(self, session: ClientSession, rank: int,
+                   rng: np.random.Generator, instance: int):
+        cfg = self.config
+        part = self._packed_path(rank % self._n_packed)
+        part_size = session.node.cluster.fs.lookup(part).size
+        yield from session.open(part)
+        for epoch in range(cfg.epochs):
+            offset = (rank * 7919 * KIB) % max(1, part_size - cfg.batch_read_bytes)
+            for step in range(cfg.steps_per_epoch):
+                yield from session.read(part, offset, cfg.batch_read_bytes)
+                offset = (offset + cfg.batch_read_bytes) % max(
+                    1, part_size - cfg.batch_read_bytes
+                )
+                yield from self._compute(session, rng)
+            if rank == 0 and epoch == cfg.epochs - 1:
+                yield from self._checkpoint(session, rank, instance, epoch)
+        yield from session.close(part)

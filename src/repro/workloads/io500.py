@@ -1,0 +1,61 @@
+"""The seven IO500 tasks used throughout the paper.
+
+Table I selects seven representative IO500 benchmark tasks; this module
+provides a factory building each by name at a configurable scale, plus the
+canonical task list in the paper's row order.
+"""
+
+from __future__ import annotations
+
+from repro.common.units import MIB
+from repro.workloads.base import Workload
+from repro.workloads.ior import IorConfig, IorWorkload
+from repro.workloads.mdtest import MDTestConfig, MDTestWorkload
+
+__all__ = ["IO500_TASKS", "make_io500_task"]
+
+#: The paper's Table I row/column order.
+IO500_TASKS: tuple[str, ...] = (
+    "ior-easy-read",
+    "ior-hard-read",
+    "mdt-hard-read",
+    "ior-easy-write",
+    "ior-hard-write",
+    "mdt-easy-write",
+    "mdt-hard-write",
+)
+
+
+def make_io500_task(
+    task: str,
+    name: str | None = None,
+    ranks: int = 4,
+    scale: float = 1.0,
+) -> Workload:
+    """Build one of the seven IO500 tasks.
+
+    ``scale`` multiplies the per-rank volume / file count so experiments
+    can trade fidelity for speed; ``name`` overrides the job name so
+    several instances of the same task can coexist in one run.
+    """
+    if task not in IO500_TASKS:
+        raise ValueError(f"unknown IO500 task {task!r}; choose from {IO500_TASKS}")
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    kind, mode, access = task.split("-")
+    if kind == "ior":
+        cfg = IorConfig(
+            mode=mode,
+            access=access,
+            ranks=ranks,
+            bytes_per_rank=max(1, int(32 * MIB * scale)),
+            transfer_size=1 * MIB,
+        )
+        return IorWorkload(cfg, name=name)
+    cfg = MDTestConfig(
+        mode=mode,
+        access=access,
+        ranks=ranks,
+        files_per_rank=max(1, int(64 * scale)),
+    )
+    return MDTestWorkload(cfg, name=name)

@@ -1,0 +1,156 @@
+"""IOR-like data workloads: the IO500 ``ior-easy`` and ``ior-hard`` tasks.
+
+* **easy** — file-per-process, large aligned sequential transfers, one
+  stripe per file (IO500's bandwidth-friendly configuration).
+* **hard** — one shared file striped over all OSTs; every rank issues
+  small *unaligned* 47008-byte transfers interleaved rank-strided across
+  the file, IO500's worst-case pattern.
+
+Both exist in read and write variants; read variants stage their input
+files in :meth:`prepare` (the measured IO500 read phases read data written
+by a previous phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.units import MIB
+from repro.sim.client import ClientSession
+from repro.sim.cluster import Cluster
+from repro.workloads.base import Workload
+
+__all__ = ["IorConfig", "IorWorkload", "IOR_HARD_XFER"]
+
+#: IOR's infamous unaligned transfer size used by the io500 hard tests.
+IOR_HARD_XFER = 47008
+
+
+@dataclass(frozen=True)
+class IorConfig:
+    """Shape of one IOR run."""
+
+    mode: str  # "easy" | "hard"
+    access: str  # "read" | "write"
+    ranks: int = 4
+    #: easy: bytes written/read per rank. hard: per-rank share of the file.
+    bytes_per_rank: int = 32 * MIB
+    #: transfer size for easy mode (hard mode is fixed at 47008 B).
+    transfer_size: int = 1 * MIB
+    #: read variants stage ``read_rounds`` times the per-iteration volume
+    #: and read a different slice per instance iteration. This keeps
+    #: looping read *interference* cache-cold (a real IO500 read phase
+    #: scans far more data than a server caches), instead of degenerating
+    #: into memory-speed re-reads of one warm file.
+    read_rounds: int = 8
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("easy", "hard"):
+            raise ValueError(f"mode must be 'easy' or 'hard', got {self.mode!r}")
+        if self.access not in ("read", "write"):
+            raise ValueError(f"access must be 'read' or 'write', got {self.access!r}")
+        if self.ranks < 1 or self.bytes_per_rank < 1 or self.transfer_size < 1:
+            raise ValueError("ranks, bytes_per_rank and transfer_size must be >= 1")
+        if self.read_rounds < 1:
+            raise ValueError("read_rounds must be >= 1")
+
+    @property
+    def task_name(self) -> str:
+        return f"ior-{self.mode}-{self.access}"
+
+
+class IorWorkload(Workload):
+    """A single IOR instance."""
+
+    def __init__(self, config: IorConfig, name: str | None = None) -> None:
+        self.config = config
+        self.name = name or config.task_name
+
+    @property
+    def ranks(self) -> int:
+        return self.config.ranks
+
+    # -- namespace helpers ------------------------------------------------------
+
+    def _easy_path(self, rank: int, instance: int) -> str:
+        return f"/{self.name}/it{instance}/rank{rank}.dat"
+
+    def _easy_input_path(self, rank: int) -> str:
+        return f"/{self.name}/input/rank{rank}.dat"
+
+    def _hard_path(self, instance: int) -> str:
+        return f"/{self.name}/it{instance}/shared.dat"
+
+    def _hard_input_path(self) -> str:
+        return f"/{self.name}/input/shared.dat"
+
+    @property
+    def _hard_ops_per_rank(self) -> int:
+        return max(1, self.config.bytes_per_rank // IOR_HARD_XFER)
+
+    # -- staging -------------------------------------------------------------------
+
+    def prepare(self, cluster: Cluster, rng: np.random.Generator) -> None:
+        cfg = self.config
+        if cfg.access != "read":
+            return
+        if cfg.mode == "easy":
+            for rank in range(cfg.ranks):
+                cluster.fs.ensure(self._easy_input_path(rank),
+                                  cfg.bytes_per_rank * cfg.read_rounds)
+        else:
+            total = self._hard_ops_per_rank * cfg.ranks * IOR_HARD_XFER
+            cluster.fs.ensure(self._hard_input_path(), total * cfg.read_rounds,
+                              stripe_count=-1)
+
+    # -- bodies ---------------------------------------------------------------------
+
+    def rank_body(self, session: ClientSession, rank: int,
+                  rng: np.random.Generator, instance: int = 0):
+        if self.config.mode == "easy":
+            yield from self._easy_body(session, rank, instance)
+        else:
+            yield from self._hard_body(session, rank, instance)
+
+    def _easy_body(self, session: ClientSession, rank: int, instance: int):
+        cfg = self.config
+        if cfg.access == "write":
+            path = self._easy_path(rank, instance)
+            yield from session.create(path, stripe_count=1)
+            offset = 0
+            while offset < cfg.bytes_per_rank:
+                size = min(cfg.transfer_size, cfg.bytes_per_rank - offset)
+                yield from session.write(path, offset, size)
+                offset += size
+            yield from session.close(path)
+        else:
+            path = self._easy_input_path(rank)
+            base = (instance % cfg.read_rounds) * cfg.bytes_per_rank
+            yield from session.open(path)
+            offset = 0
+            while offset < cfg.bytes_per_rank:
+                size = min(cfg.transfer_size, cfg.bytes_per_rank - offset)
+                yield from session.read(path, base + offset, size)
+                offset += size
+            yield from session.close(path)
+
+    def _hard_body(self, session: ClientSession, rank: int, instance: int):
+        cfg = self.config
+        nops = self._hard_ops_per_rank
+        if cfg.access == "write":
+            path = self._hard_path(instance)
+            yield from session.create(path, stripe_count=-1)
+            for i in range(nops):
+                offset = (i * cfg.ranks + rank) * IOR_HARD_XFER
+                yield from session.write(path, offset, IOR_HARD_XFER)
+            yield from session.close(path)
+        else:
+            path = self._hard_input_path()
+            base = (instance % cfg.read_rounds) * nops * cfg.ranks * IOR_HARD_XFER
+            yield from session.open(path)
+            for i in range(nops):
+                offset = base + (i * cfg.ranks + rank) * IOR_HARD_XFER
+                yield from session.read(path, offset, IOR_HARD_XFER)
+            yield from session.close(path)

@@ -1,0 +1,112 @@
+"""MDTest-like metadata workloads: the IO500 ``mdtest`` tasks.
+
+* **easy** — each rank operates on 0-byte files inside its own private
+  directory: pure MDS load that parallelises across service threads.
+* **hard** — every rank operates on files in ONE shared directory, and
+  each file carries a 3901-byte data payload written to / read from the
+  OSTs. The shared-directory lock serialises creates, and the small data
+  writes couple this task to OST cache/disk state — which is why the
+  paper's Table I shows ``mdt-hard-write`` crushed (26x/41x) by bulk
+  data-write interference while ``mdt-easy-write`` is untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.client import ClientSession
+from repro.sim.cluster import Cluster
+from repro.workloads.base import Workload
+
+__all__ = ["MDTestConfig", "MDTestWorkload", "MDTEST_HARD_BYTES"]
+
+#: mdtest-hard's file payload size (3901 B in the official IO500 config).
+MDTEST_HARD_BYTES = 3901
+
+
+@dataclass(frozen=True)
+class MDTestConfig:
+    """Shape of one MDTest run."""
+
+    mode: str  # "easy" | "hard"
+    access: str  # "read" | "write"
+    ranks: int = 4
+    files_per_rank: int = 64
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("easy", "hard"):
+            raise ValueError(f"mode must be 'easy' or 'hard', got {self.mode!r}")
+        if self.access not in ("read", "write"):
+            raise ValueError(f"access must be 'read' or 'write', got {self.access!r}")
+        if self.ranks < 1 or self.files_per_rank < 1:
+            raise ValueError("ranks and files_per_rank must be >= 1")
+
+    @property
+    def task_name(self) -> str:
+        return f"mdt-{self.mode}-{self.access}"
+
+
+class MDTestWorkload(Workload):
+    """A single MDTest instance."""
+
+    def __init__(self, config: MDTestConfig, name: str | None = None) -> None:
+        self.config = config
+        self.name = name or config.task_name
+
+    @property
+    def ranks(self) -> int:
+        return self.config.ranks
+
+    def _dir(self, rank: int, instance: int) -> str:
+        if self.config.mode == "easy":
+            return f"/{self.name}/it{instance}/rank{rank}"
+        return f"/{self.name}/it{instance}/shared"
+
+    def _input_dir(self, rank: int) -> str:
+        if self.config.mode == "easy":
+            return f"/{self.name}/input/rank{rank}"
+        return f"/{self.name}/input/shared"
+
+    def _file(self, base: str, rank: int, i: int) -> str:
+        return f"{base}/f.{rank}.{i}"
+
+    def prepare(self, cluster: Cluster, rng: np.random.Generator) -> None:
+        cfg = self.config
+        if cfg.access != "read":
+            return
+        size = MDTEST_HARD_BYTES if cfg.mode == "hard" else 0
+        for rank in range(cfg.ranks):
+            base = self._input_dir(rank)
+            for i in range(cfg.files_per_rank):
+                f = cluster.fs.ensure(self._file(base, rank, i), max(size, 1))
+                f.size = size
+                if size > 0:
+                    # In IO500 the hard-read phase directly follows the
+                    # hard-write phase: these tiny files are still
+                    # server-cache resident (the paper's Table I shows
+                    # mdt-hard-read ~untouched by OST data noise).
+                    for ost_idx, obj, obj_off, nbytes in f.layout.map_extent(0, size):
+                        cluster.osts[ost_idx].cache.prefill(obj, obj_off, nbytes)
+
+    def rank_body(self, session: ClientSession, rank: int,
+                  rng: np.random.Generator, instance: int = 0):
+        cfg = self.config
+        if cfg.access == "write":
+            base = self._dir(rank, instance)
+            for i in range(cfg.files_per_rank):
+                path = self._file(base, rank, i)
+                yield from session.create(path, stripe_count=1)
+                if cfg.mode == "hard":
+                    yield from session.write(path, 0, MDTEST_HARD_BYTES)
+                yield from session.close(path)
+        else:
+            base = self._input_dir(rank)
+            for i in range(cfg.files_per_rank):
+                path = self._file(base, rank, i)
+                yield from session.open(path)
+                if cfg.mode == "hard":
+                    yield from session.read(path, 0, MDTEST_HARD_BYTES)
+                yield from session.stat(path)
+                yield from session.close(path)

@@ -1,0 +1,101 @@
+"""Trace replay: re-issue a recorded DXT trace as a workload.
+
+The paper's pipeline records application traces (Darshan DXT) and labels
+them offline. Replay closes the loop: a recorded trace — ours or an
+externally supplied DXT log (see :mod:`repro.monitor.darshan`) — becomes
+a :class:`~repro.workloads.base.Workload` that re-issues the same
+operations with the original inter-operation think times, so real
+applications can be studied under *new* interference conditions without
+re-running the application itself.
+
+Timing semantics: each op waits until its recorded start offset (relative
+to the rank's first op) or until the previous op finished, whichever is
+later — replays preserve compute gaps but never issue overlapping ops in
+one rank. Data ops on files absent from the namespace are staged in
+:meth:`prepare`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.common.records import IORecord, OpType
+from repro.sim.client import ClientSession
+from repro.sim.cluster import Cluster
+from repro.workloads.base import Workload
+
+__all__ = ["TraceReplayWorkload"]
+
+
+class TraceReplayWorkload(Workload):
+    """Replays a list of :class:`IORecord` as a deterministic workload."""
+
+    def __init__(self, records: list[IORecord], name: str = "replay",
+                 preserve_think_time: bool = True) -> None:
+        if not records:
+            raise ValueError("cannot replay an empty trace")
+        jobs = {r.job for r in records}
+        if len(jobs) != 1:
+            raise ValueError(
+                f"trace mixes jobs {sorted(jobs)}; filter to one application"
+            )
+        self.name = name
+        self.preserve_think_time = preserve_think_time
+        self._by_rank: dict[int, list[IORecord]] = defaultdict(list)
+        for rec in records:
+            self._by_rank[rec.rank].append(rec)
+        for rank_records in self._by_rank.values():
+            rank_records.sort(key=lambda r: r.op_id)
+        self._ranks = sorted(self._by_rank)
+
+    @property
+    def ranks(self) -> int:
+        return len(self._ranks)
+
+    def prepare(self, cluster: Cluster, rng: np.random.Generator) -> None:
+        """Stage every file the trace reads or writes."""
+        sizes: dict[str, int] = {}
+        for records in self._by_rank.values():
+            for rec in records:
+                if rec.op.is_data:
+                    end = rec.offset + rec.size
+                    sizes[rec.path] = max(sizes.get(rec.path, 0), end)
+        for path, size in sorted(sizes.items()):
+            if path not in cluster.fs:
+                cluster.fs.ensure(path, max(1, size))
+
+    def rank_body(self, session: ClientSession, rank: int,
+                  rng: np.random.Generator, instance: int = 0):
+        records = self._by_rank[self._ranks[rank % len(self._ranks)]]
+        t0 = records[0].start
+        env = session.env
+        replay_start = env.now
+        for rec in records:
+            if self.preserve_think_time:
+                target = replay_start + (rec.start - t0)
+                if target > env.now:
+                    yield env.timeout(target - env.now)
+            yield from self._issue(session, rec)
+
+    @staticmethod
+    def _issue(session: ClientSession, rec: IORecord):
+        if rec.op is OpType.READ:
+            yield from session.read(rec.path, rec.offset, max(1, rec.size))
+        elif rec.op is OpType.WRITE:
+            yield from session.write(rec.path, rec.offset, max(1, rec.size))
+        elif rec.op is OpType.CREATE:
+            yield from session.create(rec.path)
+        elif rec.op is OpType.OPEN:
+            yield from session.open(rec.path)
+        elif rec.op is OpType.CLOSE:
+            yield from session.close(rec.path)
+        elif rec.op is OpType.STAT:
+            yield from session.stat(rec.path)
+        elif rec.op is OpType.UNLINK:
+            yield from session.unlink(rec.path)
+        elif rec.op is OpType.MKDIR:
+            yield from session.mkdir(rec.path)
+        else:  # pragma: no cover - OpType is closed
+            raise ValueError(f"cannot replay op {rec.op}")

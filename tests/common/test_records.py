@@ -1,0 +1,63 @@
+"""Tests for IORecord and op-type semantics."""
+
+import pytest
+
+from repro.common.records import IORecord, OpType, ServerId, ServerKind
+
+
+def make_record(**kwargs):
+    defaults = dict(
+        job="job",
+        rank=0,
+        op_id=1,
+        op=OpType.READ,
+        path="/f",
+        offset=0,
+        size=1024,
+        start=1.0,
+        end=2.0,
+        servers=(ServerId(ServerKind.OST, 0),),
+    )
+    defaults.update(kwargs)
+    return IORecord(**defaults)
+
+
+def test_op_families():
+    assert OpType.READ.family == "read"
+    assert OpType.WRITE.family == "write"
+    for op in (OpType.OPEN, OpType.CLOSE, OpType.STAT, OpType.CREATE,
+               OpType.UNLINK, OpType.MKDIR):
+        assert op.family == "meta"
+        assert op.is_metadata
+        assert not op.is_data
+    assert OpType.READ.is_data and OpType.WRITE.is_data
+
+
+def test_record_duration_and_key():
+    rec = make_record()
+    assert rec.duration == pytest.approx(1.0)
+    assert rec.key == ("job", 0, 1)
+
+
+def test_record_rejects_negative_duration():
+    with pytest.raises(ValueError):
+        make_record(start=2.0, end=1.0)
+
+
+def test_record_rejects_negative_extent():
+    with pytest.raises(ValueError):
+        make_record(size=-1)
+
+
+def test_server_id_ordering_is_stable():
+    ids = [ServerId(ServerKind.MDT, 0), ServerId(ServerKind.OST, 1),
+           ServerId(ServerKind.OST, 0)]
+    ordered = sorted(ids)
+    assert ordered == [ServerId(ServerKind.MDT, 0), ServerId(ServerKind.OST, 0),
+                       ServerId(ServerKind.OST, 1)]
+
+
+def test_server_id_is_hashable_and_str():
+    s = ServerId(ServerKind.OST, 3)
+    assert str(s) == "ost3"
+    assert {s: 1}[ServerId(ServerKind.OST, 3)] == 1

@@ -1,0 +1,156 @@
+"""Tests (incl. gradient checks) for the set-attention model."""
+
+import numpy as np
+import pytest
+
+from repro.core.nn.attention import (
+    LayerNorm,
+    MultiHeadSelfAttention,
+    SetTransformerClassifier,
+    TransformerBlock,
+)
+from repro.core.nn.losses import softmax_cross_entropy
+from repro.core.nn.train import TrainConfig, train_classifier
+from tests.core.test_models import synthetic_per_server_data
+from tests.core.test_nn_layers import numerical_grad
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self):
+        ln = LayerNorm(8)
+        x = np.random.default_rng(0).normal(3.0, 5.0, size=(4, 3, 8))
+        y = ln.forward(x)
+        assert np.allclose(y.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(y.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(1)
+        ln = LayerNorm(5)
+        ln.gain.value[:] = rng.normal(1.0, 0.1, 5)
+        ln.bias.value[:] = rng.normal(0.0, 0.1, 5)
+        x = rng.normal(size=(3, 4, 5))
+        target = rng.normal(size=(3, 4, 5))
+
+        def loss():
+            return 0.5 * np.sum((ln.forward(x) - target) ** 2)
+
+        out = ln.forward(x)
+        for p in ln.params():
+            p.grad[...] = 0
+        dx = ln.backward(out - target)
+        assert np.allclose(dx, numerical_grad(loss, x), atol=1e-5)
+        assert np.allclose(ln.gain.grad, numerical_grad(loss, ln.gain.value),
+                           atol=1e-5)
+        assert np.allclose(ln.bias.grad, numerical_grad(loss, ln.bias.value),
+                           atol=1e-5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LayerNorm(0)
+
+
+class TestAttention:
+    def test_shape_and_heads(self):
+        attn = MultiHeadSelfAttention(16, 4, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(2, 7, 16))
+        assert attn.forward(x).shape == (2, 7, 16)
+
+    def test_dim_head_divisibility(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(10, 3)
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(2)
+        attn = MultiHeadSelfAttention(6, 2, rng=rng)
+        x = rng.normal(size=(2, 4, 6))
+        target = rng.normal(size=(2, 4, 6))
+
+        def loss():
+            return 0.5 * np.sum((attn.forward(x) - target) ** 2)
+
+        out = attn.forward(x)
+        for p in attn.params():
+            p.grad[...] = 0
+        dx = attn.backward(out - target)
+        assert np.allclose(dx, numerical_grad(loss, x), atol=1e-4)
+        for p in attn.params():
+            assert np.allclose(p.grad, numerical_grad(loss, p.value), atol=1e-4)
+
+    def test_permutation_equivariance(self):
+        attn = MultiHeadSelfAttention(8, 2, rng=np.random.default_rng(3))
+        x = np.random.default_rng(4).normal(size=(1, 5, 8))
+        perm = np.array([3, 0, 4, 1, 2])
+        out = attn.forward(x)
+        out_perm = attn.forward(x[:, perm])
+        assert np.allclose(out[:, perm], out_perm, atol=1e-10)
+
+
+class TestTransformerBlock:
+    def test_gradient_check(self):
+        rng = np.random.default_rng(5)
+        block = TransformerBlock(6, 2, seed=5)
+        x = rng.normal(size=(2, 3, 6))
+        target = rng.normal(size=(2, 3, 6))
+
+        def loss():
+            return 0.5 * np.sum((block.forward(x) - target) ** 2)
+
+        out = block.forward(x)
+        for p in block.params():
+            p.grad[...] = 0
+        dx = block.backward(out - target)
+        assert np.allclose(dx, numerical_grad(loss, x), atol=1e-4)
+        for p in block.params():
+            assert np.allclose(p.grad, numerical_grad(loss, p.value),
+                               atol=1e-4), "block param grad mismatch"
+
+
+class TestSetTransformerClassifier:
+    def test_shapes_validated(self):
+        model = SetTransformerClassifier(4, 6, 2, dim=8, n_heads=2, n_blocks=1)
+        with pytest.raises(ValueError):
+            model.forward(np.zeros((5, 4)))
+        with pytest.raises(ValueError):
+            SetTransformerClassifier(4, 6, 1)
+
+    def test_gradient_check_end_to_end(self):
+        model = SetTransformerClassifier(3, 4, 2, dim=4, n_heads=2,
+                                         n_blocks=1, seed=7)
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(4, 3, 4))
+        y = np.array([0, 1, 1, 0])
+
+        def loss():
+            return softmax_cross_entropy(model.forward(X), y)[0]
+
+        logits = model.forward(X)
+        _, dlogits = softmax_cross_entropy(logits, y)
+        for p in model.params():
+            p.grad[...] = 0
+        model.backward(dlogits)
+        for p in model.params():
+            assert np.allclose(p.grad, numerical_grad(loss, p.value),
+                               atol=1e-4), "set-transformer grad mismatch"
+
+    def test_learns_separable_task(self):
+        X, y = synthetic_per_server_data()
+        model = SetTransformerClassifier(4, 6, 2, dim=16, n_heads=2,
+                                         n_blocks=1, seed=1)
+        train_classifier(model, X, y, TrainConfig(epochs=40, lr=3e-3, seed=1))
+        assert (model.predict(X) == y).mean() > 0.9
+
+    def test_permutation_invariance_of_prediction(self):
+        model = SetTransformerClassifier(4, 6, 2, dim=8, n_heads=2,
+                                         n_blocks=1, seed=2)
+        X = np.random.default_rng(2).normal(size=(10, 4, 6))
+        perm = np.array([2, 0, 3, 1])
+        assert np.allclose(model.predict_proba(X),
+                           model.predict_proba(X[:, perm]), atol=1e-10)
+
+    def test_variable_server_count_at_inference(self):
+        """Mean pooling makes the model server-count agnostic — the core
+        requirement for cross-cluster adaptation."""
+        model = SetTransformerClassifier(4, 6, 2, dim=8, n_heads=2,
+                                         n_blocks=1, seed=3)
+        out = model.forward(np.zeros((5, 9, 6)))  # 9 servers, trained for 4
+        assert out.shape == (5, 2)

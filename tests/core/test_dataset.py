@@ -1,0 +1,115 @@
+"""Tests for dataset handling and normalisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataset import Dataset, Normalizer, train_test_split
+
+
+def make_dataset(n=100, servers=3, feats=5, n_classes=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(
+        rng.normal(size=(n, servers, feats)),
+        rng.integers(0, n_classes, size=n),
+        feature_names=tuple(f"f{i}" for i in range(feats)),
+        source="unit",
+    )
+
+
+class TestDataset:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((4, 5)), np.zeros(4), feature_names=("a",) * 5)
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((4, 2, 3)), np.zeros(5), feature_names=("a",) * 3)
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((4, 2, 3)), np.zeros(4), feature_names=("a",) * 2)
+
+    def test_negative_labels_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 1, 1)), np.array([0, -1]),
+                    feature_names=("a",))
+
+    def test_class_counts(self):
+        ds = Dataset(np.zeros((4, 1, 1)), np.array([0, 1, 1, 1]),
+                     feature_names=("a",))
+        assert ds.class_counts().tolist() == [1, 3]
+
+    def test_concatenate(self):
+        a, b = make_dataset(10), make_dataset(20, seed=1)
+        c = Dataset.concatenate([a, b])
+        assert len(c) == 30
+
+    def test_concatenate_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Dataset.concatenate([make_dataset(5, servers=2), make_dataset(5, servers=3)])
+        with pytest.raises(ValueError):
+            Dataset.concatenate([])
+
+
+class TestSplit:
+    def test_sizes(self):
+        train, test = train_test_split(make_dataset(100), test_fraction=0.2)
+        assert len(test) == 20
+        assert len(train) == 80
+
+    def test_disjoint_and_complete(self):
+        ds = make_dataset(50)
+        ds.X[:, 0, 0] = np.arange(50)  # make rows identifiable
+        train, test = train_test_split(ds, test_fraction=0.2, seed=3)
+        ids = sorted(train.X[:, 0, 0].tolist() + test.X[:, 0, 0].tolist())
+        assert ids == list(range(50))
+
+    def test_deterministic_per_seed(self):
+        ds = make_dataset(50)
+        _, t1 = train_test_split(ds, seed=7)
+        _, t2 = train_test_split(ds, seed=7)
+        assert np.array_equal(t1.X, t2.X)
+        _, t3 = train_test_split(ds, seed=8)
+        assert not np.array_equal(t1.X, t3.X)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            train_test_split(make_dataset(10), test_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(make_dataset(1))
+
+
+class TestNormalizer:
+    def test_zero_mean_unit_std(self):
+        X = np.random.default_rng(0).normal(5.0, 3.0, size=(200, 4, 6))
+        Z = Normalizer().fit_transform(X)
+        flat = Z.reshape(-1, 6)
+        assert np.allclose(flat.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(flat.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_features_safe(self):
+        X = np.ones((10, 2, 3))
+        Z = Normalizer().fit_transform(X)
+        assert np.isfinite(Z).all()
+        assert np.allclose(Z, 0.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            Normalizer().transform(np.zeros((1, 1, 1)))
+
+    def test_train_statistics_applied_to_test(self):
+        rng = np.random.default_rng(0)
+        train = rng.normal(10.0, 2.0, size=(100, 1, 1))
+        norm = Normalizer().fit(train)
+        test = np.array([[[10.0]]])
+        assert norm.transform(test)[0, 0, 0] == pytest.approx(
+            (10.0 - train.mean()) / train.std(), abs=0.05
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=40), st.integers(min_value=1, max_value=4))
+    def test_round_trip_property(self, n, feats):
+        rng = np.random.default_rng(n)
+        X = rng.normal(size=(n, 2, feats)) * 10 + 3
+        norm = Normalizer().fit(X)
+        Z = norm.transform(X)
+        back = Z * norm.std + norm.mean
+        assert np.allclose(back, X)

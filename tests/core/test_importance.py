@@ -1,0 +1,130 @@
+"""Tests for permutation feature importance."""
+
+import numpy as np
+import pytest
+
+from repro.core.importance import FeatureImportance, permutation_importance
+
+
+def make_task(n=300, servers=3, feats=5, seed=0):
+    """Label depends ONLY on feature 0 of the hottest server."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0, 0.3, size=(n, servers, feats))
+    hot = rng.integers(0, servers, size=n)
+    signal = rng.uniform(0, 4, size=n)
+    X[np.arange(n), hot, 0] += signal
+    y = (signal > 2).astype(int)
+    return X, y
+
+
+def oracle_predict(X):
+    return (X[:, :, 0].max(axis=1) > 2).astype(int)
+
+
+def test_signal_feature_ranks_first():
+    X, y = make_task()
+    imp = permutation_importance(oracle_predict, X, y,
+                                 tuple(f"f{i}" for i in range(5)))
+    top_name, top_drop = imp.top(1)[0]
+    assert top_name == "f0"
+    assert top_drop > 0.2
+    # Dead features cost (almost) nothing.
+    dead = dict(imp.top(5))
+    for name in ("f1", "f2", "f3", "f4"):
+        assert abs(dead[name]) < 0.05
+
+
+def test_baseline_accuracy_reported():
+    X, y = make_task()
+    imp = permutation_importance(oracle_predict, X, y,
+                                 tuple(f"f{i}" for i in range(5)))
+    assert imp.baseline_accuracy > 0.9
+
+
+def test_deterministic_given_seed():
+    X, y = make_task()
+    names = tuple(f"f{i}" for i in range(5))
+    a = permutation_importance(oracle_predict, X, y, names, seed=3)
+    b = permutation_importance(oracle_predict, X, y, names, seed=3)
+    assert np.array_equal(a.drops, b.drops)
+
+
+def test_render_lists_top_features():
+    X, y = make_task()
+    imp = permutation_importance(oracle_predict, X, y,
+                                 tuple(f"f{i}" for i in range(5)))
+    text = imp.render(k=3)
+    assert "f0" in text and "baseline" in text
+
+
+def test_validation():
+    X, y = make_task(n=10)
+    names = tuple(f"f{i}" for i in range(5))
+    with pytest.raises(ValueError):
+        permutation_importance(oracle_predict, X[:, 0], y, names)
+    with pytest.raises(ValueError):
+        permutation_importance(oracle_predict, X, y, names[:-1])
+    with pytest.raises(ValueError):
+        permutation_importance(oracle_predict, X, y, names, n_repeats=0)
+    with pytest.raises(ValueError):
+        permutation_importance(oracle_predict, X, y[:-1], names)
+
+
+class TestGroupedImportance:
+    def test_signal_group_dominates(self):
+        from repro.core.importance import grouped_importance
+
+        X, y = make_task()
+        groups = {"signal": [0], "noise": [1, 2, 3, 4]}
+        imp = grouped_importance(oracle_predict, X, y, groups)
+        drops = dict(zip(imp.feature_names, imp.drops))
+        assert drops["signal"] > 0.2
+        assert abs(drops["noise"]) < 0.05
+
+    def test_redundant_features_visible_only_jointly(self):
+        """Three copies of the signal behind a majority vote: permuting a
+        single copy changes (almost) nothing, permuting the family
+        destroys the model — the failure mode grouped importance exists
+        to expose."""
+        from repro.core.importance import grouped_importance
+
+        X, y = make_task()
+        X[:, :, 1] = X[:, :, 0]
+        X[:, :, 2] = X[:, :, 0]
+
+        def predict(Z):
+            votes = sum((Z[:, :, f].max(axis=1) > 2).astype(int)
+                        for f in (0, 1, 2))
+            return (votes >= 2).astype(int)
+
+        single = permutation_importance(predict, X, y,
+                                        tuple(f"f{i}" for i in range(5)))
+        assert single.drops[0] < 0.05  # masked by the two intact copies
+        joint = grouped_importance(predict, X, y, {"family": [0, 1, 2]})
+        assert joint.drops[0] > 0.2
+
+    def test_validation(self):
+        from repro.core.importance import grouped_importance
+
+        X, y = make_task(n=10)
+        with pytest.raises(ValueError):
+            grouped_importance(oracle_predict, X, y, {})
+        with pytest.raises(ValueError):
+            grouped_importance(oracle_predict, X, y, {"bad": [99]})
+        with pytest.raises(ValueError):
+            grouped_importance(oracle_predict, X, y, {"empty": []})
+
+
+def test_works_with_trained_predictor():
+    from repro.core.dataset import Dataset
+    from repro.core.labeling import BINARY_THRESHOLDS
+    from repro.core.nn.train import TrainConfig
+    from repro.core.predictor import InterferencePredictor
+
+    X, y = make_task(n=200)
+    ds = Dataset(X, y, feature_names=tuple(f"f{i}" for i in range(5)))
+    predictor = InterferencePredictor.train(
+        ds, BINARY_THRESHOLDS, config=TrainConfig(epochs=30, seed=0))
+    imp = permutation_importance(predictor.predict, X, y, ds.feature_names,
+                                 n_repeats=2)
+    assert imp.top(1)[0][0] == "f0"

@@ -1,0 +1,122 @@
+"""Tests for degradation labelling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.records import IORecord, OpType, ServerId, ServerKind
+from repro.core.labeling import (
+    BINARY_THRESHOLDS,
+    MULTICLASS_THRESHOLDS,
+    DegradationLabeller,
+    bin_level,
+    match_operations,
+)
+
+OST0 = (ServerId(ServerKind.OST, 0),)
+
+
+def rec(op_id, start, end, job="app", rank=0):
+    return IORecord(job=job, rank=rank, op_id=op_id, op=OpType.READ, path="/f",
+                    offset=0, size=100, start=start, end=end, servers=OST0)
+
+
+class TestBinLevel:
+    def test_binary(self):
+        assert bin_level(1.0, BINARY_THRESHOLDS) == 0
+        assert bin_level(1.99, BINARY_THRESHOLDS) == 0
+        assert bin_level(2.0, BINARY_THRESHOLDS) == 1
+        assert bin_level(40.0, BINARY_THRESHOLDS) == 1
+
+    def test_multiclass(self):
+        assert bin_level(1.5, MULTICLASS_THRESHOLDS) == 0
+        assert bin_level(2.0, MULTICLASS_THRESHOLDS) == 1
+        assert bin_level(4.99, MULTICLASS_THRESHOLDS) == 1
+        assert bin_level(5.0, MULTICLASS_THRESHOLDS) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bin_level(-1.0, BINARY_THRESHOLDS)
+        with pytest.raises(ValueError):
+            bin_level(1.0, (5.0, 2.0))
+
+    @given(st.floats(min_value=0, max_value=100, allow_nan=False))
+    def test_monotone_in_level(self, level):
+        assert bin_level(level, MULTICLASS_THRESHOLDS) <= bin_level(
+            level + 1.0, MULTICLASS_THRESHOLDS
+        )
+
+
+class TestMatching:
+    def test_exact_key_match(self):
+        base = [rec(1, 0.0, 0.1), rec(2, 0.1, 0.2)]
+        interf = [rec(1, 0.0, 0.3), rec(2, 0.3, 0.9)]
+        pairs = match_operations(base, interf, "app")
+        assert [(b.op_id, i.op_id) for b, i in pairs] == [(1, 1), (2, 2)]
+
+    def test_unmatched_ops_dropped(self):
+        base = [rec(1, 0.0, 0.1)]
+        interf = [rec(1, 0.0, 0.2), rec(2, 0.2, 0.4)]
+        assert len(match_operations(base, interf, "app")) == 1
+
+    def test_other_jobs_ignored(self):
+        base = [rec(1, 0.0, 0.1), rec(1, 0.0, 0.5, job="noise")]
+        interf = [rec(1, 0.0, 0.2), rec(1, 0.0, 9.0, job="noise")]
+        pairs = match_operations(base, interf, "app")
+        assert len(pairs) == 1
+        assert pairs[0][0].job == "app"
+
+    def test_ranks_distinguished(self):
+        base = [rec(1, 0.0, 0.1, rank=0), rec(1, 0.0, 0.2, rank=1)]
+        interf = [rec(1, 0.0, 0.4, rank=1)]
+        pairs = match_operations(base, interf, "app")
+        assert pairs[0][0].rank == 1
+
+
+class TestLabeller:
+    def test_window_level_is_mean_ratio(self):
+        # Two ops completing in window 0: ratios 3.0 and 1.0 -> level 2.0.
+        base = [rec(1, 0.0, 0.1), rec(2, 0.1, 0.2)]
+        interf = [rec(1, 0.0, 0.3), rec(2, 0.3, 0.4)]
+        labeller = DegradationLabeller(window_size=1.0)
+        levels = labeller.window_levels(base, interf, "app")
+        assert levels[0] == pytest.approx(2.0)
+
+    def test_windows_indexed_by_interference_completion(self):
+        base = [rec(1, 0.0, 0.1)]
+        interf = [rec(1, 0.0, 2.5)]  # completes in window 2
+        labeller = DegradationLabeller(window_size=1.0)
+        levels = labeller.window_levels(base, interf, "app")
+        assert list(levels) == [2]
+        assert levels[2] == pytest.approx(25.0)
+
+    def test_labels_binned(self):
+        base = [rec(1, 0.0, 0.1), rec(2, 1.0, 1.1)]
+        interf = [rec(1, 0.0, 0.95), rec(2, 1.0, 1.11)]
+        labeller = DegradationLabeller(window_size=1.0,
+                                       thresholds=BINARY_THRESHOLDS)
+        labels = labeller.window_labels(base, interf, "app")
+        assert labels[0] == 1  # 9.5x slowdown
+        assert labels[1] == 0  # 1.1x
+
+    def test_near_zero_baseline_ops_skipped(self):
+        base = [rec(1, 0.0, 0.0)]
+        interf = [rec(1, 0.0, 1.0)]
+        labeller = DegradationLabeller(window_size=1.0, min_baseline=1e-6)
+        assert labeller.window_levels(base, interf, "app") == {}
+
+    def test_n_classes(self):
+        assert DegradationLabeller(thresholds=BINARY_THRESHOLDS).n_classes == 2
+        assert DegradationLabeller(thresholds=MULTICLASS_THRESHOLDS).n_classes == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DegradationLabeller(window_size=0)
+        with pytest.raises(ValueError):
+            DegradationLabeller(thresholds=())
+
+    def test_identical_runs_label_no_interference(self):
+        records = [rec(i, i * 0.1, i * 0.1 + 0.05) for i in range(1, 20)]
+        labeller = DegradationLabeller(window_size=1.0)
+        labels = labeller.window_labels(records, records, "app")
+        assert all(v == 0 for v in labels.values())

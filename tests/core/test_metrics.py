@@ -1,0 +1,92 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import confusion_matrix, evaluate, render_confusion
+
+
+def test_confusion_matrix_basic():
+    y_true = np.array([0, 0, 1, 1, 1])
+    y_pred = np.array([0, 1, 1, 1, 0])
+    cm = confusion_matrix(y_true, y_pred)
+    assert cm.tolist() == [[1, 1], [1, 2]]
+
+
+def test_confusion_matrix_fixed_classes():
+    cm = confusion_matrix([0, 0], [0, 0], n_classes=3)
+    assert cm.shape == (3, 3)
+    assert cm[0, 0] == 2
+
+
+def test_confusion_matrix_validation():
+    with pytest.raises(ValueError):
+        confusion_matrix([0, 1], [0])
+    with pytest.raises(ValueError):
+        confusion_matrix([], [])
+    with pytest.raises(ValueError):
+        confusion_matrix([-1], [0])
+
+
+def test_perfect_prediction_scores_one():
+    y = np.array([0, 1, 2, 1, 0])
+    report = evaluate(y, y)
+    assert report.accuracy == 1.0
+    assert np.allclose(report.f1, 1.0)
+    assert report.macro_f1 == 1.0
+
+
+def test_known_f1_values():
+    # class 1: precision 2/3, recall 2/3 -> f1 = 2/3.
+    y_true = np.array([1, 1, 1, 0, 0, 0])
+    y_pred = np.array([1, 1, 0, 1, 0, 0])
+    report = evaluate(y_true, y_pred)
+    assert report.f1[1] == pytest.approx(2 / 3)
+    assert report.precision[1] == pytest.approx(2 / 3)
+    assert report.recall[1] == pytest.approx(2 / 3)
+
+
+def test_absent_class_scores_zero_not_nan():
+    report = evaluate([0, 0, 0], [0, 0, 0], n_classes=2)
+    assert report.f1[1] == 0.0
+    assert np.isfinite(report.f1).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=2), min_size=2, max_size=50))
+def test_confusion_row_sums_are_true_counts(labels):
+    y_true = np.array(labels)
+    rng = np.random.default_rng(0)
+    y_pred = rng.integers(0, 3, size=len(labels))
+    cm = confusion_matrix(y_true, y_pred, n_classes=3)
+    assert cm.sum() == len(labels)
+    for c in range(3):
+        assert cm[c].sum() == int((y_true == c).sum())
+
+
+def test_accuracy_is_diagonal_fraction():
+    y_true = np.array([0, 1, 0, 1])
+    y_pred = np.array([0, 0, 0, 1])
+    report = evaluate(y_true, y_pred)
+    assert report.accuracy == pytest.approx(0.75)
+
+
+def test_render_confusion_contains_counts_and_names():
+    cm = confusion_matrix([0, 1, 1], [0, 1, 0])
+    text = render_confusion(cm, ["<2x", ">=2x"])
+    assert "<2x" in text and ">=2x" in text
+    assert "1" in text
+
+
+def test_render_validates_names():
+    cm = confusion_matrix([0, 1], [0, 1])
+    with pytest.raises(ValueError):
+        render_confusion(cm, ["only-one"])
+
+
+def test_summary_mentions_all_classes():
+    report = evaluate([0, 1, 2], [0, 1, 2])
+    text = report.summary()
+    assert "class 0" in text and "class 2" in text

@@ -1,0 +1,177 @@
+"""Tests for layers, losses and optimisers, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.core.nn.layers import Dense, Dropout, Param, ReLU, Sequential
+from repro.core.nn.losses import softmax_cross_entropy, softmax_probs
+from repro.core.nn.optim import SGD, Adam
+
+
+def numerical_grad(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        plus = f()
+        x[idx] = orig - eps
+        minus = f()
+        x[idx] = orig
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestDense:
+    def test_forward_shape_2d_and_3d(self):
+        layer = Dense(4, 3, rng=np.random.default_rng(0))
+        assert layer.forward(np.zeros((5, 4))).shape == (5, 3)
+        assert layer.forward(np.zeros((5, 7, 4))).shape == (5, 7, 3)
+
+    def test_rejects_wrong_feature_dim(self):
+        layer = Dense(4, 3)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((5, 5)))
+
+    def test_gradient_check_weights(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(4, 3, rng=rng)
+        x = rng.normal(size=(6, 4))
+        target = rng.normal(size=(6, 3))
+
+        def loss():
+            return 0.5 * np.sum((layer.forward(x) - target) ** 2)
+
+        out = layer.forward(x)
+        layer.W.grad[...] = 0
+        layer.b.grad[...] = 0
+        layer.backward(out - target)
+        num_W = numerical_grad(loss, layer.W.value)
+        num_b = numerical_grad(loss, layer.b.value)
+        assert np.allclose(layer.W.grad, num_W, atol=1e-5)
+        assert np.allclose(layer.b.grad, num_b, atol=1e-5)
+
+    def test_gradient_check_input_3d(self):
+        """Shared-weight (3-D) application backpropagates correctly."""
+        rng = np.random.default_rng(2)
+        layer = Dense(3, 2, rng=rng)
+        x = rng.normal(size=(4, 5, 3))
+        target = rng.normal(size=(4, 5, 2))
+
+        def loss():
+            return 0.5 * np.sum((layer.forward(x) - target) ** 2)
+
+        out = layer.forward(x)
+        dx = layer.backward(out - target)
+        num_x = numerical_grad(loss, x)
+        assert np.allclose(dx, num_x, atol=1e-5)
+
+
+class TestReLUDropout:
+    def test_relu_forward_backward(self):
+        relu = ReLU()
+        x = np.array([[-1.0, 2.0], [3.0, -4.0]])
+        assert np.array_equal(relu.forward(x), [[0, 2], [3, 0]])
+        g = relu.backward(np.ones_like(x))
+        assert np.array_equal(g, [[0, 1], [1, 0]])
+
+    def test_dropout_identity_at_inference(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((100, 10))
+        assert np.array_equal(drop.forward(x, training=False), x)
+
+    def test_dropout_preserves_expectation(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((2000, 10))
+        y = drop.forward(x, training=True)
+        assert y.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_dropout_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestLoss:
+    def test_softmax_sums_to_one(self):
+        logits = np.random.default_rng(0).normal(size=(10, 4)) * 50
+        p = softmax_probs(logits)
+        assert np.allclose(p.sum(axis=-1), 1.0)
+        assert (p >= 0).all()
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(3)
+        logits = rng.normal(size=(5, 3))
+        y = np.array([0, 2, 1, 1, 0])
+        weights = np.array([1.0, 2.0, 0.5])
+
+        def loss():
+            return softmax_cross_entropy(logits, y, weights)[0]
+
+        _, grad = softmax_cross_entropy(logits, y, weights)
+        num = numerical_grad(loss, logits)
+        assert np.allclose(grad, num, atol=1e-6)
+
+    def test_label_validation(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((2, 2)), np.array([0, 2]))
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((2, 2)), np.array([0]))
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((2, 2)), np.array([0, 1]),
+                                  class_weights=np.ones(3))
+
+
+class TestOptim:
+    def quadratic_setup(self):
+        p = Param.of(np.array([5.0, -3.0]))
+        return p
+
+    def test_sgd_minimises_quadratic(self):
+        p = self.quadratic_setup()
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            p.grad += 2 * p.value
+            opt.step()
+        assert np.allclose(p.value, 0.0, atol=1e-4)
+
+    def test_adam_minimises_quadratic(self):
+        p = self.quadratic_setup()
+        opt = Adam([p], lr=0.1)
+        for _ in range(400):
+            opt.zero_grad()
+            p.grad += 2 * p.value
+            opt.step()
+        assert np.allclose(p.value, 0.0, atol=1e-3)
+
+    def test_validation(self):
+        p = self.quadratic_setup()
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.0)
+        with pytest.raises(ValueError):
+            Adam([p], lr=-1.0)
+
+
+def test_sequential_composes_backward():
+    rng = np.random.default_rng(4)
+    net = Sequential([Dense(3, 8, rng=rng), ReLU(), Dense(8, 2, rng=rng)])
+    x = rng.normal(size=(6, 3))
+    target = rng.normal(size=(6, 2))
+
+    def loss():
+        return 0.5 * np.sum((net.forward(x) - target) ** 2)
+
+    out = net.forward(x)
+    for p in net.params():
+        p.grad[...] = 0
+    net.backward(out - target)
+    for p in net.params():
+        num = numerical_grad(loss, p.value)
+        assert np.allclose(p.grad, num, atol=1e-5)

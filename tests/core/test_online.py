@@ -1,0 +1,127 @@
+"""Tests for the streaming (runtime) predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core.labeling import BINARY_THRESHOLDS
+from repro.core.nn.train import TrainConfig
+from repro.core.online import StreamingPredictor, WindowPrediction
+from repro.core.predictor import InterferencePredictor
+from repro.experiments.datagen import (
+    Scenario,
+    bank_to_dataset,
+    collect_windows,
+)
+from repro.experiments.runner import (
+    ExperimentConfig,
+    InterferenceSpec,
+    experiment_cluster,
+)
+from repro.monitor.aggregator import MonitoredRun, assemble_vectors
+from repro.monitor.server_monitor import ServerMonitor
+from repro.sim.cluster import Cluster
+from repro.workloads.base import launch, launch_interference
+from repro.workloads.io500 import make_io500_task
+
+
+@pytest.fixture(scope="module")
+def trained_predictor():
+    config = ExperimentConfig(window_size=0.5, sample_interval=0.125,
+                              warmup=0.5, seed=0)
+    targets = [make_io500_task("ior-easy-write", ranks=4, scale=0.3)]
+    scenarios = [
+        Scenario("quiet"),
+        Scenario("noise", (InterferenceSpec("ior-easy-write", instances=3,
+                                            ranks=3, scale=0.25),)),
+    ]
+    bank = collect_windows(targets, scenarios, config)
+    return InterferencePredictor.train(
+        bank_to_dataset(bank), BINARY_THRESHOLDS,
+        config=TrainConfig(seed=0), seed=0,
+    )
+
+
+def run_streaming(predictor, window_size=0.5, with_noise=True):
+    cluster = Cluster(experiment_cluster())
+    monitor = ServerMonitor(cluster, sample_interval=0.125)
+    monitor.start()
+    target = make_io500_task("ior-easy-write", ranks=4, scale=0.3)
+    streaming = StreamingPredictor(
+        predictor=predictor,
+        cluster=cluster,
+        monitor=monitor,
+        job=target.name,
+        window_size=window_size,
+    )
+    streaming.start()
+    if with_noise:
+        noise = make_io500_task("ior-easy-write", name="noise", ranks=3,
+                                scale=0.25)
+        launch_interference(cluster, noise, [4, 5, 6], seed=5, record=False)
+        cluster.env.run(until=0.5)
+    handle = launch(cluster, target, [0, 1, 2, 3], seed=7)
+    cluster.env.run(until=handle.done)
+    cluster.env.run(until=cluster.env.now + window_size + 0.2)
+    return cluster, monitor, streaming, target
+
+
+def test_predictions_emitted_during_run(trained_predictor):
+    cluster, _, streaming, _ = run_streaming(trained_predictor)
+    assert len(streaming.predictions) >= 2
+    for pred in streaming.predictions:
+        assert isinstance(pred, WindowPrediction)
+        # Emitted right after the window closed, not at the end of the run.
+        assert pred.emitted_at == pytest.approx(
+            (pred.window + 1) * 0.5, abs=0.05)
+        assert sum(pred.probabilities) == pytest.approx(1.0)
+
+
+def test_streaming_matches_offline_pipeline(trained_predictor):
+    """Per-window vectors assembled online must equal the offline ones."""
+    cluster, monitor, streaming, target = run_streaming(trained_predictor)
+    run = MonitoredRun(
+        job=target.name,
+        records=cluster.collector.records,
+        server_samples=monitor.samples,
+        servers=cluster.servers,
+        duration=cluster.env.now,
+    )
+    offline = trained_predictor.predict_run(run, window_size=0.5,
+                                            sample_interval=0.125)
+    online = {p.window: p.severity for p in streaming.predictions}
+    shared = sorted(set(offline) & set(online))
+    assert len(shared) >= 2
+    agree = sum(offline[w] == online[w] for w in shared)
+    assert agree == len(shared), (
+        f"online/offline disagree: {[(w, online[w], offline[w]) for w in shared]}"
+    )
+
+
+def test_callback_invoked(trained_predictor):
+    seen = []
+    cluster = Cluster(experiment_cluster())
+    monitor = ServerMonitor(cluster, sample_interval=0.125)
+    monitor.start()
+    target = make_io500_task("ior-easy-write", ranks=2, scale=0.1)
+    streaming = StreamingPredictor(
+        predictor=trained_predictor, cluster=cluster, monitor=monitor,
+        job=target.name, window_size=0.25, on_prediction=seen.append,
+    )
+    streaming.start()
+    handle = launch(cluster, target, [0, 1], seed=1)
+    cluster.env.run(until=handle.done)
+    cluster.env.run(until=cluster.env.now + 0.5)
+    assert seen == streaming.predictions
+
+
+def test_double_start_rejected(trained_predictor):
+    cluster = Cluster(experiment_cluster())
+    monitor = ServerMonitor(cluster)
+    monitor.start()
+    streaming = StreamingPredictor(
+        predictor=trained_predictor, cluster=cluster, monitor=monitor,
+        job="x",
+    )
+    streaming.start()
+    with pytest.raises(RuntimeError):
+        streaming.start()

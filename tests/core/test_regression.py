@@ -1,0 +1,124 @@
+"""Tests for the exact-slowdown regression extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.labeling import BINARY_THRESHOLDS, MULTICLASS_THRESHOLDS
+from repro.core.nn.losses import huber_loss
+from repro.core.nn.train import TrainConfig
+from repro.core.regression import (
+    LevelRegressor,
+    RegressionMetrics,
+    spearman_correlation,
+)
+
+
+def synthetic_levels(n=500, servers=4, feats=8, seed=0):
+    """Levels are a smooth function of the hot server's load."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0, 0.2, size=(n, servers, feats))
+    hot = rng.integers(0, servers, size=n)
+    load = rng.uniform(0.0, 5.0, size=n)
+    X[np.arange(n), hot, 0] += load
+    X[np.arange(n), hot, 1] += 0.5 * load
+    levels = np.power(2.0, load)  # 1x .. 32x
+    return X, levels
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_correlation(a, a**3) == pytest.approx(1.0)
+
+    def test_perfect_inverse(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_correlation(a, -a) == pytest.approx(-1.0)
+
+    def test_ties_handled(self):
+        a = np.array([1.0, 1.0, 2.0, 3.0])
+        b = np.array([5.0, 5.0, 6.0, 7.0])
+        assert spearman_correlation(a, b) == pytest.approx(1.0)
+
+    def test_constant_input_is_zero(self):
+        assert spearman_correlation(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spearman_correlation(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            spearman_correlation(np.ones(1), np.ones(1))
+
+
+class TestHuberLoss:
+    def test_quadratic_inside_delta(self):
+        loss, grad = huber_loss(np.array([0.5]), np.array([0.0]), delta=1.0)
+        assert loss == pytest.approx(0.125)
+        assert grad[0] == pytest.approx(0.5)
+
+    def test_linear_outside_delta(self):
+        loss, grad = huber_loss(np.array([10.0]), np.array([0.0]), delta=1.0)
+        assert loss == pytest.approx(9.5)
+        assert grad[0] == pytest.approx(1.0)
+
+    def test_2d_predictions(self):
+        loss, grad = huber_loss(np.array([[1.0], [2.0]]),
+                                np.array([1.0, 2.0]))
+        assert loss == 0.0
+        assert grad.shape == (2, 1)
+
+    def test_gradient_check(self):
+        from tests.core.test_nn_layers import numerical_grad
+
+        rng = np.random.default_rng(0)
+        pred = rng.normal(size=(6, 1)) * 3
+        target = rng.normal(size=6)
+
+        def loss():
+            return huber_loss(pred, target, delta=1.0)[0]
+
+        _, grad = huber_loss(pred, target, delta=1.0)
+        assert np.allclose(grad, numerical_grad(loss, pred), atol=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            huber_loss(np.zeros(2), np.zeros(3))
+        with pytest.raises(ValueError):
+            huber_loss(np.zeros(2), np.zeros(2), delta=0)
+
+
+class TestLevelRegressor:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        X, levels = synthetic_levels()
+        reg = LevelRegressor.train(
+            X, levels, config=TrainConfig(epochs=80, lr=3e-3, seed=1,
+                                          class_weighting=False), seed=1)
+        return X, levels, reg
+
+    def test_ranks_levels_correctly(self, trained):
+        X, levels, reg = trained
+        metrics = reg.evaluate(X, levels)
+        assert metrics.spearman > 0.9
+        assert metrics.within_factor_2 > 0.8
+
+    def test_classification_via_thresholding(self, trained):
+        X, levels, reg = trained
+        from repro.core.labeling import bin_level
+
+        truth = np.array([bin_level(lv, MULTICLASS_THRESHOLDS) for lv in levels])
+        preds = reg.classify(X, MULTICLASS_THRESHOLDS)
+        assert (preds == truth).mean() > 0.75
+
+    def test_predict_level_positive(self, trained):
+        X, _, reg = trained
+        assert (reg.predict_level(X) > 0).all()
+
+    def test_rejects_nonpositive_levels(self):
+        X, levels = synthetic_levels(n=10)
+        levels[0] = 0.0
+        with pytest.raises(ValueError):
+            LevelRegressor.train(X, levels, config=TrainConfig(epochs=1))
+
+    def test_metrics_summary(self):
+        m = RegressionMetrics(0.1, 0.2, 0.95, 0.99)
+        assert "spearman=0.950" in m.summary()

@@ -1,0 +1,88 @@
+"""Tests for labelled-dataset generation (small scale)."""
+
+import numpy as np
+import pytest
+
+from repro.core.labeling import BINARY_THRESHOLDS, MULTICLASS_THRESHOLDS
+from repro.experiments.datagen import (
+    Scenario,
+    WindowBank,
+    bank_to_dataset,
+    collect_windows,
+    generate_dataset,
+    standard_scenarios,
+)
+from repro.experiments.runner import ExperimentConfig, InterferenceSpec
+from repro.monitor.schema import vector_dim
+from repro.workloads.io500 import make_io500_task
+
+
+def small_config():
+    return ExperimentConfig(window_size=0.25, sample_interval=0.125, warmup=1.0)
+
+
+def small_targets():
+    return [make_io500_task("ior-easy-write", ranks=2, scale=0.1)]
+
+
+def small_scenarios():
+    return [
+        Scenario("quiet"),
+        Scenario("noise", (InterferenceSpec("ior-easy-write", instances=3,
+                                            ranks=3, scale=0.25),)),
+    ]
+
+
+def test_standard_scenarios_structure():
+    scenarios = standard_scenarios(max_level=2, tasks=("a-task",))
+    assert scenarios[0].is_baseline
+    assert len(scenarios) == 3
+    assert scenarios[1].interference[0].instances == 1
+    assert scenarios[2].interference[0].instances == 2
+
+
+def test_collect_windows_shapes():
+    bank = collect_windows(small_targets(), small_scenarios(), small_config())
+    assert len(bank) > 0
+    assert bank.X.shape == (len(bank), 7, vector_dim())
+    assert len(bank.sources) == len(bank)
+    assert np.isfinite(bank.X).all()
+    assert (bank.levels > 0).all()
+
+
+def test_quiet_scenario_levels_are_one():
+    bank = collect_windows(small_targets(), [Scenario("quiet")], small_config())
+    assert np.allclose(bank.levels, 1.0, atol=1e-6)
+
+
+def test_noise_raises_levels():
+    bank = collect_windows(small_targets(), small_scenarios(), small_config())
+    noisy = [lv for lv, src in zip(bank.levels, bank.sources) if "noise" in src]
+    assert max(noisy) > 1.5
+
+
+def test_bank_to_dataset_binning():
+    bank = WindowBank(np.zeros((4, 2, 3)), np.array([1.0, 2.5, 5.0, 30.0]))
+    binary = bank_to_dataset(bank, BINARY_THRESHOLDS)
+    assert binary.y.tolist() == [0, 1, 1, 1]
+    multi = bank_to_dataset(bank, MULTICLASS_THRESHOLDS)
+    assert multi.y.tolist() == [0, 1, 2, 2]
+
+
+def test_generate_dataset_one_shot():
+    ds = generate_dataset(small_targets(), small_scenarios(), small_config())
+    assert len(ds) > 0
+    assert ds.X.shape[2] == vector_dim()
+
+
+def test_exclude_quiet_windows():
+    bank_with = collect_windows(small_targets(), small_scenarios(),
+                                small_config(), include_quiet_windows=True)
+    bank_without = collect_windows(small_targets(), small_scenarios(),
+                                   small_config(), include_quiet_windows=False)
+    assert len(bank_without) < len(bank_with)
+
+
+def test_empty_bank_raises():
+    with pytest.raises(RuntimeError):
+        WindowBank.concatenate([])

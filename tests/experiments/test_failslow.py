@@ -1,0 +1,94 @@
+"""Tests for fail-slow fault injection and transfer scoring."""
+
+import pytest
+
+from repro.common.units import MIB
+from repro.core.labeling import BINARY_THRESHOLDS, DegradationLabeller
+from repro.core.nn.train import TrainConfig
+from repro.core.predictor import InterferencePredictor
+from repro.experiments.datagen import (
+    Scenario,
+    bank_to_dataset,
+    collect_windows,
+)
+from repro.experiments.failslow import run_failslow_run, run_failslow_transfer
+from repro.experiments.runner import ExperimentConfig, InterferenceSpec
+from repro.sim.cluster import Cluster
+from repro.workloads.io500 import make_io500_task
+
+
+def small_config():
+    return ExperimentConfig(window_size=0.25, sample_interval=0.125,
+                            warmup=0.5, seed=0)
+
+
+def test_inject_slowdown_scales_service_time():
+    cluster = Cluster()
+    env = cluster.env
+    dev = cluster.osts[0].device
+
+    def read():
+        t0 = env.now
+        yield dev.submit(0, 2048, is_write=False)
+        return env.now - t0
+
+    env.run(until=env.process(read()))  # warm-up: park the head at 2048
+    healthy = env.run(until=env.process(read()))  # seek back + transfer
+    dev.inject_slowdown(10.0)
+    slow = env.run(until=env.process(read()))  # identical geometry
+    assert slow == pytest.approx(10.0 * healthy, rel=0.05)
+    dev.inject_slowdown(1.0)
+    restored = env.run(until=env.process(read()))
+    assert restored == pytest.approx(healthy, rel=0.05)
+
+
+def test_inject_slowdown_validation():
+    cluster = Cluster()
+    with pytest.raises(ValueError):
+        cluster.osts[0].device.inject_slowdown(0.0)
+
+
+def test_failslow_run_degrades_target():
+    config = small_config()
+    target = make_io500_task("ior-easy-read", ranks=2, scale=0.2)
+    baseline = run_failslow_run(target, config, slow_factor=1.0)
+    degraded = run_failslow_run(target, config, slow_factor=8.0)
+    labeller = DegradationLabeller(window_size=config.window_size)
+    levels = labeller.window_levels(baseline.records, degraded.records,
+                                    target.name)
+    assert levels
+    assert max(levels.values()) > 2.0
+    assert degraded.metadata["slow_factor"] == 8.0
+
+
+def test_failslow_onset_spares_early_windows():
+    config = small_config()
+    target = make_io500_task("ior-easy-read", ranks=2, scale=0.4)
+    baseline = run_failslow_run(target, config, slow_factor=1.0)
+    degraded = run_failslow_run(target, config, slow_factor=16.0, onset=0.3)
+    labeller = DegradationLabeller(window_size=0.25)
+    levels = labeller.window_levels(baseline.records, degraded.records,
+                                    target.name)
+    # Window 0 closes before the fault hits.
+    assert levels.get(0, 1.0) < 2.0
+
+
+def test_failslow_transfer_end_to_end():
+    config = small_config()
+    targets = [make_io500_task("ior-easy-read", ranks=4, scale=0.3)]
+    scenarios = [
+        Scenario("quiet"),
+        Scenario("noise", (InterferenceSpec("ior-easy-read", instances=3,
+                                            ranks=3, scale=0.25),)),
+    ]
+    bank = collect_windows(targets, scenarios, config)
+    predictor = InterferencePredictor.train(
+        bank_to_dataset(bank), BINARY_THRESHOLDS,
+        config=TrainConfig(seed=0), seed=0,
+    )
+    result = run_failslow_transfer(predictor, targets[0], config,
+                                   slow_factors=(8.0,))
+    assert result.n_windows > 0
+    assert result.report.confusion.shape == (2, 2)
+    assert sum(result.class_counts) == result.n_windows
+    assert "fail-slow" in result.render()

@@ -1,0 +1,82 @@
+"""Tests for the ASCII reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import (
+    moving_average,
+    render_matrix,
+    render_series,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_contains_labels_and_values(self):
+        text = render_table(["r1", "r2"], ["c1", "c2"],
+                            np.array([[1.5, 2.0], [3.25, 4.0]]))
+        assert "r1" in text and "c2" in text
+        assert "1.50" in text and "3.25" in text
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["r1"], ["c1", "c2"], np.zeros((2, 2)))
+
+    def test_custom_format(self):
+        text = render_table(["r"], ["c"], np.array([[1234.5]]), fmt="{:.0f}")
+        assert "1234" in text
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert np.array_equal(moving_average(v, 1), v)
+
+    def test_constant_series_unchanged(self):
+        v = np.full(10, 7.0)
+        assert np.allclose(moving_average(v, 3), 7.0)
+
+    def test_output_length_preserved(self):
+        v = np.arange(20, dtype=float)
+        assert len(moving_average(v, 5)) == 20
+
+    def test_smooths_spikes(self):
+        v = np.zeros(11)
+        v[5] = 10.0
+        smoothed = moving_average(v, 5)
+        assert smoothed.max() < 5.0
+        assert smoothed.sum() == pytest.approx(10.0, rel=0.1)
+
+    def test_window_larger_than_series(self):
+        v = np.array([1.0, 3.0])
+        out = moving_average(v, 10)
+        assert len(out) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            moving_average(np.array([1.0]), 0)
+
+    def test_empty_series(self):
+        assert len(moving_average(np.array([]), 3)) == 0
+
+
+class TestRenderSeries:
+    def test_renders_with_legend(self):
+        text = render_series({"a": np.array([1, 2, 3.0]),
+                              "b": np.array([3, 2, 1.0])})
+        assert "o=a" in text and "x=b" in text
+        assert "max=" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_series({})
+
+    def test_zero_series_safe(self):
+        text = render_series({"flat": np.zeros(5)})
+        assert "max=" in text
+
+
+def test_render_matrix_block():
+    text = render_matrix("panel", np.array([[3, 1], [0, 4]]), ["neg", "pos"])
+    assert "== panel ==" in text
+    assert "neg" in text and "pos" in text

@@ -1,0 +1,99 @@
+"""Tests for the paired-run experiment harness (small scale)."""
+
+import pytest
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    InterferenceSpec,
+    execute_run,
+    experiment_cluster,
+    run_pair,
+)
+from repro.workloads.io500 import make_io500_task
+
+
+def small_config(**kwargs):
+    defaults = dict(window_size=0.25, sample_interval=0.125, warmup=0.25)
+    defaults.update(kwargs)
+    return ExperimentConfig(**defaults)
+
+
+def small_target(task="ior-easy-write"):
+    return make_io500_task(task, ranks=2, scale=0.05)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ExperimentConfig(target_nodes=())
+    with pytest.raises(ValueError):
+        ExperimentConfig(target_nodes=(99,))
+    with pytest.raises(ValueError):
+        ExperimentConfig(window_size=0)
+    with pytest.raises(ValueError):
+        InterferenceSpec("ior-easy-write", instances=0)
+
+
+def test_noise_nodes_disjoint_from_target_nodes():
+    config = small_config()
+    assert set(config.noise_nodes).isdisjoint(config.target_nodes)
+    assert set(config.noise_nodes) | set(config.target_nodes) == set(range(7))
+
+
+def test_execute_run_collects_trace_and_samples():
+    run = execute_run(small_target(), [], small_config())
+    assert run.job == "ior-easy-write"
+    assert any(r.job == run.job for r in run.records)
+    assert run.server_samples
+    assert run.duration > 0
+    assert run.metadata["instances"] == 0
+
+
+def test_interference_affects_servers_but_is_not_traced():
+    noise = [InterferenceSpec("mdt-easy-write", instances=1, ranks=2, scale=0.05)]
+    run = execute_run(small_target(), noise, small_config())
+    # Noise ops are deliberately untraced (nothing consumes them) ...
+    jobs = {r.job for r in run.records}
+    assert not any(j.startswith("noise-") for j in jobs)
+    assert run.metadata["interference"] == ["mdt-easy-write"]
+    # ... but their server-side footprint is visible to the monitors.
+    mdt_ops = sum(m["mds_ops_completed"] for _, s, m in run.server_samples
+                  if s.kind.value == "mdt")
+    target_meta = sum(1 for r in run.records if r.op.is_metadata)
+    assert mdt_ops > target_meta
+
+
+def test_target_ops_identical_across_pair():
+    noise = [InterferenceSpec("ior-easy-write", instances=2, ranks=2, scale=0.1)]
+    pair = run_pair(small_target(), noise, small_config())
+    # Records land in completion order, which legitimately differs under
+    # contention; the op *set keyed by (rank, op_id)* must be identical.
+    key = lambda r: (r.rank, r.op_id)
+    base_ops = sorted(
+        ((r.rank, r.op_id, r.op, r.path, r.offset, r.size)
+         for r in pair.baseline.records if r.job == "ior-easy-write"),
+    )
+    interf_ops = sorted(
+        ((r.rank, r.op_id, r.op, r.path, r.offset, r.size)
+         for r in pair.interfered.records if r.job == "ior-easy-write"),
+    )
+    assert base_ops == interf_ops
+
+
+def test_warmup_delays_target_start():
+    config = small_config(warmup=1.0)
+    noise = [InterferenceSpec("ior-easy-write", instances=1, ranks=1, scale=0.05)]
+    run = execute_run(small_target(), noise, config)
+    target_start = min(r.start for r in run.records if r.job == run.job)
+    assert target_start >= 1.0
+
+
+def test_baseline_has_no_warmup():
+    run = execute_run(small_target(), [], small_config(warmup=1.0))
+    target_start = min(r.start for r in run.records if r.job == run.job)
+    assert target_start < 0.5
+
+
+def test_experiment_cluster_shrinks_cache():
+    cfg = experiment_cluster(cache_mib=32)
+    assert cfg.cache.capacity_bytes == 32 * 1024 * 1024
+    assert cfg.n_osts == 6  # topology unchanged

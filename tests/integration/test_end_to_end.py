@@ -1,0 +1,89 @@
+"""End-to-end integration: the paper's full pipeline at miniature scale.
+
+Sweeps a target under noise, labels windows, assembles vectors, trains
+the kernel predictor and uses it at "runtime" against a fresh monitored
+execution — every paper component in one flow.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.labeling import BINARY_THRESHOLDS, DegradationLabeller
+from repro.core.nn.train import TrainConfig
+from repro.core.predictor import InterferencePredictor
+from repro.experiments.datagen import (
+    Scenario,
+    bank_to_dataset,
+    collect_windows,
+)
+from repro.experiments.runner import ExperimentConfig, InterferenceSpec, run_pair
+from repro.monitor.schema import vector_dim
+from repro.workloads.io500 import make_io500_task
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    config = ExperimentConfig(window_size=0.25, sample_interval=0.125,
+                              warmup=1.0, seed=0)
+    targets = [
+        make_io500_task("ior-easy-write", ranks=4, scale=0.3),
+        make_io500_task("ior-easy-read", ranks=4, scale=0.3),
+    ]
+    scenarios = [
+        Scenario("quiet"),
+        Scenario("w2", (InterferenceSpec("ior-easy-write", instances=2,
+                                         ranks=3, scale=0.25),)),
+        Scenario("w3", (InterferenceSpec("ior-easy-write", instances=3,
+                                         ranks=3, scale=0.25),)),
+        Scenario("r2", (InterferenceSpec("ior-easy-read", instances=2,
+                                         ranks=3, scale=0.25),)),
+        Scenario("r3", (InterferenceSpec("ior-easy-read", instances=3,
+                                         ranks=3, scale=0.25),)),
+    ]
+    bank = collect_windows(targets, scenarios, config)
+    dataset = bank_to_dataset(bank, BINARY_THRESHOLDS)
+    predictor = InterferencePredictor.train(
+        dataset, BINARY_THRESHOLDS,
+        config=TrainConfig(seed=0), seed=0,
+    )
+    return config, bank, dataset, predictor
+
+
+def test_bank_covers_both_classes(pipeline):
+    _, bank, dataset, _ = pipeline
+    assert len(bank) >= 12
+    counts = dataset.class_counts()
+    assert counts.min() > 0, f"one-sided dataset: {counts}"
+
+
+def test_predictor_fits_training_distribution(pipeline):
+    _, _, dataset, predictor = pipeline
+    preds = predictor.predict(dataset.X)
+    accuracy = (preds == dataset.y).mean()
+    assert accuracy > 0.85
+
+
+def test_runtime_prediction_on_fresh_run(pipeline):
+    """Deploy the predictor against a run it never saw (different seed)."""
+    config, _, _, predictor = pipeline
+    fresh_config = ExperimentConfig(window_size=0.25, sample_interval=0.125,
+                                    warmup=1.0, seed=99)
+    target = make_io500_task("ior-easy-write", ranks=4, scale=0.3)
+    noise = [InterferenceSpec("ior-easy-write", instances=3, ranks=3,
+                              scale=0.25)]
+    pair = run_pair(target, noise, fresh_config, seed_salt="deploy")
+    predictions = predictor.predict_run(pair.interfered,
+                                        config.window_size,
+                                        config.sample_interval)
+    truth = DegradationLabeller(window_size=config.window_size).window_labels(
+        pair.baseline.records, pair.interfered.records, target.name
+    )
+    assert truth, "fresh run produced no labelled windows"
+    hits = sum(predictions.get(w) == c for w, c in truth.items())
+    assert hits / len(truth) > 0.6
+
+
+def test_vectors_match_schema(pipeline):
+    _, bank, _, _ = pipeline
+    assert bank.X.shape[2] == vector_dim()
+    assert np.isfinite(bank.X).all()

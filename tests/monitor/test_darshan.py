@@ -1,0 +1,90 @@
+"""Tests for DXT trace serialisation."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.records import IORecord, OpType, ServerId, ServerKind
+from repro.monitor.darshan import dumps_dxt, loads_dxt, read_dxt, write_dxt
+
+
+def sample_records():
+    return [
+        IORecord("jobA", 0, 1, OpType.READ, "/f", 0, 4096, 0.5, 0.75,
+                 (ServerId(ServerKind.OST, 0), ServerId(ServerKind.OST, 3))),
+        IORecord("jobA", 1, 1, OpType.STAT, "/dir/file name", 0, 0, 1.0, 1.001,
+                 (ServerId(ServerKind.MDT, 0),)),
+        IORecord("jobB", 0, 2, OpType.WRITE, "/g", 1 << 30, 1 << 20, 2.0, 2.5,
+                 (ServerId(ServerKind.OST, 5),)),
+    ]
+
+
+def test_round_trip():
+    text = dumps_dxt(sample_records())
+    back = loads_dxt(text)
+    assert back == sample_records()
+
+
+def test_header_required():
+    with pytest.raises(ValueError, match="header"):
+        loads_dxt("jobA\t0\t1\tread\t/f\t0\t1\t0.0\t1.0\tost0\n")
+
+
+def test_float_precision_preserved():
+    rec = IORecord("j", 0, 1, OpType.READ, "/f", 0, 1,
+                   0.1234567890123456, 0.9876543210987654,
+                   (ServerId(ServerKind.OST, 0),))
+    back = loads_dxt(dumps_dxt([rec]))[0]
+    assert back.start == rec.start
+    assert back.end == rec.end
+
+
+def test_comments_and_blank_lines_ignored():
+    text = dumps_dxt(sample_records())
+    text += "\n# trailing comment\n\n"
+    assert len(loads_dxt(text)) == 3
+
+
+def test_bad_field_count_rejected():
+    text = "# quanterference-dxt v1\nonly\tthree\tfields\n"
+    with pytest.raises(ValueError, match="10 fields"):
+        loads_dxt(text)
+
+
+def test_bad_server_rejected():
+    text = ("# quanterference-dxt v1\n"
+            "j\t0\t1\tread\t/f\t0\t1\t0.0\t1.0\tnotaserver\n")
+    with pytest.raises(ValueError, match="server"):
+        loads_dxt(text)
+
+
+def test_path_with_tab_rejected_on_write():
+    rec = IORecord("j", 0, 1, OpType.READ, "/has\ttab", 0, 1, 0.0, 1.0,
+                   (ServerId(ServerKind.OST, 0),))
+    with pytest.raises(ValueError, match="separator"):
+        dumps_dxt([rec])
+
+
+def test_write_returns_count_and_file_api():
+    buf = io.StringIO()
+    assert write_dxt(sample_records(), buf) == 3
+    buf.seek(0)
+    assert len(read_dxt(buf)) == 3
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    rank=st.integers(min_value=0, max_value=1024),
+    op=st.sampled_from(list(OpType)),
+    offset=st.integers(min_value=0, max_value=2**50),
+    size=st.integers(min_value=0, max_value=2**40),
+    start=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    dur=st.floats(min_value=0, max_value=1e3, allow_nan=False),
+    ost=st.integers(min_value=0, max_value=100),
+)
+def test_round_trip_property(rank, op, offset, size, start, dur, ost):
+    rec = IORecord("job", rank, 1, op, "/p", offset, size, start, start + dur,
+                   (ServerId(ServerKind.OST, ost),))
+    assert loads_dxt(dumps_dxt([rec])) == [rec]

@@ -1,0 +1,60 @@
+"""Tests for the oversubscribed-core network option."""
+
+import pytest
+
+from repro.common.units import MIB
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.sim.engine import AllOf
+
+
+def run_parallel_writers(config, n_writers=6, size=16 * MIB):
+    cluster = Cluster(config)
+    env = cluster.env
+
+    def writer(sess, path):
+        yield from sess.create(path)
+        offset = 0
+        while offset < size:
+            yield from sess.write(path, offset, MIB)
+            offset += MIB
+
+    procs = []
+    for i in range(n_writers):
+        sess = cluster.session("job", i, i % config.n_client_nodes)
+        procs.append(env.process(writer(sess, f"/f{i}")))
+    env.run(until=AllOf(env, procs))
+    return env.now
+
+
+def test_default_has_no_core_link():
+    cluster = Cluster()
+    assert cluster.core_link is None
+    a, b = cluster.client_links[0], cluster.oss_links[0]
+    assert cluster.route(a, b) == (a, b)
+
+
+def test_core_link_inserted_in_route():
+    cluster = Cluster(ClusterConfig(core_bandwidth=2e9))
+    a, b = cluster.client_links[0], cluster.oss_links[0]
+    route = cluster.route(a, b)
+    assert len(route) == 3
+    assert route[1] is cluster.core_link
+
+
+def test_oversubscribed_core_throttles_aggregate():
+    """6 writers over 6 nodes: non-blocking fabric sustains ~6 GB/s of NIC
+    capacity; a 1.5 GB/s core caps the aggregate and slows everyone."""
+    free = run_parallel_writers(ClusterConfig(core_bandwidth=None))
+    capped = run_parallel_writers(ClusterConfig(core_bandwidth=1.5e9))
+    assert capped > 1.5 * free
+
+
+def test_generous_core_is_invisible():
+    free = run_parallel_writers(ClusterConfig(core_bandwidth=None))
+    wide = run_parallel_writers(ClusterConfig(core_bandwidth=100e9))
+    assert wide == pytest.approx(free, rel=0.01)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ClusterConfig(core_bandwidth=0.0)

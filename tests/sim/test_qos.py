@@ -1,0 +1,132 @@
+"""Tests for token-bucket QoS."""
+
+import numpy as np
+import pytest
+
+from repro.common.units import MIB
+from repro.sim.cluster import Cluster
+from repro.sim.engine import AllOf, Environment
+from repro.sim.qos import QoSPolicy, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_passes_instantly(self):
+        env = Environment()
+        bucket = TokenBucket(env, rate=100.0, burst=1000.0)
+
+        def proc():
+            yield bucket.consume(1000.0)
+            return env.now
+
+        assert env.run(until=env.process(proc())) == pytest.approx(0.0)
+
+    def test_sustained_rate_enforced(self):
+        env = Environment()
+        bucket = TokenBucket(env, rate=100.0, burst=100.0)
+
+        def proc():
+            for _ in range(5):
+                yield bucket.consume(100.0)
+            return env.now
+
+        # First 100 from the initial burst; 4 more at 1 s each.
+        assert env.run(until=env.process(proc())) == pytest.approx(4.0)
+
+    def test_fifo_no_starvation(self):
+        env = Environment()
+        bucket = TokenBucket(env, rate=100.0, burst=200.0)
+        order = []
+
+        def consumer(tag, size, delay):
+            yield env.timeout(delay)
+            yield bucket.consume(size)
+            order.append(tag)
+
+        env.process(consumer("big", 200.0, 0.0))
+        env.process(consumer("small1", 10.0, 0.001))
+        env.process(consumer("small2", 10.0, 0.002))
+        env.run()
+        assert order == ["big", "small1", "small2"]
+
+    def test_zero_consume_immediate(self):
+        env = Environment()
+        bucket = TokenBucket(env, rate=1.0, burst=1.0)
+
+        def proc():
+            yield bucket.consume(0)
+            return env.now
+
+        assert env.run(until=env.process(proc())) == 0.0
+
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            TokenBucket(env, rate=0, burst=1)
+        bucket = TokenBucket(env, rate=1.0, burst=10.0)
+        with pytest.raises(ValueError):
+            bucket.consume(11.0)
+        with pytest.raises(ValueError):
+            bucket.consume(-1.0)
+
+
+class TestQoSPolicy:
+    def test_unlimited_jobs_pass_through(self):
+        env = Environment()
+        policy = QoSPolicy(env)
+
+        def proc():
+            yield policy.admit("anyjob", 10**9)
+            yield policy.admit(None, 10**9)
+            return env.now
+
+        assert env.run(until=env.process(proc())) == 0.0
+
+    def test_limit_and_clear(self):
+        env = Environment()
+        policy = QoSPolicy(env)
+        policy.limit("noise", rate=100.0, burst=100.0)
+        assert policy.is_limited("noise")
+
+        def proc():
+            yield policy.admit("noise", 100.0)  # burst
+            yield policy.admit("noise", 100.0)  # +1 s
+            t_limited = env.now
+            policy.clear("noise")
+            yield policy.admit("noise", 10**6)  # unlimited again
+            return (t_limited, env.now)
+
+        t_limited, t_final = env.run(until=env.process(proc()))
+        assert t_limited == pytest.approx(1.0)
+        assert t_final == pytest.approx(1.0)
+
+
+def test_ost_qos_throttles_one_job_only():
+    """A limited job's writes slow down; an unlimited job is unaffected."""
+
+    def run(limited: bool):
+        cluster = Cluster()
+        if limited:
+            for ost in cluster.osts:
+                ost.qos.limit("noisy", rate=10 * MIB, burst=MIB)
+        env = cluster.env
+
+        def writer(job, path):
+            sess = cluster.session(job, 0, 0 if job == "noisy" else 1)
+            yield from sess.create(path)
+            for i in range(8):
+                yield from sess.write(path, i * MIB, MIB)
+
+        p1 = env.process(writer("noisy", "/n"))
+        p2 = env.process(writer("calm", "/c"))
+        env.run(until=AllOf(env, [p1, p2]))
+        recs = cluster.collector.records
+        noisy = np.mean([r.duration for r in recs
+                         if r.job == "noisy" and r.op.value == "write"])
+        calm = np.mean([r.duration for r in recs
+                        if r.job == "calm" and r.op.value == "write"])
+        return noisy, calm
+
+    free_noisy, free_calm = run(limited=False)
+    lim_noisy, lim_calm = run(limited=True)
+    assert lim_noisy > 3 * free_noisy  # throttled hard
+    assert lim_calm < 2 * free_calm  # bystander barely affected

@@ -1,0 +1,144 @@
+"""Tests for the block-layer elevator/merging scheduler."""
+
+import pytest
+
+from repro.common.units import SECTOR_SIZE
+from repro.sim.disk import DiskModel, DiskParams
+from repro.sim.engine import AllOf, Environment
+from repro.sim.scheduler import BlockDevice
+
+
+def make_device(env=None):
+    env = env or Environment()
+    return env, BlockDevice(env, DiskModel(DiskParams()))
+
+
+def test_single_request_completes_with_service_time():
+    env, dev = make_device()
+
+    def proc():
+        yield dev.submit(0, 2048, is_write=False)
+        return env.now
+
+    t = env.run(until=env.process(proc()))
+    assert t == pytest.approx(2048 * SECTOR_SIZE / DiskParams().sequential_bandwidth)
+    assert dev.stats.reads_completed == 1
+    assert dev.stats.sectors_read == 2048
+
+
+def test_contiguous_requests_merge():
+    env, dev = make_device()
+
+    def proc():
+        evs = [dev.submit(i * 64, 64, is_write=True) for i in range(8)]
+        yield AllOf(env, evs)
+
+    env.run(until=env.process(proc()))
+    assert dev.stats.writes_completed == 8
+    # First request dispatches alone (device idle); the remaining 7 merge.
+    assert dev.stats.writes_merged >= 6
+    assert dev.stats.sectors_written == 8 * 64
+
+
+def test_reads_and_writes_do_not_merge_together():
+    env, dev = make_device()
+
+    def proc():
+        a = dev.submit(0, 64, is_write=True)
+        b = dev.submit(64, 64, is_write=False)
+        yield AllOf(env, [a, b])
+
+    env.run(until=env.process(proc()))
+    assert dev.stats.writes_merged == 0
+    assert dev.stats.reads_merged == 0
+
+
+def test_elevator_orders_by_lba():
+    """Out-of-order submissions are served in ascending LBA order."""
+    env, dev = make_device()
+    completions = []
+    lbas = [500_000, 100_000, 300_000]
+
+    def submit_all():
+        # Occupy the device so all three wait in queue together.
+        first = dev.submit(0, 8, is_write=False)
+        evs = []
+        for lba in lbas:
+            ev = dev.submit(lba, 8, is_write=False)
+            ev.callbacks.append(lambda _e, lba=lba: completions.append(lba))
+            evs.append(ev)
+        yield AllOf(env, [first, *evs])
+
+    env.run(until=env.process(submit_all()))
+    assert completions == sorted(lbas)
+
+
+def test_reads_prioritised_over_writes():
+    env, dev = make_device()
+    order = []
+
+    def proc():
+        busy = dev.submit(0, 2048, is_write=False)
+        w = dev.submit(10_000_000, 64, is_write=True)
+        w.callbacks.append(lambda _e: order.append("write"))
+        r = dev.submit(20_000_000, 64, is_write=False)
+        r.callbacks.append(lambda _e: order.append("read"))
+        yield AllOf(env, [busy, w, r])
+
+    env.run(until=env.process(proc()))
+    assert order == ["read", "write"]
+
+
+def test_writes_not_starved_forever():
+    """A steady read stream must still let queued writes through."""
+    env, dev = make_device()
+    done = {"write": None}
+
+    def reader():
+        for i in range(20):
+            yield dev.submit(i * 64, 64, is_write=False)
+
+    def writer():
+        yield env.timeout(1e-4)
+        yield dev.submit(50_000_000, 64, is_write=True)
+        done["write"] = env.now
+
+    r = env.process(reader())
+    w = env.process(writer())
+    env.run(until=AllOf(env, [r, w]))
+    reader_finish = env.now
+    assert done["write"] is not None
+    # The write completed before the whole read stream drained.
+    assert done["write"] <= reader_finish
+
+
+def test_submit_bytes_sector_math():
+    env, dev = make_device()
+
+    def proc():
+        yield dev.submit_bytes(100, 1000, is_write=False)  # crosses sectors
+
+    env.run(until=env.process(proc()))
+    # Bytes 100..1100 span sectors 0..2 inclusive -> 3 sectors.
+    assert dev.stats.sectors_read == 3
+
+
+def test_bad_request_rejected():
+    _, dev = make_device()
+    with pytest.raises(ValueError):
+        dev.submit(0, 0, is_write=False)
+
+
+def test_queue_depth_tracks_outstanding():
+    env, dev = make_device()
+    depths = []
+
+    def proc():
+        evs = [dev.submit(i * 1_000_000, 8, is_write=False) for i in range(4)]
+        depths.append(dev.queue_depth)
+        yield AllOf(env, evs)
+        depths.append(dev.queue_depth)
+
+    env.run(until=env.process(proc()))
+    assert depths[0] == 4
+    assert depths[-1] == 0

@@ -1,0 +1,33 @@
+"""Tests for the command-line entry point (parsing-level)."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, _RUNNERS, main
+
+
+def test_every_experiment_has_a_runner():
+    from repro.__main__ import EXTENSIONS
+
+    assert set(EXPERIMENTS) | set(EXTENSIONS) == set(_RUNNERS)
+
+
+def test_list_command(capsys):
+    from repro.__main__ import EXTENSIONS
+
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert out == list(EXPERIMENTS) + list(EXTENSIONS)
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure9000"])
+
+
+def test_table2_fast_runs_end_to_end(tmp_path, capsys):
+    """The cheapest experiment actually runs through the CLI."""
+    assert main(["table2", "--fast", "--out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "table2" in out
+    assert "sectors_read" in out
+    assert (tmp_path / "table2.txt").exists()

@@ -1,0 +1,109 @@
+"""Tests for the application I/O models (Enzo, AMReX, OpenPMD)."""
+
+import pytest
+
+from repro.common.records import OpType, ServerKind
+from repro.sim.cluster import Cluster
+from repro.workloads.apps import (
+    AmrexConfig,
+    AmrexWorkload,
+    EnzoConfig,
+    EnzoWorkload,
+    OpenPMDConfig,
+    OpenPMDWorkload,
+)
+from repro.workloads.base import launch
+
+
+def run(workload, seed=11):
+    cluster = Cluster()
+    handle = launch(cluster, workload, [0, 1, 2, 3], seed)
+    cluster.env.run(until=handle.done)
+    return cluster
+
+
+def op_mix(cluster):
+    mix = {}
+    for r in cluster.collector.records:
+        mix[r.op] = mix.get(r.op, 0) + 1
+    return mix
+
+
+class TestEnzo:
+    def test_issues_all_five_op_families(self):
+        """The paper: Enzo issues read, write, open, close and stats."""
+        cluster = run(EnzoWorkload(EnzoConfig(ranks=2, cycles=2)))
+        mix = op_mix(cluster)
+        for op in (OpType.READ, OpType.WRITE, OpType.OPEN, OpType.CLOSE,
+                   OpType.STAT):
+            assert mix.get(op, 0) > 0, f"missing {op}"
+
+    def test_write_sizes_vary_with_refinement_level(self):
+        cluster = run(EnzoWorkload(EnzoConfig(ranks=2, cycles=4)))
+        sizes = {r.size for r in cluster.collector.records
+                 if r.op is OpType.WRITE and "grid" in r.path}
+        assert len(sizes) >= 2
+
+    def test_deterministic_op_sequence(self):
+        cfg = EnzoConfig(ranks=2, cycles=2)
+
+        def trace(seed):
+            cluster = run(EnzoWorkload(cfg), seed=seed)
+            return [(r.rank, r.op_id, r.op, r.path, r.size)
+                    for r in cluster.collector.records]
+
+        assert trace(3) == trace(3)
+
+    def test_boundary_reads_resolve(self):
+        cluster = run(EnzoWorkload(EnzoConfig(ranks=4, cycles=3)))
+        peer_reads = [r for r in cluster.collector.records
+                      if r.op is OpType.READ and ".g0" in r.path]
+        assert len(peer_reads) == 4 * 3  # every rank, every cycle
+
+
+class TestAmrex:
+    def test_write_heavy_mix(self):
+        cluster = run(AmrexWorkload(AmrexConfig(ranks=4, steps=2)))
+        mix = op_mix(cluster)
+        data_written = sum(r.size for r in cluster.collector.records
+                           if r.op is OpType.WRITE)
+        data_read = sum(r.size for r in cluster.collector.records
+                        if r.op is OpType.READ)
+        assert data_written > 4 * data_read
+        assert mix.get(OpType.MKDIR, 0) == 2  # rank 0, one per step
+
+    def test_level_files_are_striped(self):
+        cluster = run(AmrexWorkload(AmrexConfig(ranks=2, steps=1)))
+        f = cluster.fs.lookup("/amrex/it0/plt00000/Level_0/Cell_D_00000")
+        assert f.layout.stripe_count == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AmrexConfig(ranks=0)
+
+
+class TestOpenPMD:
+    def test_metadata_intensive_mix(self):
+        """OpenPMD represents the paper's metadata-intensive class: more
+        metadata ops than data ops."""
+        cluster = run(OpenPMDWorkload(OpenPMDConfig(ranks=2, iterations=4)))
+        recs = cluster.collector.records
+        meta = sum(1 for r in recs if r.op.is_metadata)
+        data = sum(1 for r in recs if r.op.is_data)
+        assert meta > data
+
+    def test_mdt_receives_most_traffic(self):
+        cluster = run(OpenPMDWorkload(OpenPMDConfig(ranks=2, iterations=4)))
+        mdt_ops = sum(1 for r in cluster.collector.records
+                      if any(s.kind is ServerKind.MDT for s in r.servers))
+        assert mdt_ops > len(cluster.collector.records) / 2
+
+    def test_small_record_payloads(self):
+        cfg = OpenPMDConfig(ranks=1, iterations=2, records_per_iteration=3)
+        cluster = run(OpenPMDWorkload(cfg))
+        writes = [r for r in cluster.collector.records if r.op is OpType.WRITE]
+        assert all(r.size <= cfg.record_bytes for r in writes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OpenPMDConfig(iterations=0)

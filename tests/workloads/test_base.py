@@ -1,0 +1,60 @@
+"""Tests for workload launching and interference loops."""
+
+import pytest
+
+from repro.common.units import MIB
+from repro.sim.cluster import Cluster
+from repro.workloads.base import launch, launch_interference
+from repro.workloads.ior import IorConfig, IorWorkload
+
+
+def small_write(name="w", ranks=2):
+    return IorWorkload(
+        IorConfig(mode="easy", access="write", ranks=ranks, bytes_per_rank=MIB),
+        name=name,
+    )
+
+
+def test_launch_requires_nodes():
+    cluster = Cluster()
+    with pytest.raises(ValueError):
+        launch(cluster, small_write(), [], 1)
+    with pytest.raises(ValueError):
+        launch_interference(cluster, small_write(), [], 1)
+
+
+def test_launch_round_robins_ranks_over_nodes():
+    cluster = Cluster()
+    handle = launch(cluster, small_write(ranks=4), [2, 5], 1)
+    cluster.env.run(until=handle.done)
+    # Ranks 0,2 -> node 2; ranks 1,3 -> node 5. All records exist.
+    assert len({r.rank for r in cluster.collector.records}) == 4
+
+
+def test_done_event_fires_when_all_ranks_finish():
+    cluster = Cluster()
+    handle = launch(cluster, small_write(ranks=3), [0, 1, 2], 1)
+    cluster.env.run(until=handle.done)
+    assert all(not p.is_alive for p in handle.processes)
+
+
+def test_interference_loops_until_abandoned():
+    cluster = Cluster()
+    handle = launch_interference(cluster, small_write(name="noise", ranks=1),
+                                 [0], 1)
+    assert handle.done is None
+    cluster.env.run(until=1.0)
+    instances = {r.path.split("/")[2] for r in cluster.collector.records
+                 if r.op.value == "write"}
+    # Several iterations should have completed within a second.
+    assert len(instances) >= 2
+    assert all(p.is_alive for p in handle.processes)
+
+
+def test_target_and_interference_coexist():
+    cluster = Cluster()
+    launch_interference(cluster, small_write(name="noise", ranks=2), [1, 2], 7)
+    target = launch(cluster, small_write(name="target", ranks=1), [0], 7)
+    cluster.env.run(until=target.done)
+    jobs = {r.job for r in cluster.collector.records}
+    assert jobs == {"noise", "target"}

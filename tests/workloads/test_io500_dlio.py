@@ -1,0 +1,107 @@
+"""Tests for the IO500 task factory and DLIO workloads."""
+
+import pytest
+
+from repro.common.records import OpType
+from repro.common.units import MIB
+from repro.sim.cluster import Cluster
+from repro.workloads.base import launch
+from repro.workloads.dlio import DLIOConfig, DLIOWorkload
+from repro.workloads.io500 import IO500_TASKS, make_io500_task
+
+
+def run(workload, seed=3):
+    cluster = Cluster()
+    handle = launch(cluster, workload, [0, 1, 2, 3], seed)
+    cluster.env.run(until=handle.done)
+    return cluster
+
+
+def test_task_list_matches_paper_order():
+    assert IO500_TASKS == (
+        "ior-easy-read", "ior-hard-read", "mdt-hard-read", "ior-easy-write",
+        "ior-hard-write", "mdt-easy-write", "mdt-hard-write",
+    )
+
+
+@pytest.mark.parametrize("task", IO500_TASKS)
+def test_every_task_builds_and_runs(task):
+    w = make_io500_task(task, ranks=2, scale=0.05)
+    cluster = run(w)
+    assert len(cluster.collector.records) > 0
+    assert cluster.env.now > 0
+
+
+def test_unknown_task_rejected():
+    with pytest.raises(ValueError):
+        make_io500_task("ior-medium-write")
+    with pytest.raises(ValueError):
+        make_io500_task("ior-easy-read", scale=0)
+
+
+def test_custom_name_namespaces_instances():
+    a = make_io500_task("ior-easy-write", name="noise0", ranks=1, scale=0.05)
+    b = make_io500_task("ior-easy-write", name="noise1", ranks=1, scale=0.05)
+    cluster = Cluster()
+    ha = launch(cluster, a, [0], 1)
+    hb = launch(cluster, b, [1], 1)
+    from repro.sim.engine import AllOf
+    cluster.env.run(until=AllOf(cluster.env, [ha.done, hb.done]))
+    jobs = {r.job for r in cluster.collector.records}
+    assert jobs == {"noise0", "noise1"}
+
+
+class TestDLIO:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DLIOConfig(model="resnet")
+        with pytest.raises(ValueError):
+            DLIOConfig(model="bert", epochs=0)
+
+    def test_unet3d_reads_shuffled_samples(self):
+        cfg = DLIOConfig(model="unet3d", ranks=2, epochs=1, steps_per_epoch=4,
+                         sample_bytes=MIB, compute_time=0.01)
+        cluster = run(DLIOWorkload(cfg))
+        reads = [r for r in cluster.collector.records if r.op is OpType.READ]
+        assert len(reads) == 8
+        assert all(r.size == MIB for r in reads)
+        assert all(r.path.startswith("/dlio-unet3d/data/sample") for r in reads)
+
+    def test_unet3d_checkpoints_once_per_epoch(self):
+        cfg = DLIOConfig(model="unet3d", ranks=2, epochs=2, steps_per_epoch=2,
+                         sample_bytes=MIB, checkpoint_bytes=2 * MIB,
+                         compute_time=0.01)
+        cluster = run(DLIOWorkload(cfg))
+        writes = [r for r in cluster.collector.records if r.op is OpType.WRITE]
+        ckpts = {r.path for r in writes}
+        assert len(ckpts) == 2  # rank 0, epochs 0 and 1
+
+    def test_bert_reads_small_chunks_from_packed_files(self):
+        cfg = DLIOConfig(model="bert", ranks=2, epochs=1, steps_per_epoch=4,
+                         batch_read_bytes=256 * 1024, compute_time=0.01)
+        cluster = run(DLIOWorkload(cfg))
+        reads = [r for r in cluster.collector.records if r.op is OpType.READ]
+        assert len(reads) == 8
+        assert all(r.size == 256 * 1024 for r in reads)
+        assert all("tfrecord" in r.path for r in reads)
+
+    def test_compute_time_dominates_wallclock(self):
+        """DLIO spends most of its time computing, so most windows are
+        idle — the source of the paper's negative-heavy DLIO dataset."""
+        cfg = DLIOConfig(model="unet3d", ranks=1, epochs=1, steps_per_epoch=8,
+                         sample_bytes=MIB, compute_time=0.2)
+        cluster = run(DLIOWorkload(cfg))
+        io_time = sum(r.duration for r in cluster.collector.records)
+        assert io_time < 0.5 * cluster.env.now
+
+    def test_deterministic_sample_order_per_seed(self):
+        cfg = DLIOConfig(model="unet3d", ranks=1, epochs=1, steps_per_epoch=6,
+                         sample_bytes=MIB, compute_time=0.01)
+
+        def order(seed):
+            cluster = run(DLIOWorkload(cfg), seed=seed)
+            return [r.path for r in cluster.collector.records
+                    if r.op is OpType.READ]
+
+        assert order(5) == order(5)
+        assert order(5) != order(6)

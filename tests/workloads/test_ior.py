@@ -1,0 +1,111 @@
+"""Tests for IOR-like workloads."""
+
+import pytest
+
+from repro.common.records import OpType
+from repro.common.rng import derive_rng
+from repro.common.units import MIB
+from repro.sim.cluster import Cluster
+from repro.workloads.base import launch
+from repro.workloads.ior import IOR_HARD_XFER, IorConfig, IorWorkload
+
+
+def run_workload(workload, nodes=None, seed=1):
+    cluster = Cluster()
+    handle = launch(cluster, workload, nodes or [0, 1, 2, 3], seed)
+    cluster.env.run(until=handle.done)
+    return cluster
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        IorConfig(mode="medium", access="write")
+    with pytest.raises(ValueError):
+        IorConfig(mode="easy", access="append")
+    with pytest.raises(ValueError):
+        IorConfig(mode="easy", access="write", ranks=0)
+
+
+def test_task_name():
+    assert IorConfig(mode="easy", access="write").task_name == "ior-easy-write"
+
+
+def test_easy_write_file_per_process():
+    cfg = IorConfig(mode="easy", access="write", ranks=4, bytes_per_rank=4 * MIB)
+    cluster = run_workload(IorWorkload(cfg))
+    writes = [r for r in cluster.collector.records if r.op is OpType.WRITE]
+    paths = {r.path for r in writes}
+    assert len(paths) == 4  # one file per rank
+    per_rank = sum(r.size for r in writes if r.rank == 0)
+    assert per_rank == 4 * MIB
+
+
+def test_easy_write_is_sequential():
+    cfg = IorConfig(mode="easy", access="write", ranks=1, bytes_per_rank=4 * MIB)
+    cluster = run_workload(IorWorkload(cfg))
+    writes = [r for r in cluster.collector.records if r.op is OpType.WRITE]
+    offsets = [r.offset for r in writes]
+    assert offsets == sorted(offsets)
+    assert offsets[0] == 0
+
+
+def test_hard_write_shared_file_strided():
+    cfg = IorConfig(mode="hard", access="write", ranks=4,
+                    bytes_per_rank=IOR_HARD_XFER * 8)
+    cluster = run_workload(IorWorkload(cfg))
+    writes = [r for r in cluster.collector.records if r.op is OpType.WRITE]
+    assert len({r.path for r in writes}) == 1  # one shared file
+    assert all(r.size == IOR_HARD_XFER for r in writes)
+    # Rank-strided offsets never collide.
+    offsets = [r.offset for r in writes]
+    assert len(set(offsets)) == len(offsets)
+
+
+def test_hard_shared_file_striped_over_all_osts():
+    cfg = IorConfig(mode="hard", access="write", ranks=2,
+                    bytes_per_rank=IOR_HARD_XFER * 4)
+    cluster = run_workload(IorWorkload(cfg))
+    f = cluster.fs.lookup(f"/ior-hard-write/it0/shared.dat")
+    assert f.layout.stripe_count == cluster.config.n_osts
+
+
+def test_read_variants_stage_input_files():
+    cfg = IorConfig(mode="easy", access="read", ranks=2, bytes_per_rank=2 * MIB)
+    cluster = run_workload(IorWorkload(cfg), nodes=[0, 1])
+    reads = [r for r in cluster.collector.records if r.op is OpType.READ]
+    assert sum(r.size for r in reads) == 4 * MIB
+
+
+def test_hard_read_uses_staged_shared_file():
+    cfg = IorConfig(mode="hard", access="read", ranks=2,
+                    bytes_per_rank=IOR_HARD_XFER * 4)
+    w = IorWorkload(cfg)
+    cluster = run_workload(w, nodes=[0, 1])
+    reads = [r for r in cluster.collector.records if r.op is OpType.READ]
+    assert {r.path for r in reads} == {"/ior-hard-read/input/shared.dat"}
+
+
+def test_same_seed_same_op_sequence():
+    cfg = IorConfig(mode="easy", access="write", ranks=2, bytes_per_rank=2 * MIB)
+
+    def trace():
+        cluster = run_workload(IorWorkload(cfg), nodes=[0, 1], seed=9)
+        return [(r.rank, r.op_id, r.op, r.path, r.offset, r.size)
+                for r in cluster.collector.records]
+
+    assert trace() == trace()
+
+
+def test_instance_namespacing_for_interference_loops():
+    cfg = IorConfig(mode="easy", access="write", ranks=1, bytes_per_rank=MIB)
+    w = IorWorkload(cfg, name="noise")
+    cluster = Cluster()
+    sess = cluster.session("noise", 0, 0)
+
+    def two_instances():
+        yield from w.rank_body(sess, 0, derive_rng(1, "a"), instance=0)
+        yield from w.rank_body(sess, 0, derive_rng(1, "b"), instance=1)
+
+    cluster.env.run(until=cluster.env.process(two_instances()))
+    paths = {r.path for r in cluster.collector.records if r.op is OpType.WRITE}
+    assert paths == {"/noise/it0/rank0.dat", "/noise/it1/rank0.dat"}

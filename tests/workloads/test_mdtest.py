@@ -1,0 +1,79 @@
+"""Tests for MDTest-like workloads."""
+
+import pytest
+
+from repro.common.records import OpType, ServerKind
+from repro.sim.cluster import Cluster
+from repro.workloads.base import launch
+from repro.workloads.mdtest import MDTEST_HARD_BYTES, MDTestConfig, MDTestWorkload
+
+
+def run_workload(cfg, seed=1):
+    cluster = Cluster()
+    handle = launch(cluster, MDTestWorkload(cfg), [0, 1, 2, 3], seed)
+    cluster.env.run(until=handle.done)
+    return cluster
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MDTestConfig(mode="soft", access="write")
+    with pytest.raises(ValueError):
+        MDTestConfig(mode="easy", access="write", files_per_rank=0)
+
+
+def test_easy_write_is_pure_metadata():
+    cluster = run_workload(MDTestConfig(mode="easy", access="write", ranks=2,
+                                        files_per_rank=8))
+    recs = cluster.collector.records
+    assert all(r.op.is_metadata for r in recs)
+    creates = [r for r in recs if r.op is OpType.CREATE]
+    assert len(creates) == 16
+    # Every metadata op targets the MDT only.
+    assert all(s.kind is ServerKind.MDT for r in recs for s in r.servers)
+
+
+def test_easy_uses_private_directories():
+    cluster = run_workload(MDTestConfig(mode="easy", access="write", ranks=4,
+                                        files_per_rank=2))
+    creates = [r for r in cluster.collector.records if r.op is OpType.CREATE]
+    dirs = {r.path.rsplit("/", 1)[0] for r in creates}
+    assert len(dirs) == 4
+
+
+def test_hard_uses_one_shared_directory():
+    cluster = run_workload(MDTestConfig(mode="hard", access="write", ranks=4,
+                                        files_per_rank=2))
+    creates = [r for r in cluster.collector.records if r.op is OpType.CREATE]
+    dirs = {r.path.rsplit("/", 1)[0] for r in creates}
+    assert len(dirs) == 1
+
+
+def test_hard_write_carries_data_payload():
+    cluster = run_workload(MDTestConfig(mode="hard", access="write", ranks=2,
+                                        files_per_rank=4))
+    writes = [r for r in cluster.collector.records if r.op is OpType.WRITE]
+    assert len(writes) == 8
+    assert all(r.size == MDTEST_HARD_BYTES for r in writes)
+    assert all(s.kind is ServerKind.OST for r in writes for s in r.servers)
+
+
+def test_hard_read_stats_and_reads_staged_files():
+    cluster = run_workload(MDTestConfig(mode="hard", access="read", ranks=2,
+                                        files_per_rank=4))
+    recs = cluster.collector.records
+    reads = [r for r in recs if r.op is OpType.READ]
+    stats = [r for r in recs if r.op is OpType.STAT]
+    assert len(reads) == 8
+    assert len(stats) == 8
+
+
+def test_shared_dir_slower_than_private_dirs():
+    """mdtest-hard creates serialise on the shared-directory lock."""
+
+    def elapsed(mode):
+        cluster = run_workload(MDTestConfig(mode=mode, access="write", ranks=4,
+                                            files_per_rank=32))
+        return cluster.env.now
+
+    assert elapsed("hard") > 1.3 * elapsed("easy")

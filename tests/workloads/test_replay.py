@@ -1,0 +1,101 @@
+"""Tests for trace replay."""
+
+import pytest
+
+from repro.common.records import OpType
+from repro.common.units import MIB
+from repro.sim.cluster import Cluster
+from repro.workloads.base import launch
+from repro.workloads.ior import IorConfig, IorWorkload
+from repro.workloads.replay import TraceReplayWorkload
+
+
+def record_ior_trace():
+    cluster = Cluster()
+    w = IorWorkload(IorConfig(mode="easy", access="write", ranks=2,
+                              bytes_per_rank=2 * MIB), name="orig")
+    handle = launch(cluster, w, [0, 1], seed=3)
+    cluster.env.run(until=handle.done)
+    return cluster.collector.for_job("orig")
+
+
+def test_replay_reproduces_op_sequence():
+    trace = record_ior_trace()
+    replay = TraceReplayWorkload(trace, name="replayed")
+    cluster = Cluster()
+    handle = launch(cluster, replay, [0, 1], seed=9)
+    cluster.env.run(until=handle.done)
+    replayed = cluster.collector.for_job("replayed")
+    orig_ops = sorted((r.rank, r.op_id, r.op, r.path, r.offset, r.size)
+                      for r in trace)
+    new_ops = sorted((r.rank, r.op_id, r.op, r.path, r.offset, r.size)
+                     for r in replayed)
+    assert new_ops == orig_ops
+
+
+def test_replay_preserves_think_time():
+    """A trace with a large gap replays with (at least) that gap."""
+    from repro.common.records import IORecord, ServerId, ServerKind
+
+    ost = (ServerId(ServerKind.OST, 0),)
+    trace = [
+        IORecord("app", 0, 1, OpType.WRITE, "/f", 0, 1024, 0.0, 0.01, ost),
+        IORecord("app", 0, 2, OpType.WRITE, "/f", 1024, 1024, 2.0, 2.01, ost),
+    ]
+    replay = TraceReplayWorkload(trace)
+    cluster = Cluster()
+    handle = launch(cluster, replay, [0], seed=1)
+    cluster.env.run(until=handle.done)
+    recs = cluster.collector.for_job("replay")
+    assert recs[1].start - recs[0].start >= 2.0 - 0.02
+
+
+def test_replay_without_think_time_is_back_to_back():
+    trace = record_ior_trace()
+    replay = TraceReplayWorkload(trace, preserve_think_time=False)
+    cluster = Cluster()
+    handle = launch(cluster, replay, [0, 1], seed=1)
+    cluster.env.run(until=handle.done)
+    assert cluster.env.now > 0
+
+
+def test_replay_stages_read_targets():
+    from repro.common.records import IORecord, ServerId, ServerKind
+
+    ost = (ServerId(ServerKind.OST, 0),)
+    trace = [IORecord("app", 0, 1, OpType.READ, "/input/data", 0, MIB,
+                      0.0, 0.1, ost)]
+    replay = TraceReplayWorkload(trace)
+    cluster = Cluster()
+    handle = launch(cluster, replay, [0], seed=1)
+    cluster.env.run(until=handle.done)
+    assert "/input/data" in cluster.fs
+    reads = [r for r in cluster.collector.for_job("replay")
+             if r.op is OpType.READ]
+    assert len(reads) == 1
+
+
+def test_replay_round_trips_through_dxt():
+    """record -> DXT text -> parse -> replay."""
+    from repro.monitor.darshan import dumps_dxt, loads_dxt
+
+    trace = record_ior_trace()
+    replay = TraceReplayWorkload(loads_dxt(dumps_dxt(trace)), name="fromdxt")
+    cluster = Cluster()
+    handle = launch(cluster, replay, [0, 1], seed=2)
+    cluster.env.run(until=handle.done)
+    assert len(cluster.collector.for_job("fromdxt")) == len(trace)
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="empty"):
+        TraceReplayWorkload([])
+    from repro.common.records import IORecord, ServerId, ServerKind
+
+    ost = (ServerId(ServerKind.OST, 0),)
+    mixed = [
+        IORecord("a", 0, 1, OpType.STAT, "/f", 0, 0, 0.0, 0.1, ost),
+        IORecord("b", 0, 1, OpType.STAT, "/f", 0, 0, 0.0, 0.1, ost),
+    ]
+    with pytest.raises(ValueError, match="mixes jobs"):
+        TraceReplayWorkload(mixed)
