@@ -8,10 +8,18 @@ Usage::
     python -m repro table2               # server-metric catalogue
     python -m repro fig3 | fig4 | fig5   # model evaluations
     python -m repro all [--fast]         # everything, in order
+    python -m repro obs FILE [FILE ...]  # summarise traces/metrics/manifests
 
 ``--fast`` shrinks workloads for a quick smoke pass; default sizes match
 the benchmark suite. Results print to stdout; pass ``--out DIR`` to also
 write one text file per experiment.
+
+Observability: every experiment writes a JSON run manifest (seed, config,
+git SHA, timings, metric snapshot) next to its results. ``--trace PATH``
+records a span trace of all simulated I/O to a JSONL file,
+``--metrics-out PATH`` dumps the metrics registry, ``-v``/``-vv`` turn on
+INFO/DEBUG logging, and ``python -m repro obs`` renders any of the
+exported files.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ import pathlib
 import sys
 import time
 
+from repro import obs
 from repro.experiments.runner import ExperimentConfig
 
 #: Paper artefacts (run by ``all``).
@@ -143,35 +152,96 @@ _RUNNERS = {
 }
 
 
+def main_obs(argv: list[str]) -> int:
+    """``python -m repro obs`` — summarise exported observability files."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs",
+        description="Summarise exported traces, metric snapshots and "
+                    "run manifests from their files alone.",
+    )
+    parser.add_argument("files", nargs="+", type=pathlib.Path,
+                        help="*.trace.jsonl, *.metrics.json or manifest.json")
+    args = parser.parse_args(argv)
+    status = 0
+    for path in args.files:
+        print(f"==== {path} ====")
+        try:
+            print(obs.summarise_file(path))
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}")
+            status = 1
+        print()
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "obs":
+        return main_obs(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's tables and figures.",
     )
     parser.add_argument("experiment",
-                        choices=("list", "all", *EXPERIMENTS, *EXTENSIONS))
+                        choices=("list", "all", "obs",
+                                 *EXPERIMENTS, *EXTENSIONS))
     parser.add_argument("--fast", action="store_true",
                         help="shrink workloads for a quick smoke pass")
     parser.add_argument("--out", type=pathlib.Path, default=None,
                         help="also write one text file per experiment here")
+    parser.add_argument("--trace", type=pathlib.Path, default=None,
+                        help="record a span trace of all simulated I/O "
+                             "to this JSONL file")
+    parser.add_argument("--metrics-out", type=pathlib.Path, default=None,
+                        help="write the final metrics-registry snapshot "
+                             "to this JSON file")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="-v: INFO logs, -vv: DEBUG logs")
     args = parser.parse_args(argv)
+
+    if args.verbose:
+        obs.configure_logging("DEBUG" if args.verbose > 1 else "INFO")
 
     if args.experiment == "list":
         for name in (*EXPERIMENTS, *EXTENSIONS):
             print(name)
         return 0
 
+    tracer = obs.install_tracer() if args.trace else None
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
-    for name in names:
-        start = time.time()
-        print(f"==== {name} ====")
-        text = _RUNNERS[name](args.fast)
-        print(text)
-        print(f"({time.time() - start:.0f}s)\n")
-        if args.out:
-            (args.out / f"{name}.txt").write_text(text + "\n")
+    manifest_dir = args.out if args.out else pathlib.Path("results")
+    try:
+        for name in names:
+            start = time.time()
+            print(f"==== {name} ====")
+            text = _RUNNERS[name](args.fast)
+            elapsed = time.time() - start
+            print(text)
+            print(f"({elapsed:.0f}s)\n")
+            if args.out:
+                (args.out / f"{name}.txt").write_text(text + "\n")
+            manifest = obs.build_manifest(
+                name=name,
+                seed=_config(args.fast).seed,
+                config={"fast": args.fast,
+                        **obs.config_to_dict(_config(args.fast))},
+                timings={"run": elapsed},
+                extra={"scales": _scales(args.fast)},
+            )
+            obs.write_manifest(manifest,
+                               manifest_dir / f"{name}.manifest.json")
+    finally:
+        if tracer is not None:
+            obs.uninstall_tracer()
+    if tracer is not None:
+        obs.save_trace(tracer, args.trace)
+        print(f"wrote {len(tracer.spans)} spans to {args.trace}")
+    if args.metrics_out:
+        obs.save_metrics(obs.REGISTRY, args.metrics_out)
+        print(f"wrote metrics snapshot to {args.metrics_out}")
     return 0
 
 

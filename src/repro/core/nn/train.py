@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -9,8 +11,12 @@ import numpy as np
 from repro.common.rng import derive_rng
 from repro.core.nn.losses import huber_loss, softmax_cross_entropy
 from repro.core.nn.optim import Adam
+from repro.obs.log import get_logger
+from repro.obs.metrics import REGISTRY
 
 __all__ = ["TrainConfig", "TrainHistory", "train_classifier", "train_regressor"]
+
+logger = get_logger("core.nn.train")
 
 
 @dataclass(frozen=True)
@@ -106,7 +112,18 @@ def _train(model, X: np.ndarray, y: np.ndarray, loss_fn,
     best_state: list[np.ndarray] | None = None
     since_best = 0
 
+    logger.info(
+        "training %s: %d train / %d val samples, <=%d epochs, batch %d",
+        type(model).__name__, len(Xtr), len(Xval), config.epochs,
+        config.batch_size,
+    )
+    epoch_timer = REGISTRY.histogram("train.epoch_seconds")
+    epoch_counter = REGISTRY.counter("train.epochs")
+    grad_gauge = REGISTRY.gauge("train.grad_norm")
+    val_gauge = REGISTRY.gauge("train.val_loss")
+
     for epoch in range(config.epochs):
+        t0 = time.perf_counter()
         order = rng.permutation(len(Xtr))
         epoch_loss = 0.0
         n_batches = 0
@@ -120,6 +137,11 @@ def _train(model, X: np.ndarray, y: np.ndarray, loss_fn,
             epoch_loss += loss
             n_batches += 1
         history.train_loss.append(epoch_loss / max(1, n_batches))
+        # Global gradient norm of the epoch's final batch: a cheap
+        # divergence/vanishing indicator without touching the hot loop.
+        grad_norm = math.sqrt(
+            sum(float(np.sum(p.grad * p.grad)) for p in model.params())
+        )
 
         if len(Xval):
             out = model.forward(Xval, training=False)
@@ -127,6 +149,15 @@ def _train(model, X: np.ndarray, y: np.ndarray, loss_fn,
         else:
             val_loss = history.train_loss[-1]
         history.val_loss.append(val_loss)
+
+        epoch_timer.observe(time.perf_counter() - t0)
+        epoch_counter.inc()
+        grad_gauge.set(grad_norm)
+        val_gauge.set(float(val_loss))
+        logger.debug(
+            "epoch %d: train_loss=%.6f val_loss=%.6f grad_norm=%.4g",
+            epoch, history.train_loss[-1], val_loss, grad_norm,
+        )
 
         if val_loss < best_val - 1e-6:
             best_val = val_loss
@@ -142,4 +173,10 @@ def _train(model, X: np.ndarray, y: np.ndarray, loss_fn,
     if best_state is not None:
         for p, v in zip(model.params(), best_state):
             p.value[...] = v
+    logger.info(
+        "training done: best epoch %d (val_loss=%.6f), %s",
+        history.best_epoch, best_val,
+        "stopped early" if history.stopped_early else
+        f"ran all {len(history.train_loss)} epochs",
+    )
     return history

@@ -27,7 +27,11 @@ from repro.monitor.client_monitor import ClientWindowAggregator
 from repro.monitor.schema import CLIENT_FEATURES, SERVER_FEATURES
 from repro.monitor.server_monitor import ServerMonitor
 from repro.core.predictor import InterferencePredictor
+from repro.obs.log import get_logger
+from repro.obs.metrics import REGISTRY
 from repro.sim.cluster import Cluster
+
+logger = get_logger("core.online")
 
 __all__ = ["WindowPrediction", "StreamingPredictor"]
 
@@ -129,16 +133,23 @@ class StreamingPredictor:
     # -- the loop -----------------------------------------------------------------
 
     def _loop(self):
+        import time
+
         env = self.cluster.env
         window = 0
+        emit_counter = REGISTRY.counter("online.predictions")
+        latency_hist = REGISTRY.histogram("online.predict_latency_seconds")
         while True:
             # Wake just after the window boundary so the boundary sample
             # (taken exactly at the edge) has been recorded.
             target_time = (window + 1) * self.window_size + 1e-9
             yield env.timeout(max(0.0, target_time - env.now))
             self._ingest()
+            t0 = time.perf_counter()
             X = self._vector_for(window)
             probs = self.predictor.predict_proba(X)[0]
+            latency_hist.observe(time.perf_counter() - t0)
+            emit_counter.inc()
             pred = WindowPrediction(
                 window=window,
                 severity=int(np.argmax(probs)),
@@ -148,4 +159,8 @@ class StreamingPredictor:
             self.predictions.append(pred)
             if self.on_prediction is not None:
                 self.on_prediction(pred)
+            logger.debug(
+                "window %d: severity=%d (p=%.3f) emitted at t=%.3fs",
+                window, pred.severity, max(pred.probabilities), env.now,
+            )
             window += 1

@@ -11,12 +11,16 @@ optionally lets them warm up, then runs the target to completion.
 
 from __future__ import annotations
 
+import pathlib
+import time
 from dataclasses import dataclass, field
 
 from repro.common.rng import derive_seed
 from repro.common.units import MIB
 from repro.monitor.aggregator import MonitoredRun
 from repro.monitor.server_monitor import ServerMonitor
+from repro.obs.log import get_logger
+from repro.obs.manifest import build_manifest, config_to_dict, write_manifest
 from repro.sim.cache import CacheParams
 from repro.sim.cluster import Cluster, ClusterConfig
 from repro.workloads.base import Workload, launch, launch_interference
@@ -29,7 +33,10 @@ __all__ = [
     "execute_run",
     "run_pair",
     "experiment_cluster",
+    "save_run_with_manifest",
 ]
+
+logger = get_logger("experiments.runner")
 
 
 def experiment_cluster(cache_mib: int = 64, mds_threads: int = 4) -> ClusterConfig:
@@ -123,6 +130,12 @@ def execute_run(
     seed_salt: str = "",
 ) -> MonitoredRun:
     """One monitored execution of ``target`` under the given noise."""
+    wall_start = time.perf_counter()
+    logger.info(
+        "execute_run: target=%s noise=%s seed=%d",
+        target.name, [spec.task for spec in interference] or "none",
+        config.seed,
+    )
     cluster = Cluster(config.cluster)
     monitor = ServerMonitor(cluster, sample_interval=config.sample_interval)
     monitor.start()
@@ -133,6 +146,8 @@ def execute_run(
             # Unique job name per (spec, copy) so traces stay separable.
             workload.name = f"{workload.name}-{spec_idx}"
             seed = derive_seed(config.seed, "noise", seed_salt, spec_idx, copy)
+            logger.debug("launching noise %s on nodes %s (seed=%d)",
+                         workload.name, noise_nodes, seed)
             launch_interference(cluster, workload, noise_nodes, seed,
                                 record=False)
     if interference and config.warmup > 0:
@@ -142,7 +157,7 @@ def execute_run(
     cluster.env.run(until=handle.done)
     # One trailing sampling period so the last window has server samples.
     cluster.env.run(until=cluster.env.now + config.sample_interval)
-    return MonitoredRun(
+    run = MonitoredRun(
         job=target.name,
         records=cluster.collector.records,
         server_samples=monitor.samples,
@@ -152,8 +167,51 @@ def execute_run(
             "interference": [spec.task for spec in interference],
             "instances": sum(spec.instances for spec in interference),
             "warmup": config.warmup if interference else 0.0,
+            "seed": config.seed,
+            "target_nodes": list(config.target_nodes),
+            "window_size": config.window_size,
+            "sample_interval": config.sample_interval,
         },
     )
+    logger.info(
+        "execute_run done: %s finished at t=%.3fs sim (%d records, "
+        "%d samples, %.2fs wall)",
+        target.name, run.duration, len(run.records),
+        len(run.server_samples), time.perf_counter() - wall_start,
+    )
+    return run
+
+
+def save_run_with_manifest(
+    run: MonitoredRun,
+    config: ExperimentConfig,
+    directory: str | pathlib.Path,
+    name: str | None = None,
+    timings: dict[str, float] | None = None,
+) -> pathlib.Path:
+    """Persist a run plus its provenance manifest to ``directory``.
+
+    Combines :func:`repro.monitor.persist.save_run` with a
+    ``manifest.json`` recording the seed, full experiment configuration
+    and the current metrics snapshot, so the directory alone identifies
+    what produced it (``python -m repro obs <dir>/manifest.json``).
+    """
+    from repro.monitor.persist import save_run
+
+    directory = pathlib.Path(directory)
+    save_run(run, directory)
+    manifest = build_manifest(
+        name=name or run.job,
+        seed=config.seed,
+        config=config_to_dict(config),
+        timings=timings,
+        extra={"job": run.job, "duration": run.duration,
+               "records": len(run.records),
+               "samples": len(run.server_samples)},
+    )
+    write_manifest(manifest, directory / "manifest.json")
+    logger.info("saved run %s with manifest to %s", run.job, directory)
+    return directory
 
 
 def run_pair(

@@ -18,6 +18,7 @@ import numpy as np
 from repro.common.records import ServerId
 from repro.common.windows import window_index
 from repro.monitor.schema import GAUGE_METRICS, SERVER_METRICS, SERVER_STATS
+from repro.obs.metrics import REGISTRY
 from repro.sim.cluster import Cluster
 
 __all__ = ["ServerMonitor"]
@@ -69,9 +70,17 @@ class ServerMonitor:
 
     def _loop(self):
         env = self.cluster.env
+        # Resolve metric handles once; the loop then pays one attribute
+        # bump per sample row.
+        sample_counter = REGISTRY.counter("monitor.server_samples")
+        tick_counter = REGISTRY.counter("monitor.sample_ticks")
+        last_sample = REGISTRY.gauge("monitor.last_sample_sim_time")
         while True:
             yield env.timeout(self.sample_interval)
             t = env.now
+            tick_counter.inc()
+            last_sample.set(t)
+            sample_counter.inc(len(self.cluster.servers))
             for server in self.cluster.servers:
                 counters = self.cluster.server_counters(server)
                 prev = self._last_counters[server]

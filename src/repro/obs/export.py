@@ -1,0 +1,95 @@
+"""JSONL exporters for traces and metric snapshots.
+
+Mirrors :mod:`repro.monitor.persist`'s philosophy — observability
+artefacts get a durable on-disk form so they can be archived next to
+results and analysed offline by ``python -m repro obs`` without the
+producing process.  Formats:
+
+* ``*.trace.jsonl`` — line 1 is a header object
+  (``{"kind": "repro-trace", ...}``), every following line one span;
+* ``*.metrics.json`` — a single object wrapping a
+  :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`.
+
+Both are pure ``json`` text: greppable, diffable, and — because spans
+carry only simulated time — byte-identical across same-seed runs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Iterable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "TRACE_KIND", "METRICS_KIND",
+    "save_trace", "load_trace", "save_metrics", "load_metrics",
+]
+
+TRACE_KIND = "repro-trace"
+METRICS_KIND = "repro-metrics"
+_FORMAT_VERSION = 1
+
+
+def save_trace(source: Tracer | Iterable[Span],
+               path: str | pathlib.Path) -> pathlib.Path:
+    """Write spans as JSONL (header line + one span per line)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    spans = list(source.spans if isinstance(source, Tracer) else source)
+    header: dict[str, Any] = {
+        "kind": TRACE_KIND,
+        "version": _FORMAT_VERSION,
+        "spans": len(spans),
+    }
+    if isinstance(source, Tracer):
+        header["events_fired"] = source.events_fired
+        header["processes_spawned"] = source.processes_spawned
+    with open(path, "w") as fp:
+        fp.write(json.dumps(header, sort_keys=True) + "\n")
+        for span in spans:
+            fp.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+    return path
+
+
+def load_trace(path: str | pathlib.Path) -> list[Span]:
+    """Read spans written by :func:`save_trace`."""
+    path = pathlib.Path(path)
+    with open(path) as fp:
+        header_line = fp.readline()
+        if not header_line.strip():
+            raise ValueError(f"{path}: empty trace file")
+        header = json.loads(header_line)
+        if header.get("kind") != TRACE_KIND:
+            raise ValueError(f"{path}: not a repro trace file")
+        spans = [Span.from_dict(json.loads(line))
+                 for line in fp if line.strip()]
+    declared = header.get("spans")
+    if declared is not None and declared != len(spans):
+        raise ValueError(
+            f"{path}: header declares {declared} spans, found {len(spans)}"
+        )
+    return spans
+
+
+def save_metrics(source: MetricsRegistry | dict,
+                 path: str | pathlib.Path) -> pathlib.Path:
+    """Write a metrics snapshot (or a registry's current state) as JSON."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    snapshot = (source.snapshot() if isinstance(source, MetricsRegistry)
+                else dict(source))
+    doc = {"kind": METRICS_KIND, "version": _FORMAT_VERSION,
+           "metrics": snapshot}
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_metrics(path: str | pathlib.Path) -> dict[str, dict]:
+    """Read a snapshot written by :func:`save_metrics`."""
+    doc = json.loads(pathlib.Path(path).read_text())
+    if doc.get("kind") != METRICS_KIND:
+        raise ValueError(f"{path}: not a repro metrics file")
+    return doc["metrics"]

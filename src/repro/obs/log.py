@@ -1,0 +1,62 @@
+"""Stdlib-``logging`` wiring for the ``repro`` namespace.
+
+Every module logs through ``logging.getLogger("repro.<module>")`` via
+:func:`get_logger`; nothing is emitted until an application (or the CLI)
+calls :func:`configure_logging`, which attaches one stream handler to the
+``repro`` root logger.  Library code therefore stays silent by default —
+the stdlib's null-handling swallows unconfigured records — while any
+entry point can turn on INFO/DEBUG visibility with one line.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+__all__ = ["get_logger", "configure_logging"]
+
+_ROOT = "repro"
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    ``get_logger("experiments.runner")`` and
+    ``get_logger("repro.experiments.runner")`` name the same logger.
+    """
+    if not name or name == _ROOT:
+        return logging.getLogger(_ROOT)
+    if name.startswith(_ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+def configure_logging(level: int | str = "INFO",
+                      stream: IO[str] | None = None) -> logging.Logger:
+    """Enable ``repro.*`` log output at ``level``; returns the root logger.
+
+    Idempotent: calling again adjusts the level (and stream, if given)
+    of the handler installed earlier instead of stacking duplicates.
+    """
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level: {level!r}")
+        level = resolved
+    root = logging.getLogger(_ROOT)
+    root.setLevel(level)
+    handler = next(
+        (h for h in root.handlers if getattr(h, "_repro_obs_handler", False)),
+        None,
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler._repro_obs_handler = True  # type: ignore[attr-defined]
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)  # type: ignore[attr-defined]
+    handler.setLevel(level)
+    return root

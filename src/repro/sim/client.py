@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 
 from repro.common.records import IORecord, OpType, ServerId, ServerKind
 from repro.common.units import MIB
+from repro.obs import trace as _trace
 from repro.sim.engine import AllOf
 from repro.sim.netmodel import Link
 from repro.sim.resources import Semaphore
@@ -130,28 +131,45 @@ class ClientSession:
         return rec
 
     def _data_rpc(self, ost_index: int, object_id: int, obj_offset: int,
-                  nbytes: int, is_write: bool):
+                  nbytes: int, is_write: bool, parent_span=None):
         """One bulk RPC to one OST, gated by the RPC window."""
         cluster = self.node.cluster
         ost = cluster.osts[ost_index]
         window = self.node.rpc_window(ost_index)
+        tracer = _trace.TRACER
+        span = tracer.start(
+            "client.rpc", self.env.now, parent=parent_span,
+            ost=ost_index, nbytes=nbytes, write=is_write,
+        ) if tracer is not None else None
         yield window.acquire()
         try:
             yield self.env.timeout(self.node.params.rpc_latency)
             path = cluster.route(self.node.link, ost.oss_link)
             if is_write:
-                yield cluster.net.transfer(nbytes, path)
-                yield ost.write(object_id, obj_offset, nbytes, job=self.job)
+                yield cluster.net.transfer(nbytes, path, parent_span=span)
+                yield ost.write(object_id, obj_offset, nbytes, job=self.job,
+                                parent_span=span)
             else:
-                yield ost.read(object_id, obj_offset, nbytes, job=self.job)
-                yield cluster.net.transfer(nbytes, path)
+                yield ost.read(object_id, obj_offset, nbytes, job=self.job,
+                               parent_span=span)
+                yield cluster.net.transfer(nbytes, path, parent_span=span)
         finally:
             window.release()
+        # Normal completion only — a ``finally`` would also run when an
+        # abandoned noise generator is garbage-collected after its run,
+        # closing spans at GC time and breaking trace determinism.
+        if span is not None:
+            tracer.finish(span, self.env.now)
 
     def _data_op(self, op: OpType, path: str, offset: int, size: int):
         cluster = self.node.cluster
         f = cluster.fs.lookup(path)
         start = self.env.now
+        tracer = _trace.TRACER
+        span = tracer.start(
+            f"client.{op.value}", start, job=self.job, rank=self.rank,
+            path=path, offset=offset, size=size,
+        ) if tracer is not None else None
         rpcs = []
         touched: dict[ServerId, int] = {}
         max_rpc = self.node.params.max_rpc_bytes
@@ -165,7 +183,7 @@ class ClientSession:
                     self.env.process(
                         self._data_rpc(
                             ost_idx, object_id, obj_off + sent, piece,
-                            is_write=(op is OpType.WRITE),
+                            is_write=(op is OpType.WRITE), parent_span=span,
                         )
                     )
                 )
@@ -173,18 +191,27 @@ class ClientSession:
         yield AllOf(self.env, rpcs)
         if op is OpType.WRITE:
             f.size = max(f.size, offset + size)
-        self._record(op, path, offset, size, start, tuple(sorted(touched)))
+        rec = self._record(op, path, offset, size, start, tuple(sorted(touched)))
+        if span is not None:
+            tracer.finish(span, self.env.now, op_id=rec.op_id)
 
     def _meta_op(self, op: OpType, path: str, parent: str):
         cluster = self.node.cluster
         start = self.env.now
+        tracer = _trace.TRACER
+        span = tracer.start(
+            f"client.{op.value}", start, job=self.job, rank=self.rank,
+            path=path,
+        ) if tracer is not None else None
         yield self._mds_gate_acquire()
         try:
             yield self.env.timeout(self.node.params.rpc_latency)
-            yield cluster.mds.handle(op, parent)
+            yield cluster.mds.handle(op, parent, parent_span=span)
         finally:
             self.node._mds_slots.release()
-        self._record(op, path, 0, 0, start, (cluster.mds.server_id,))
+        rec = self._record(op, path, 0, 0, start, (cluster.mds.server_id,))
+        if span is not None:
+            tracer.finish(span, self.env.now, op_id=rec.op_id)
 
     def _mds_gate_acquire(self):
         return self.node._mds_slots.acquire()

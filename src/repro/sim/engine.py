@@ -22,6 +22,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable
 
+from repro.obs import trace as _trace
+
 __all__ = ["Environment", "Event", "Timeout", "Process", "AllOf", "SimulationError"]
 
 
@@ -220,6 +222,9 @@ class Environment:
         return Event(self)
 
     def process(self, gen: Generator[Event, Any, Any]) -> Process:
+        tracer = _trace.TRACER
+        if tracer is not None:
+            tracer.processes_spawned += 1
         return Process(self, gen)
 
     # -- execution --------------------------------------------------------
@@ -231,6 +236,9 @@ class Environment:
             raise SimulationError("event scheduled in the past")
         self.now = when
         event._fired = True
+        tracer = _trace.TRACER
+        if tracer is not None:
+            tracer.events_fired += 1
         callbacks, event.callbacks = event.callbacks, []
         for cb in callbacks:
             cb(event)

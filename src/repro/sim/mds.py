@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.common.records import OpType, ServerId, ServerKind
 from repro.common.units import KIB
+from repro.obs import trace as _trace
 from repro.sim.disk import DiskParams, FlashParams, make_disk_model
 from repro.sim.engine import Environment, Process
 from repro.sim.netmodel import Link
@@ -98,13 +99,18 @@ class MDS:
             self._journal_offset = 0
         return off
 
-    def handle(self, op: OpType, parent_dir: str) -> Process:
+    def handle(self, op: OpType, parent_dir: str, parent_span=None) -> Process:
         """Serve one metadata op; the returned process ends at completion."""
-        return self.env.process(self._handle(op, parent_dir))
+        return self.env.process(self._handle(op, parent_dir, parent_span))
 
-    def _handle(self, op: OpType, parent_dir: str):
+    def _handle(self, op: OpType, parent_dir: str, parent_span=None):
         service = self.params.service_time(op)
         mutating = op in _MUTATING
+        tracer = _trace.TRACER
+        span = tracer.start(
+            "mds.op", self.env.now, parent=parent_span,
+            server=str(self.server_id), op=op.value, dir=parent_dir,
+        ) if tracer is not None else None
         lock = self._dir_lock(parent_dir) if mutating else None
         if lock is not None:
             yield lock.acquire()
@@ -125,6 +131,8 @@ class MDS:
             if lock is not None:
                 lock.release()
         self.ops_completed += 1
+        if span is not None:
+            tracer.finish(span, self.env.now)
 
     def queue_depth(self) -> int:
         return self._threads.queued + (self._threads.capacity - self._threads.available)

@@ -20,6 +20,7 @@ import itertools
 import math
 from dataclasses import dataclass, field
 
+from repro.obs import trace as _trace
 from repro.sim.engine import Environment, Event
 
 __all__ = ["Link", "Flow", "FlowNetwork"]
@@ -82,7 +83,8 @@ class FlowNetwork:
 
     # -- public API --------------------------------------------------------
 
-    def transfer(self, size: float, links: tuple[Link, ...]) -> Event:
+    def transfer(self, size: float, links: tuple[Link, ...],
+                 parent_span=None) -> Event:
         """Start a transfer of ``size`` bytes over ``links``.
 
         Returns an event that fires when the last byte is delivered. A
@@ -95,6 +97,17 @@ class FlowNetwork:
         if size == 0 or not links:
             done.succeed()
             return done
+        tracer = _trace.TRACER
+        if tracer is not None:
+            span = tracer.start(
+                "net.transfer", self.env.now, parent=parent_span,
+                bytes=size, route="+".join(link.name for link in links),
+            )
+            # Spans close when the last byte lands: callbacks run at the
+            # completion event's fire time, so env.now is the finish time.
+            done.callbacks.append(
+                lambda _ev: tracer.finish(span, self.env.now)
+            )
         self._advance()
         flow = Flow(next(self._fid), tuple(links), size, done)
         self._flows[flow] = None

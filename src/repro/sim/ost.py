@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.common.records import ServerId, ServerKind
 from repro.common.units import MIB
+from repro.obs import trace as _trace
 from repro.sim.cache import CacheParams, PageCache
 from repro.sim.disk import DiskParams, FlashParams, make_disk_model
 from repro.sim.engine import Environment, Process
@@ -95,22 +96,36 @@ class OST:
         self.qos = QoSPolicy(env)
 
     def write(self, object_id: int, offset: int, size: int,
-              job: str | None = None) -> Process:
+              job: str | None = None, parent_span=None) -> Process:
         """Server-side handling of a write RPC payload already received."""
-        return self.env.process(self._write(object_id, offset, size, job))
-
-    def _write(self, object_id: int, offset: int, size: int, job: str | None):
-        yield self.qos.admit(job, size)
-        yield self.env.process(self.cache.write(object_id, offset, size))
+        return self.env.process(
+            self._serve(object_id, offset, size, job, parent_span,
+                        is_write=True)
+        )
 
     def read(self, object_id: int, offset: int, size: int,
-             job: str | None = None) -> Process:
+             job: str | None = None, parent_span=None) -> Process:
         """Server-side handling of a read RPC (data ready to send back)."""
-        return self.env.process(self._read(object_id, offset, size, job))
+        return self.env.process(
+            self._serve(object_id, offset, size, job, parent_span,
+                        is_write=False)
+        )
 
-    def _read(self, object_id: int, offset: int, size: int, job: str | None):
+    def _serve(self, object_id: int, offset: int, size: int, job: str | None,
+               parent_span, is_write: bool):
+        tracer = _trace.TRACER
+        span = tracer.start(
+            "ost.write" if is_write else "ost.read", self.env.now,
+            parent=parent_span, server=str(self.server_id),
+            object=object_id, offset=offset, size=size, job=job,
+        ) if tracer is not None else None
         yield self.qos.admit(job, size)
-        yield self.env.process(self.cache.read(object_id, offset, size))
+        if is_write:
+            yield self.env.process(self.cache.write(object_id, offset, size))
+        else:
+            yield self.env.process(self.cache.read(object_id, offset, size))
+        if span is not None:
+            tracer.finish(span, self.env.now)
 
     def queue_depth(self) -> int:
         return self.device.queue_depth

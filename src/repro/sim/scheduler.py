@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.units import SECTOR_SIZE
+from repro.obs import trace as _trace
 from repro.sim.disk import DiskModel, DiskStats
 from repro.sim.engine import Environment, Event
 
@@ -157,9 +158,16 @@ class BlockDevice:
             hi = max(r.end_lba for r in batch)
             sectors = hi - lo
             service = self.model.service_time(lo, sectors) * self.slowdown_factor
+            tracer = _trace.TRACER
+            span = tracer.start(
+                "disk.io", self.env.now, device=self.name, lba=lo,
+                sectors=sectors, write=first.is_write, merged=len(batch),
+            ) if tracer is not None else None
             self._in_service = len(batch)
             yield self.env.timeout(service)
             self._in_service = 0
+            if span is not None:
+                tracer.finish(span, self.env.now)
             self.stats.on_complete(
                 self.env.now, first.is_write, sectors, service, nrequests=len(batch)
             )

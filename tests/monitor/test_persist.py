@@ -64,6 +64,52 @@ def test_files_written(tmp_path, sample_run):
     assert (out / "meta.json").exists()
 
 
+def test_round_trip_with_multiple_servers_and_empty_windows(tmp_path):
+    """A run whose monitor sampled every server but whose trace never
+    touched some of them (idle windows everywhere) must survive the
+    round trip: all seven servers, samples full of zero-delta rows, and
+    windows with no client records at all."""
+    cluster = Cluster()
+    monitor = ServerMonitor(cluster, sample_interval=0.25)
+    monitor.start()
+    # Let the monitor tick with zero I/O: every window is empty.
+    cluster.env.run(until=1.0)
+    run = MonitoredRun(
+        job="idle-job",
+        records=[],
+        server_samples=monitor.samples,
+        servers=cluster.servers,
+        duration=cluster.env.now,
+        metadata={},
+    )
+    assert len(run.servers) == 7  # 6 OSTs + the MDT
+    save_run(run, tmp_path / "idle")
+    back = load_run(tmp_path / "idle")
+    assert back.records == []
+    assert back.servers == run.servers
+    assert len(back.server_samples) == len(run.server_samples)
+    sampled_servers = {s for _, s, _ in back.server_samples}
+    assert sampled_servers == set(run.servers)
+    for (t0, s0, m0), (t1, s1, m1) in zip(run.server_samples,
+                                          back.server_samples):
+        assert (t0, s0) == (t1, s1)
+        assert m0 == pytest.approx(m1)
+
+
+def test_round_trip_of_fully_empty_run(tmp_path):
+    """No records *and* no samples: the degenerate but legal corner."""
+    cluster = Cluster()
+    run = MonitoredRun(job="nothing", records=[], server_samples=[],
+                       servers=cluster.servers, duration=0.0, metadata={})
+    save_run(run, tmp_path / "empty")
+    back = load_run(tmp_path / "empty")
+    assert back.job == "nothing"
+    assert back.records == []
+    assert back.server_samples == []
+    assert back.servers == run.servers
+    assert back.duration == 0.0
+
+
 def test_schema_mismatch_detected(tmp_path, sample_run):
     save_run(sample_run, tmp_path / "run4")
     data = dict(np.load(tmp_path / "run4" / "samples.npz"))

@@ -1,0 +1,21 @@
+"""Shared fixtures: keep the process-wide tracer/registry state isolated."""
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+
+@pytest.fixture(autouse=True)
+def _isolate_global_obs_state():
+    """Every test starts with no tracer installed and restores it after."""
+    previous = obs_trace.TRACER
+    obs_trace.TRACER = None
+    yield
+    obs_trace.TRACER = previous
+
+
+@pytest.fixture()
+def fresh_registry():
+    """A throwaway registry (the global one is left untouched)."""
+    return obs_metrics.MetricsRegistry()

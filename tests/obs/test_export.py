@@ -1,0 +1,117 @@
+"""Exporter + summariser tests: JSONL traces, metrics JSON, file sniffing."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    load_metrics,
+    load_trace,
+    save_metrics,
+    save_trace,
+)
+from repro.obs.manifest import build_manifest, write_manifest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.summary import (
+    render_metrics_table,
+    render_span_summary,
+    sniff_kind,
+    summarise_file,
+)
+from repro.obs.trace import Tracer
+
+
+def make_tracer():
+    tr = Tracer()
+    a = tr.start("client.write", 0.0, job="j", rank=0)
+    b = tr.start("client.rpc", 0.1, parent=a, ost=2)
+    tr.finish(b, 0.4)
+    tr.finish(a, 0.5, op_id=1)
+    tr.events_fired = 12
+    tr.processes_spawned = 3
+    return tr
+
+
+def test_trace_round_trip(tmp_path):
+    tr = make_tracer()
+    path = save_trace(tr, tmp_path / "run.trace.jsonl")
+    spans = load_trace(path)
+    assert [s.to_dict() for s in spans] == [s.to_dict() for s in tr.spans]
+    header = json.loads(path.read_text().splitlines()[0])
+    assert header["kind"] == "repro-trace"
+    assert header["spans"] == 2
+    assert header["events_fired"] == 12
+
+
+def test_trace_round_trip_preserves_open_spans(tmp_path):
+    tr = Tracer()
+    tr.start("never.finished", 1.0)
+    (span,) = load_trace(save_trace(tr, tmp_path / "t.jsonl"))
+    assert span.end is None
+
+
+def test_load_trace_rejects_foreign_and_truncated(tmp_path):
+    bad = tmp_path / "x.jsonl"
+    bad.write_text('{"kind": "nope"}\n')
+    with pytest.raises(ValueError, match="not a repro trace"):
+        load_trace(bad)
+    truncated = tmp_path / "y.jsonl"
+    lines = save_trace(make_tracer(), tmp_path / "full.jsonl").read_text()
+    truncated.write_text("\n".join(lines.splitlines()[:-1]) + "\n")
+    with pytest.raises(ValueError, match="declares 2 spans"):
+        load_trace(truncated)
+
+
+def test_metrics_round_trip(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("a").inc(4)
+    reg.histogram("b", boundaries=[1.0]).observe(0.5)
+    path = save_metrics(reg, tmp_path / "m.metrics.json")
+    back = load_metrics(path)
+    assert back == reg.snapshot()
+
+
+def test_sniff_kind_distinguishes_all_three(tmp_path):
+    trace_path = save_trace(make_tracer(), tmp_path / "a.jsonl")
+    metrics_path = save_metrics(MetricsRegistry(), tmp_path / "b.json")
+    manifest_path = write_manifest(
+        build_manifest("x", 0, {}, registry=MetricsRegistry()),
+        tmp_path / "c.json",
+    )
+    assert sniff_kind(trace_path) == "trace"
+    assert sniff_kind(metrics_path) == "metrics"
+    assert sniff_kind(manifest_path) == "manifest"
+    other = tmp_path / "d.json"
+    other.write_text("{}")
+    with pytest.raises(ValueError, match="not a recognised"):
+        sniff_kind(other)
+
+
+def test_summarise_file_renders_each_kind(tmp_path):
+    trace_path = save_trace(make_tracer(), tmp_path / "a.jsonl")
+    reg = MetricsRegistry()
+    reg.counter("hits").inc(7)
+    metrics_path = save_metrics(reg, tmp_path / "b.json")
+    manifest_path = write_manifest(
+        build_manifest("expX", 4, {"fast": False}, registry=reg),
+        tmp_path / "c.json",
+    )
+    assert "client.write" in summarise_file(trace_path)
+    assert "hits" in summarise_file(metrics_path)
+    assert "expX" in summarise_file(manifest_path)
+
+
+def test_render_span_summary_orders_by_total_time():
+    tr = Tracer()
+    short = tr.start("short", 0.0)
+    tr.finish(short, 0.1)
+    long = tr.start("long", 0.0)
+    tr.finish(long, 5.0)
+    text = render_span_summary(tr.spans)
+    assert text.index("long") < text.index("short")
+    assert "2 spans" in text
+
+
+def test_render_handles_empty_inputs():
+    assert "no finished spans" in render_span_summary([])
+    assert "no metrics" in render_metrics_table({})

@@ -1,0 +1,131 @@
+"""End-to-end observability: traced paired runs, coverage, determinism.
+
+Backs the PR's acceptance criteria: a traced ``run_pair`` produces a
+JSONL span stream that covers client→net→server→disk for every I/O
+request of the target workload, and two same-seed runs produce identical
+span streams.
+"""
+
+import pytest
+
+from repro.common.records import OpType
+from repro.experiments.runner import (
+    ExperimentConfig,
+    InterferenceSpec,
+    run_pair,
+    save_run_with_manifest,
+)
+from repro.obs import trace
+from repro.obs.export import load_trace, save_trace
+from repro.obs.manifest import load_manifest
+from repro.workloads.io500 import make_io500_task
+
+
+def small_config(**kwargs):
+    defaults = dict(window_size=0.25, sample_interval=0.125, warmup=0.25,
+                    seed=3)
+    defaults.update(kwargs)
+    return ExperimentConfig(**defaults)
+
+
+def small_target():
+    return make_io500_task("ior-easy-write", ranks=2, scale=0.05)
+
+
+def small_noise():
+    return [InterferenceSpec("ior-easy-read", instances=1, ranks=2,
+                             scale=0.05)]
+
+
+@pytest.fixture(scope="module")
+def traced_pair():
+    with trace.tracing() as tracer:
+        pair = run_pair(small_target(), small_noise(), small_config())
+    return pair, tracer
+
+
+def test_trace_covers_every_io_request_end_to_end(traced_pair, tmp_path):
+    """client -> rpc -> {net, ost} spans exist for every data record,
+    and the trace survives a JSONL round trip."""
+    pair, tracer = traced_pair
+    spans = load_trace(save_trace(tracer, tmp_path / "pair.trace.jsonl"))
+    by_id = {s.span_id: s for s in spans}
+    children = {}
+    for s in spans:
+        if s.parent_id is not None:
+            children.setdefault(s.parent_id, []).append(s)
+
+    client_ops = {}
+    for s in spans:
+        if s.name.startswith("client.") and s.name != "client.rpc":
+            key = (s.attrs["job"], s.attrs["rank"], s.attrs.get("op_id"))
+            client_ops[key] = s
+
+    target_data_records = [
+        r for r in pair.interfered.records
+        if r.job == pair.interfered.job and r.op in (OpType.READ, OpType.WRITE)
+    ]
+    assert target_data_records
+    for rec in target_data_records:
+        op_span = client_ops[(rec.job, rec.rank, rec.op_id)]
+        assert op_span.name == f"client.{rec.op.value}"
+        # Span brackets the recorded operation in simulated time.
+        assert op_span.start == pytest.approx(rec.start)
+        assert op_span.end == pytest.approx(rec.end)
+        rpcs = [c for c in children.get(op_span.span_id, [])
+                if c.name == "client.rpc"]
+        assert rpcs, f"no RPC spans under {op_span}"
+        for rpc in rpcs:
+            kid_names = {c.name for c in children.get(rpc.span_id, [])}
+            assert "net.transfer" in kid_names
+            assert kid_names & {"ost.read", "ost.write"}
+
+    # The storage tier was exercised below the caches too.
+    assert any(s.name == "disk.io" for s in spans)
+    # Parent links all resolve.
+    assert all(s.parent_id in by_id for s in spans if s.parent_id is not None)
+
+
+def test_metadata_requests_reach_the_mds(traced_pair):
+    _, tracer = traced_pair
+    meta_spans = [s for s in tracer.spans if s.name in
+                  ("client.create", "client.open", "client.close",
+                   "client.stat", "client.mkdir", "client.unlink")]
+    assert meta_spans
+    children = {}
+    for s in tracer.spans:
+        if s.parent_id is not None:
+            children.setdefault(s.parent_id, []).append(s)
+    for span in meta_spans:
+        assert any(c.name == "mds.op" for c in children.get(span.span_id, []))
+
+
+def test_same_seed_pairs_emit_identical_span_streams():
+    with trace.tracing() as tr1:
+        run_pair(small_target(), small_noise(), small_config())
+    with trace.tracing() as tr2:
+        run_pair(small_target(), small_noise(), small_config())
+    assert [s.to_dict() for s in tr1.spans] == [s.to_dict() for s in tr2.spans]
+
+
+def test_run_metadata_carries_seed_and_window_config(traced_pair):
+    pair, _ = traced_pair
+    for run in (pair.baseline, pair.interfered):
+        assert run.metadata["seed"] == 3
+        assert run.metadata["window_size"] == 0.25
+        assert run.metadata["sample_interval"] == 0.125
+
+
+def test_save_run_with_manifest(tmp_path, traced_pair):
+    pair, _ = traced_pair
+    config = small_config()
+    out = save_run_with_manifest(pair.interfered, config, tmp_path / "run",
+                                 timings={"run": 1.0})
+    assert (out / "records.dxt").exists()
+    assert (out / "samples.npz").exists()
+    manifest = load_manifest(out / "manifest.json")
+    assert manifest.seed == config.seed
+    assert manifest.config["window_size"] == config.window_size
+    assert manifest.extra["job"] == pair.interfered.job
+    assert manifest.metrics  # snapshot travels with the run
+    assert manifest.timings == {"run": 1.0}

@@ -1,0 +1,72 @@
+"""Logging wiring tests for the ``repro`` namespace."""
+
+import io
+import logging
+
+from repro.obs.log import configure_logging, get_logger
+
+
+def _cleanup():
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+
+
+def test_get_logger_namespacing():
+    try:
+        assert get_logger().name == "repro"
+        assert get_logger("experiments.runner").name == "repro.experiments.runner"
+        assert get_logger("repro.core").name == "repro.core"
+    finally:
+        _cleanup()
+
+
+def test_configure_logging_emits_to_stream():
+    stream = io.StringIO()
+    try:
+        configure_logging("DEBUG", stream=stream)
+        get_logger("experiments.runner").debug("hello %s", "world")
+        out = stream.getvalue()
+        assert "hello world" in out
+        assert "repro.experiments.runner" in out
+        assert "DEBUG" in out
+    finally:
+        _cleanup()
+
+
+def test_configure_logging_is_idempotent():
+    stream = io.StringIO()
+    try:
+        configure_logging("INFO", stream=stream)
+        configure_logging("INFO", stream=stream)
+        root = logging.getLogger("repro")
+        ours = [h for h in root.handlers
+                if getattr(h, "_repro_obs_handler", False)]
+        assert len(ours) == 1
+        get_logger("x").info("once")
+        assert stream.getvalue().count("once") == 1
+    finally:
+        _cleanup()
+
+
+def test_level_changes_apply():
+    stream = io.StringIO()
+    try:
+        configure_logging("INFO", stream=stream)
+        get_logger("y").debug("quiet")
+        configure_logging("DEBUG")
+        get_logger("y").debug("loud")
+        out = stream.getvalue()
+        assert "quiet" not in out
+        assert "loud" in out
+    finally:
+        _cleanup()
+
+
+def test_unknown_level_rejected():
+    import pytest
+
+    with pytest.raises(ValueError, match="unknown log level"):
+        configure_logging("CHATTY")

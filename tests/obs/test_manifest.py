@@ -1,0 +1,87 @@
+"""Run-manifest tests: construction, JSON round-trip, rendering."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+from repro.obs.manifest import (
+    RunManifest,
+    build_manifest,
+    config_to_dict,
+    git_revision,
+    load_manifest,
+    write_manifest,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.summary import render_manifest
+
+
+def test_config_to_dict_flattens_nested_dataclasses():
+    cfg = config_to_dict(ExperimentConfig(seed=9))
+    assert cfg["seed"] == 9
+    assert cfg["cluster"]["n_client_nodes"] == 7
+    json.dumps(cfg)  # must be JSON-safe all the way down
+
+
+def test_config_to_dict_handles_plain_values():
+    assert config_to_dict({"a": (1, 2)}) == {"a": [1, 2]}
+    assert config_to_dict(3) == {"value": 3}
+
+
+def test_build_manifest_captures_process_state():
+    reg = MetricsRegistry()
+    reg.counter("runs").inc(2)
+    m = build_manifest("exp", seed=5, config=ExperimentConfig(seed=5),
+                       timings={"run": 1.25}, extra={"note": "t"},
+                       registry=reg)
+    assert m.name == "exp"
+    assert m.seed == 5
+    assert m.timings == {"run": 1.25}
+    assert m.metrics["runs"]["value"] == 2.0
+    assert m.extra == {"note": "t"}
+    from repro import __version__
+    assert m.version == __version__
+    assert m.python.count(".") >= 1
+    assert m.created_at  # ISO timestamp
+
+
+def test_git_revision_in_this_checkout():
+    sha = git_revision()
+    assert sha is None or (len(sha) == 40 and set(sha) <= set("0123456789abcdef"))
+
+
+def test_manifest_json_round_trip(tmp_path):
+    reg = MetricsRegistry()
+    reg.histogram("h", boundaries=[0.1, 1.0]).observe(0.5)
+    m = build_manifest("roundtrip", seed=3, config={"k": "v"},
+                       timings={"a": 0.5}, registry=reg)
+    path = write_manifest(m, tmp_path / "sub" / "manifest.json")
+    assert path.exists()
+    back = load_manifest(path)
+    assert dataclasses.asdict(back) == dataclasses.asdict(m)
+
+
+def test_load_rejects_foreign_json(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text(json.dumps({"kind": "something-else", "name": "x"}))
+    with pytest.raises(ValueError, match="not a repro manifest"):
+        load_manifest(path)
+
+
+def test_render_manifest_mentions_key_facts():
+    m = RunManifest(
+        name="table9", seed=11, config={"fast": True},
+        created_at="2026-01-01T00:00:00+00:00", git_sha="a" * 40,
+        version="1.0.0", python="3.11.7", platform="Linux",
+        timings={"run": 2.0},
+        metrics={"c": {"kind": "counter", "value": 4.0}},
+    )
+    text = render_manifest(m)
+    assert "table9" in text
+    assert "seed:       11" in text
+    assert "a" * 40 in text
+    assert "run=2.00s" in text
+    assert "fast = True" in text
+    assert "c" in text and "counter" in text

@@ -31,3 +31,40 @@ def test_table2_fast_runs_end_to_end(tmp_path, capsys):
     assert "table2" in out
     assert "sectors_read" in out
     assert (tmp_path / "table2.txt").exists()
+    assert (tmp_path / "table2.manifest.json").exists()
+
+
+def test_observability_flags_and_obs_summary(tmp_path, capsys):
+    """--trace/--metrics-out write artefacts that `repro obs` can render
+    from the files alone."""
+    from repro.obs.manifest import load_manifest
+
+    trace_path = tmp_path / "run.trace.jsonl"
+    metrics_path = tmp_path / "run.metrics.json"
+    assert main(["table2", "--fast", "--out", str(tmp_path),
+                 "--trace", str(trace_path),
+                 "--metrics-out", str(metrics_path)]) == 0
+    capsys.readouterr()
+    assert trace_path.exists()
+    assert metrics_path.exists()
+
+    manifest = load_manifest(tmp_path / "table2.manifest.json")
+    assert manifest.name == "table2"
+    assert manifest.seed == 0
+    assert manifest.config["fast"] is True
+    assert "run" in manifest.timings
+    assert manifest.metrics  # metric snapshot travels in the manifest
+
+    assert main(["obs", str(trace_path), str(metrics_path),
+                 str(tmp_path / "table2.manifest.json")]) == 0
+    out = capsys.readouterr().out
+    assert "client.rpc" in out          # span summary table
+    assert "monitor.server_samples" in out  # metric table
+    assert "table2" in out              # manifest rendering
+
+
+def test_obs_subcommand_reports_bad_files(tmp_path, capsys):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text("{}")
+    assert main(["obs", str(bogus)]) == 1
+    assert "error:" in capsys.readouterr().out
