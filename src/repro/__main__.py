@@ -14,12 +14,20 @@ Usage::
 the benchmark suite. Results print to stdout; pass ``--out DIR`` to also
 write one text file per experiment.
 
+Sweep execution: ``--jobs N`` fans independent simulation runs over N
+worker processes (``--jobs 0`` = all cores) with bit-identical results;
+runs persist in a content-addressed cache (``--cache-dir``, default
+``results/.runcache``) so e.g. ``fig4`` re-bins ``fig3``'s cached IO500
+sweep and a re-run after a training-side change simulates nothing.
+``--no-cache`` disables persistence.
+
 Observability: every experiment writes a JSON run manifest (seed, config,
-git SHA, timings, metric snapshot) next to its results. ``--trace PATH``
-records a span trace of all simulated I/O to a JSONL file,
-``--metrics-out PATH`` dumps the metrics registry, ``-v``/``-vv`` turn on
-INFO/DEBUG logging, and ``python -m repro obs`` renders any of the
-exported files.
+git SHA, timings, sweep/cache statistics, metric snapshot) next to its
+results. ``--trace PATH`` records a span trace of all simulated I/O to a
+JSONL file (parent-process runs only: spans do not cross worker process
+boundaries), ``--metrics-out PATH`` dumps the metrics registry, ``-v``/
+``-vv`` turn on INFO/DEBUG logging, and ``python -m repro obs`` renders
+any of the exported files.
 """
 
 from __future__ import annotations
@@ -51,21 +59,22 @@ def _scales(fast: bool) -> dict[str, float]:
     }
 
 
-def run_table1(fast: bool) -> str:
+def run_table1(fast: bool, executor) -> str:
     from repro.experiments.table1 import run_table1, shape_checks
 
     s = _scales(fast)
     result = run_table1(_config(fast), target_scale=s["target_scale"],
                         noise_ranks=2 if fast else 3,
                         noise_instances=2 if fast else 3,
-                        noise_scale=s["noise_scale"])
+                        noise_scale=s["noise_scale"],
+                        executor=executor)
     lines = [result.render(), ""]
     for name, ok in shape_checks(result).items():
         lines.append(f"[{'ok' if ok else 'MISS'}] {name}")
     return "\n".join(lines)
 
 
-def run_fig1(fast: bool) -> str:
+def run_fig1(fast: bool, executor) -> str:
     from repro.experiments.fig1 import run_fig1a, run_fig1b
     from repro.workloads.apps import EnzoConfig
 
@@ -77,14 +86,15 @@ def run_fig1(fast: bool) -> str:
     return "Figure 1(a)\n" + a.render() + "\n\nFigure 1(b)\n" + b.render()
 
 
-def run_table2(fast: bool) -> str:
+def run_table2(fast: bool, executor) -> str:
     from repro.experiments.table2 import run_table2
 
     return run_table2(_config(fast),
-                      scale=_scales(fast)["target_scale"]).render()
+                      scale=_scales(fast)["target_scale"],
+                      executor=executor).render()
 
 
-def run_fig3(fast: bool) -> str:
+def run_fig3(fast: bool, executor) -> str:
     from repro.experiments.fig3 import (
         collect_dlio_bank,
         collect_io500_bank,
@@ -95,34 +105,38 @@ def run_fig3(fast: bool) -> str:
     s = _scales(fast)
     io500 = collect_io500_bank(_config(fast), target_scale=s["target_scale"],
                                max_level=2 if fast else 3,
-                               noise_scale=s["noise_scale"])
+                               noise_scale=s["noise_scale"],
+                               executor=executor)
     dlio_cfg = ExperimentConfig(window_size=0.5, sample_interval=0.125,
                                 warmup=1.0, seed=0)
     dlio = collect_dlio_bank(dlio_cfg, max_level=2 if fast else 3,
                              noise_scale=s["noise_scale"],
-                             steps_per_epoch=8 if fast else 12)
+                             steps_per_epoch=8 if fast else 12,
+                             executor=executor)
     a = run_fig3_io500(bank=io500)
     b = run_fig3_dlio(bank=dlio)
     return a.render() + "\n\n" + b.render()
 
 
-def run_fig4(fast: bool) -> str:
+def run_fig4(fast: bool, executor) -> str:
     from repro.experiments.fig4 import run_fig4 as _run
 
     s = _scales(fast)
     return _run(_config(fast), target_scale=s["target_scale"],
                 max_level=2 if fast else 3,
-                noise_scale=s["noise_scale"]).render()
+                noise_scale=s["noise_scale"],
+                executor=executor).render()
 
 
-def run_fig5(fast: bool) -> str:
+def run_fig5(fast: bool, executor) -> str:
     from repro.experiments.fig5 import run_fig5 as _run
 
     return _run(_config(fast), max_level=2 if fast else 3,
-                noise_scale=_scales(fast)["noise_scale"]).render()
+                noise_scale=_scales(fast)["noise_scale"],
+                executor=executor).render()
 
 
-def run_devices(fast: bool) -> str:
+def run_devices(fast: bool, executor) -> str:
     from repro.experiments.devices import run_device_ablation
 
     return run_device_ablation(
@@ -130,7 +144,7 @@ def run_devices(fast: bool) -> str:
     ).render()
 
 
-def run_crosscluster(fast: bool) -> str:
+def run_crosscluster(fast: bool, executor) -> str:
     from repro.experiments.cross_cluster import run_cross_cluster
 
     kwargs = {}
@@ -190,6 +204,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="shrink workloads for a quick smoke pass")
     parser.add_argument("--out", type=pathlib.Path, default=None,
                         help="also write one text file per experiment here")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for simulation sweeps "
+                             "(1 = in-process, 0 = all cores)")
+    parser.add_argument("--cache-dir", type=pathlib.Path,
+                        default=pathlib.Path("results/.runcache"),
+                        help="content-addressed run cache directory "
+                             "(default: %(default)s)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the run cache")
     parser.add_argument("--trace", type=pathlib.Path, default=None,
                         help="record a span trace of all simulated I/O "
                              "to this JSONL file")
@@ -208,6 +231,11 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
 
+    from repro.parallel import RunCache, SweepExecutor
+
+    cache = None if args.no_cache else RunCache(args.cache_dir)
+    executor = SweepExecutor(n_jobs=args.jobs, cache=cache)
+
     tracer = obs.install_tracer() if args.trace else None
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     if args.out:
@@ -217,7 +245,7 @@ def main(argv: list[str] | None = None) -> int:
         for name in names:
             start = time.time()
             print(f"==== {name} ====")
-            text = _RUNNERS[name](args.fast)
+            text = _RUNNERS[name](args.fast, executor)
             elapsed = time.time() - start
             print(text)
             print(f"({elapsed:.0f}s)\n")
@@ -229,7 +257,8 @@ def main(argv: list[str] | None = None) -> int:
                 config={"fast": args.fast,
                         **obs.config_to_dict(_config(args.fast))},
                 timings={"run": elapsed},
-                extra={"scales": _scales(args.fast)},
+                extra={"scales": _scales(args.fast),
+                       "sweep": executor.stats()},
             )
             obs.write_manifest(manifest,
                                manifest_dir / f"{name}.manifest.json")

@@ -11,6 +11,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterator
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class TimeWindow:
@@ -42,6 +44,23 @@ def window_index(t: float, window_size: float) -> int:
     # Guard against float rounding placing a boundary time one window early.
     if t >= (idx + 1) * window_size:
         idx += 1
+    return idx
+
+
+def window_indices(times: np.ndarray, window_size: float) -> np.ndarray:
+    """Vectorised :func:`window_index` over an array of times.
+
+    Returns int64 indices; bit-identical to calling :func:`window_index`
+    elementwise, including the boundary guard.
+    """
+    if window_size <= 0:
+        raise ValueError(f"window_size must be positive, got {window_size}")
+    times = np.asarray(times, dtype=np.float64)
+    if times.size and times.min() < 0:
+        raise ValueError(f"negative time: {times.min()}")
+    idx = (times / window_size).astype(np.int64)
+    # Same float-rounding guard as the scalar version.
+    idx += times >= (idx + 1) * window_size
     return idx
 
 

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.common.records import IORecord
-from repro.common.windows import window_index
+from repro.common.windows import window_indices
 
 __all__ = [
     "BINARY_THRESHOLDS",
@@ -102,17 +102,30 @@ class DegradationLabeller:
 
         Windows are indexed by the op's completion time in the
         *interference* run — the run the monitors observed.
+
+        The group-by runs vectorised; ``np.bincount`` adds weights in
+        array order, so per-window sums are bit-identical to the obvious
+        sequential loop over matched ops.
         """
-        sums: dict[int, float] = {}
-        counts: dict[int, int] = {}
-        for base, interf in match_operations(baseline, interference, job):
-            if base.duration < self.min_baseline:
-                continue
-            ratio = interf.duration / base.duration
-            win = window_index(interf.end, self.window_size)
-            sums[win] = sums.get(win, 0.0) + ratio
-            counts[win] = counts.get(win, 0) + 1
-        return {w: sums[w] / counts[w] for w in sums}
+        pairs = match_operations(baseline, interference, job)
+        if not pairs:
+            return {}
+        base_dur = np.fromiter((b.duration for b, _ in pairs),
+                               dtype=np.float64, count=len(pairs))
+        interf_dur = np.fromiter((i.duration for _, i in pairs),
+                                 dtype=np.float64, count=len(pairs))
+        ends = np.fromiter((i.end for _, i in pairs),
+                           dtype=np.float64, count=len(pairs))
+        keep = base_dur >= self.min_baseline
+        if not keep.any():
+            return {}
+        ratios = interf_dur[keep] / base_dur[keep]
+        wins = window_indices(ends[keep], self.window_size)
+        uniq, inverse = np.unique(wins, return_inverse=True)
+        sums = np.bincount(inverse, weights=ratios, minlength=len(uniq))
+        counts = np.bincount(inverse, minlength=len(uniq))
+        means = sums / counts
+        return {int(w): float(m) for w, m in zip(uniq, means)}
 
     def window_labels(
         self,

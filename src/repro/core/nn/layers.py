@@ -70,6 +70,7 @@ class Dense(Layer):
         if self._x is None:
             raise RuntimeError("backward before forward")
         x = self._x
+        self._x = None  # release the cached batch once consumed
         xf = x.reshape(-1, x.shape[-1])
         gf = grad.reshape(-1, grad.shape[-1])
         self.W.grad += xf.T @ gf
@@ -90,7 +91,9 @@ class ReLU(Layer):
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward before forward")
-        return np.where(self._mask, grad, 0.0)
+        mask = self._mask
+        self._mask = None  # release the cached batch once consumed
+        return np.where(mask, grad, 0.0)
 
 
 class Dropout(Layer):
@@ -114,7 +117,9 @@ class Dropout(Layer):
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._mask is None:
             return grad
-        return grad * self._mask
+        mask = self._mask
+        self._mask = None  # release the cached batch once consumed
+        return grad * mask
 
 
 class Sequential(Layer):

@@ -161,7 +161,14 @@ def _train(model, X: np.ndarray, y: np.ndarray, loss_fn,
 
         if val_loss < best_val - 1e-6:
             best_val = val_loss
-            best_state = [p.value.copy() for p in model.params()]
+            # Snapshot into preallocated buffers: allocating a fresh copy
+            # of every parameter each improving epoch dominated small-run
+            # allocation churn.
+            if best_state is None:
+                best_state = [p.value.copy() for p in model.params()]
+            else:
+                for buf, p in zip(best_state, model.params()):
+                    np.copyto(buf, p.value)
             history.best_epoch = epoch
             since_best = 0
         else:

@@ -203,15 +203,27 @@ def run_window_size_ablation(
     window_sizes: tuple[float, ...] = (0.25, 0.5, 1.0),
     thresholds: tuple[float, ...] = BINARY_THRESHOLDS,
     seed: int = 0,
+    n_jobs: int = 1,
+    cache=None,
+    executor=None,
 ) -> AblationResult:
-    """A3: re-collect and re-train at several aggregation window sizes."""
+    """A3: re-collect and re-train at several aggregation window sizes.
+
+    ``window_size`` is excluded from the run-cache key (it only shapes
+    post-processing), so with a cache attached every arm whose
+    ``sample_interval`` is unchanged re-bins the first arm's simulation
+    sweep instead of re-running it.
+    """
     from dataclasses import replace
 
+    from repro.parallel import SweepExecutor
+
+    executor = executor or SweepExecutor(n_jobs=n_jobs, cache=cache)
     result = AblationResult(name="window-size")
     for ws in window_sizes:
         cfg = replace(config, window_size=ws,
                       sample_interval=min(config.sample_interval, ws / 2))
-        bank = collect_windows(targets, scenarios, cfg)
+        bank = collect_windows(targets, scenarios, cfg, executor=executor)
         dataset = bank_to_dataset(bank, thresholds)
         train_set, test_set = train_test_split(dataset, 0.2, seed=seed)
         predictor = InterferencePredictor.train(train_set, thresholds,

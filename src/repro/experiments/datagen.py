@@ -9,11 +9,17 @@ and returns a :class:`WindowBank` holding per-server vectors plus raw
 degradation *levels*; binning into class labels happens afterwards
 (:func:`bank_to_dataset`), so the binary (Figure 3/5) and 3-class
 (Figure 4) datasets share one expensive simulation sweep.
+
+The sweep itself runs on :class:`repro.parallel.SweepExecutor`: pairs
+are independent, so ``n_jobs`` fans them over worker processes with
+bit-identical output, every scenario of a target reuses one baseline
+run, and a ``cache`` directory persists runs across invocations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -22,6 +28,9 @@ from repro.core.labeling import BINARY_THRESHOLDS, DegradationLabeller, bin_leve
 from repro.monitor.aggregator import assemble_vectors
 from repro.workloads.base import Workload
 from repro.experiments.runner import ExperimentConfig, InterferenceSpec, run_pair
+
+if TYPE_CHECKING:  # imported lazily at run time (circular with repro.parallel)
+    from repro.parallel import RunCache, SweepExecutor
 
 __all__ = [
     "Scenario",
@@ -101,38 +110,56 @@ def collect_windows(
     scenarios: list[Scenario],
     config: ExperimentConfig,
     include_quiet_windows: bool = True,
+    n_jobs: int = 1,
+    cache: "RunCache | str | None" = None,
+    executor: "SweepExecutor | None" = None,
 ) -> WindowBank:
     """Run every (target, scenario) pair and label windows with levels.
 
     Windows without matched target operations carry no label and are
     dropped (the paper's labelling is defined over windows with I/O).
+
+    The sweep is delegated to a :class:`repro.parallel.SweepExecutor`
+    (pass ``executor`` to share one across experiments, or just
+    ``n_jobs``/``cache``).  Parallel execution is bit-identical to
+    serial: per-run seeds derive from the config seed and stable string
+    paths, and results are consumed in submission order.
     """
+    from repro.parallel import PairJob, SweepExecutor
+
     labeller = DegradationLabeller(window_size=config.window_size)
+    sweep = [
+        (target, scenario)
+        for target in targets
+        for scenario in scenarios
+        if not (scenario.is_baseline and not include_quiet_windows)
+    ]
+    executor = executor or SweepExecutor(n_jobs=n_jobs, cache=cache)
+    paired = executor.run_pairs([
+        PairJob(target, tuple(scenario.interference), config,
+                seed_salt=scenario.name)
+        for target, scenario in sweep
+    ])
     parts: list[WindowBank] = []
-    for target in targets:
-        for scenario in scenarios:
-            if scenario.is_baseline and not include_quiet_windows:
-                continue
-            pair = run_pair(target, list(scenario.interference), config,
-                            seed_salt=scenario.name)
-            run = pair.interfered
-            levels = labeller.window_levels(
-                pair.baseline.records, run.records, target.name
+    for (target, scenario), pair in zip(sweep, paired):
+        run = pair.interfered
+        levels = labeller.window_levels(
+            pair.baseline.records, run.records, target.name
+        )
+        if not levels:
+            continue
+        X, windows = assemble_vectors(run, config.window_size,
+                                      config.sample_interval)
+        keep = [w for w in windows if w in levels]
+        if not keep:
+            continue
+        parts.append(
+            WindowBank(
+                X[keep],
+                np.array([levels[w] for w in keep]),
+                sources=[f"{target.name}:{scenario.name}"] * len(keep),
             )
-            if not levels:
-                continue
-            X, windows = assemble_vectors(run, config.window_size,
-                                          config.sample_interval)
-            keep = [w for w in windows if w in levels]
-            if not keep:
-                continue
-            parts.append(
-                WindowBank(
-                    X[keep],
-                    np.array([levels[w] for w in keep]),
-                    sources=[f"{target.name}:{scenario.name}"] * len(keep),
-                )
-            )
+        )
     return WindowBank.concatenate(parts)
 
 
@@ -158,7 +185,11 @@ def generate_dataset(
     thresholds: tuple[float, ...] = BINARY_THRESHOLDS,
     include_quiet_windows: bool = True,
     source: str = "",
+    n_jobs: int = 1,
+    cache: "RunCache | str | None" = None,
+    executor: "SweepExecutor | None" = None,
 ) -> Dataset:
     """One-shot convenience: collect windows and bin them."""
-    bank = collect_windows(targets, scenarios, config, include_quiet_windows)
+    bank = collect_windows(targets, scenarios, config, include_quiet_windows,
+                           n_jobs=n_jobs, cache=cache, executor=executor)
     return bank_to_dataset(bank, thresholds, source=source)

@@ -104,6 +104,9 @@ def collect_io500_bank(
     noise_ranks: int = 3,
     noise_scale: float = 0.25,
     include_light: bool = True,
+    n_jobs: int = 1,
+    cache=None,
+    executor=None,
 ) -> WindowBank:
     """Windows from IO500 targets under the standard noise sweep.
 
@@ -135,7 +138,8 @@ def collect_io500_bank(
                                       scale=noise_scale * 0.8),),
                 )
             )
-    return collect_windows(targets, scenarios, config)
+    return collect_windows(targets, scenarios, config,
+                           n_jobs=n_jobs, cache=cache, executor=executor)
 
 
 def collect_dlio_bank(
@@ -149,6 +153,9 @@ def collect_dlio_bank(
     compute_time: float = 0.2,
     sample_bytes: int = 16 * 1024 * 1024,
     batch_read_bytes: int = 2 * 1024 * 1024,
+    n_jobs: int = 1,
+    cache=None,
+    executor=None,
 ) -> WindowBank:
     """Windows from the two DLIO profiles (Unet3d, BERT).
 
@@ -169,7 +176,8 @@ def collect_dlio_bank(
     ]
     scenarios = standard_scenarios(max_level=max_level, tasks=noise_tasks,
                                    ranks=noise_ranks, scale=noise_scale)
-    return collect_windows(targets, scenarios, config)
+    return collect_windows(targets, scenarios, config,
+                           n_jobs=n_jobs, cache=cache, executor=executor)
 
 
 def run_fig3_io500(config: ExperimentConfig | None = None,

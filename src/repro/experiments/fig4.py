@@ -17,6 +17,12 @@ __all__ = ["run_fig4"]
 
 def run_fig4(config: ExperimentConfig | None = None,
              bank: WindowBank | None = None, **bank_kwargs) -> ModelEvalResult:
-    """3-class classification on the IO500 window bank."""
+    """3-class classification on the IO500 window bank.
+
+    ``bank_kwargs`` pass through to :func:`collect_io500_bank`, including
+    the sweep knobs ``n_jobs``/``cache``/``executor`` — with the same
+    cache directory as Figure 3, the 3-class dataset re-bins Figure 3's
+    cached simulation sweep instead of re-running it.
+    """
     bank = bank or collect_io500_bank(config, **bank_kwargs)
     return evaluate_bank(bank, "fig4-io500-3class", MULTICLASS_THRESHOLDS)

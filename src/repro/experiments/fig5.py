@@ -100,13 +100,24 @@ def run_fig5(
     targets: dict[str, Workload] | None = None,
     max_level: int = 3,
     noise_scale: float = 0.2,
+    n_jobs: int = 1,
+    cache=None,
+    executor=None,
 ) -> Fig5Result:
-    """Train and evaluate one model per application."""
+    """Train and evaluate one model per application.
+
+    One :class:`repro.parallel.SweepExecutor` is shared across the three
+    applications so the worker pool and run cache see the whole grid.
+    """
+    from repro.parallel import SweepExecutor
+
     config = config or ExperimentConfig()
     targets = targets or default_app_targets()
     scenarios = app_scenarios(max_level=max_level, noise_scale=noise_scale)
+    executor = executor or SweepExecutor(n_jobs=n_jobs, cache=cache)
     results = {}
     for app, workload in targets.items():
-        bank = collect_windows([workload], scenarios, config)
+        bank = collect_windows([workload], scenarios, config,
+                               executor=executor)
         results[app] = evaluate_bank(bank, f"fig5-{app}", BINARY_THRESHOLDS)
     return Fig5Result(results=results)

@@ -219,13 +219,25 @@ def run_pair(
     interference: list[InterferenceSpec],
     config: ExperimentConfig,
     seed_salt: str = "",
+    executor=None,
 ) -> PairedRuns:
     """Baseline + interfered execution with identical target op sequences.
 
     Ops are matched by (job, rank, op_id), not by time, so the baseline
     needs no warm-up alignment: it simply provides the undisturbed
     duration of every operation.
+
+    Pass a :class:`repro.parallel.SweepExecutor` to route both runs
+    through its deduplication and run cache (sweeps should submit all
+    their pairs at once via ``executor.run_pairs`` instead, so the pool
+    sees the whole grid).
     """
+    if executor is not None:
+        from repro.parallel import PairJob
+
+        return executor.run_pairs(
+            [PairJob(target, tuple(interference), config, seed_salt=seed_salt)]
+        )[0]
     baseline = execute_run(target, [], config, seed_salt=seed_salt)
     interfered = execute_run(target, interference, config, seed_salt=seed_salt)
     return PairedRuns(baseline=baseline, interfered=interfered)

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.experiments.reporting import render_table
-from repro.experiments.runner import ExperimentConfig, InterferenceSpec, execute_run
+from repro.experiments.runner import ExperimentConfig, InterferenceSpec
 from repro.monitor.aggregator import MonitoredRun
 from repro.workloads.io500 import IO500_TASKS, make_io500_task
 
@@ -59,40 +59,50 @@ def run_table1(
     noise_ranks: int = 2,
     noise_scale: float = 0.25,
     repetitions: int = 1,
+    n_jobs: int = 1,
+    cache=None,
+    executor=None,
 ) -> Table1Result:
     """Compute the slowdown matrix.
 
     ``repetitions`` averages over different seeds (the paper averages 3
     consecutive runs; the simulator is deterministic per seed so
     repetitions vary the seed instead).
-    """
-    config = config or ExperimentConfig()
-    n = len(tasks)
-    matrix = np.zeros((n, n))
-    standalone: dict[str, float] = {}
 
-    for ri, row_task in enumerate(tasks):
-        base_times = []
+    All ``len(tasks) * (len(tasks) + 1) * repetitions`` runs of the grid
+    are submitted to one :class:`repro.parallel.SweepExecutor` sweep, so
+    they parallelise over ``n_jobs`` workers and persist in ``cache``;
+    the matrix itself is bit-identical to the serial computation.
+    """
+    from repro.parallel import RunJob, SweepExecutor
+
+    config = config or ExperimentConfig()
+    executor = executor or SweepExecutor(n_jobs=n_jobs, cache=cache)
+    n = len(tasks)
+
+    jobs: list[RunJob] = []
+    for row_task in tasks:
+        target = make_io500_task(row_task, ranks=target_ranks,
+                                 scale=target_scale)
         for rep in range(repetitions):
             cfg = replace(config, seed=config.seed + rep)
-            target = make_io500_task(row_task, ranks=target_ranks,
-                                     scale=target_scale)
-            base_times.append(_target_runtime(
-                execute_run(target, [], cfg, seed_salt=f"t1-base-{rep}")
-            ))
-        standalone[row_task] = float(np.mean(base_times))
-
+            jobs.append(RunJob(target, (), cfg, seed_salt=f"t1-base-{rep}"))
         for ci, col_task in enumerate(tasks):
-            times = []
+            noise = (InterferenceSpec(col_task, instances=noise_instances,
+                                      ranks=noise_ranks, scale=noise_scale),)
             for rep in range(repetitions):
                 cfg = replace(config, seed=config.seed + rep)
-                target = make_io500_task(row_task, ranks=target_ranks,
-                                         scale=target_scale)
-                noise = [InterferenceSpec(col_task, instances=noise_instances,
-                                          ranks=noise_ranks, scale=noise_scale)]
-                times.append(_target_runtime(
-                    execute_run(target, noise, cfg, seed_salt=f"t1-{ci}-{rep}")
-                ))
+                jobs.append(RunJob(target, noise, cfg,
+                                   seed_salt=f"t1-{ci}-{rep}"))
+
+    runs = iter(executor.run_many(jobs))
+    matrix = np.zeros((n, n))
+    standalone: dict[str, float] = {}
+    for ri, row_task in enumerate(tasks):
+        base_times = [_target_runtime(next(runs)) for _ in range(repetitions)]
+        standalone[row_task] = float(np.mean(base_times))
+        for ci in range(n):
+            times = [_target_runtime(next(runs)) for _ in range(repetitions)]
             matrix[ri, ci] = float(np.mean(times)) / standalone[row_task]
     return Table1Result(tasks=tuple(tasks), matrix=matrix,
                         standalone_runtime=standalone)

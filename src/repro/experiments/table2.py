@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.experiments.reporting import render_table
-from repro.experiments.runner import ExperimentConfig, InterferenceSpec, execute_run
+from repro.experiments.runner import ExperimentConfig, InterferenceSpec
 from repro.monitor.schema import SERVER_METRICS
 from repro.workloads.io500 import make_io500_task
 
@@ -44,15 +44,24 @@ class Table2Result:
 
 
 def run_table2(config: ExperimentConfig | None = None,
-               scale: float = 0.25) -> Table2Result:
-    """Collect every Table II metric under a mixed representative load."""
+               scale: float = 0.25,
+               cache=None,
+               executor=None) -> Table2Result:
+    """Collect every Table II metric under a mixed representative load.
+
+    The single run is routed through a :class:`repro.parallel.
+    SweepExecutor` so a warm ``cache`` replays it without simulating.
+    """
+    from repro.parallel import RunJob, SweepExecutor
+
     config = config or ExperimentConfig()
+    executor = executor or SweepExecutor(cache=cache)
     target = make_io500_task("ior-easy-write", ranks=4, scale=scale)
-    noise = [
+    noise = (
         InterferenceSpec("ior-easy-read", instances=1, ranks=2, scale=scale),
         InterferenceSpec("mdt-hard-write", instances=1, ranks=2, scale=scale),
-    ]
-    run = execute_run(target, noise, config, seed_salt="table2")
+    )
+    run = executor.run_one(RunJob(target, noise, config, seed_salt="table2"))
     totals = {m: 0.0 for m in SERVER_METRICS}
     nonzero = {m: 0 for m in SERVER_METRICS}
     for _, _, metrics in run.server_samples:

@@ -64,24 +64,24 @@ def assemble_vectors(
     """
     client = ClientWindowAggregator(window_size).aggregate(run.records, run.job)
     # Re-aggregate raw samples through a throwaway monitor-shaped object.
-    server = _server_features_from_samples(
+    server_keys, server_feats = _server_features_from_samples(
         run.server_samples, window_size, sample_interval
     )
     n_windows = max(1, int(np.ceil(run.duration / window_size)))
     servers = run.servers
-    n_feats = len(CLIENT_FEATURES) + len(SERVER_FEATURES)
-    X = np.zeros((n_windows, len(servers), n_feats), dtype=float)
-    for w in range(n_windows):
-        for si, sid in enumerate(servers):
-            cf = client.get((w, sid))
-            if cf is not None:
-                for fi, name in enumerate(CLIENT_FEATURES):
-                    X[w, si, fi] = cf[name]
-            sf = server.get((w, sid))
-            if sf is not None:
-                base = len(CLIENT_FEATURES)
-                for fi, name in enumerate(SERVER_FEATURES):
-                    X[w, si, base + fi] = sf[name]
+    server_pos = {sid: si for si, sid in enumerate(servers)}
+    base = len(CLIENT_FEATURES)
+    X = np.zeros((n_windows, len(servers), base + len(SERVER_FEATURES)),
+                 dtype=float)
+    # Fill only the active (window, server) cells; idle cells stay zero.
+    for (w, sid), cf in client.items():
+        si = server_pos.get(sid)
+        if si is not None and 0 <= w < n_windows:
+            X[w, si, :base] = [cf[name] for name in CLIENT_FEATURES]
+    for (w, sid), row in zip(server_keys, server_feats):
+        si = server_pos.get(sid)
+        if si is not None and 0 <= w < n_windows:
+            X[w, si, base:] = row
     return X, list(range(n_windows))
 
 
@@ -89,9 +89,9 @@ def _server_features_from_samples(
     samples: list[tuple[float, ServerId, dict[str, float]]],
     window_size: float,
     sample_interval: float,
-) -> dict[tuple[int, ServerId], dict[str, float]]:
+) -> tuple[list[tuple[int, ServerId]], np.ndarray]:
     """Window-aggregate raw samples without needing a live cluster."""
     monitor = ServerMonitor.__new__(ServerMonitor)
     monitor.sample_interval = sample_interval
     monitor.samples = samples
-    return ServerMonitor.window_features(monitor, window_size)
+    return ServerMonitor.window_feature_arrays(monitor, window_size)

@@ -11,12 +11,10 @@ window aggregation.
 
 from __future__ import annotations
 
-from collections import defaultdict
-
 import numpy as np
 
 from repro.common.records import ServerId
-from repro.common.windows import window_index
+from repro.common.windows import window_indices
 from repro.monitor.schema import GAUGE_METRICS, SERVER_METRICS, SERVER_STATS
 from repro.obs.metrics import REGISTRY
 from repro.sim.cluster import Cluster
@@ -94,32 +92,76 @@ class ServerMonitor:
                 self._last_counters[server] = counters
                 self.samples.append((t, server, metrics))
 
-    def window_features(
+    def window_feature_arrays(
         self, window_size: float
-    ) -> dict[tuple[int, ServerId], dict[str, float]]:
+    ) -> tuple[list[tuple[int, ServerId]], np.ndarray]:
         """Aggregate samples per (window, server) as sum/mean/std.
 
         A sample taken at time ``t`` summarises the preceding interval, so
         it belongs to the window containing ``t - interval/2``.
+
+        Returns ``(keys, features)`` where row ``i`` of the
+        ``(n_groups, len(SERVER_FEATURES))`` array holds the aggregates
+        for ``keys[i]`` in :data:`~repro.monitor.schema.SERVER_FEATURES`
+        order. The group-by runs vectorised over all samples at once
+        (``np.bincount`` per metric column) instead of a Python loop per
+        (window, server, metric, stat) — the former hot path of vector
+        assembly.
         """
         if window_size <= 0:
             raise ValueError(f"window_size must be positive, got {window_size}")
-        grouped: dict[tuple[int, ServerId], list[dict[str, float]]] = defaultdict(list)
-        for t, server, metrics in self.samples:
-            win = window_index(max(0.0, t - self.sample_interval / 2), window_size)
-            grouped[(win, server)].append(metrics)
-        out: dict[tuple[int, ServerId], dict[str, float]] = {}
-        for key, rows in grouped.items():
-            feats: dict[str, float] = {}
-            for metric in SERVER_METRICS:
-                values = np.array([row[metric] for row in rows], dtype=float)
-                for stat in SERVER_STATS:
-                    if stat == "sum":
-                        v = float(values.sum())
-                    elif stat == "mean":
-                        v = float(values.mean())
-                    else:
-                        v = float(values.std())
-                    feats[f"{metric}_{stat}"] = v
-            out[key] = feats
-        return out
+        if not self.samples:
+            return [], np.zeros((0, len(SERVER_METRICS) * len(SERVER_STATS)))
+        n = len(self.samples)
+        times = np.fromiter((t for t, _, _ in self.samples),
+                            dtype=np.float64, count=n)
+        values = np.array(
+            [[row[m] for m in SERVER_METRICS] for _, _, row in self.samples],
+            dtype=np.float64,
+        )
+        wins = window_indices(
+            np.maximum(0.0, times - self.sample_interval / 2), window_size
+        )
+        # Dense server ids in first-seen order; group = (window, server).
+        server_ids: dict[ServerId, int] = {}
+        servers: list[ServerId] = []
+        sidx = np.empty(n, dtype=np.int64)
+        for i, (_, server, _) in enumerate(self.samples):
+            j = server_ids.get(server)
+            if j is None:
+                j = server_ids[server] = len(servers)
+                servers.append(server)
+            sidx[i] = j
+        codes = wins * len(servers) + sidx
+        uniq, inverse = np.unique(codes, return_inverse=True)
+        counts = np.bincount(inverse, minlength=len(uniq)).astype(np.float64)
+        n_metrics = len(SERVER_METRICS)
+        sums = np.empty((len(uniq), n_metrics))
+        for c in range(n_metrics):
+            sums[:, c] = np.bincount(inverse, weights=values[:, c],
+                                     minlength=len(uniq))
+        means = sums / counts[:, None]
+        sq_dev = (values - means[inverse]) ** 2
+        var = np.empty_like(sums)
+        for c in range(n_metrics):
+            var[:, c] = np.bincount(inverse, weights=sq_dev[:, c],
+                                    minlength=len(uniq))
+        stds = np.sqrt(var / counts[:, None])
+        stacked = np.stack([sums, means, stds], axis=2)  # (g, metric, stat)
+        features = stacked.reshape(len(uniq), n_metrics * len(SERVER_STATS))
+        keys = [(int(code // len(servers)), servers[int(code % len(servers))])
+                for code in uniq]
+        return keys, features
+
+    def window_features(
+        self, window_size: float
+    ) -> dict[tuple[int, ServerId], dict[str, float]]:
+        """Dict view of :meth:`window_feature_arrays`, keyed by
+        ``(window, server)`` with ``{metric}_{stat}`` feature names."""
+        keys, features = self.window_feature_arrays(window_size)
+        names = [f"{metric}_{stat}" for metric in SERVER_METRICS
+                 for stat in SERVER_STATS]
+        return {
+            key: dict(zip(names, map(float, row)))
+            for key, row in zip(keys, features)
+        }

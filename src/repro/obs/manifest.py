@@ -24,8 +24,8 @@ from typing import Any, Mapping
 from repro.obs.metrics import REGISTRY, MetricsRegistry
 
 __all__ = [
-    "MANIFEST_KIND", "RunManifest", "git_revision", "config_to_dict",
-    "build_manifest", "write_manifest", "load_manifest",
+    "MANIFEST_KIND", "RunManifest", "git_revision", "jsonable",
+    "config_to_dict", "build_manifest", "write_manifest", "load_manifest",
 ]
 
 MANIFEST_KIND = "repro-manifest"
@@ -46,23 +46,27 @@ def git_revision() -> str | None:
     return sha if out.returncode == 0 and sha else None
 
 
-def _jsonable(value: Any) -> Any:
+def jsonable(value: Any) -> Any:
     """Best-effort conversion of config values to JSON-safe types."""
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {f.name: _jsonable(getattr(value, f.name))
+        return {f.name: jsonable(getattr(value, f.name))
                 for f in dataclasses.fields(value)}
     if isinstance(value, Mapping):
-        return {str(k): _jsonable(v) for k, v in value.items()}
+        return {str(k): jsonable(v) for k, v in value.items()}
     if isinstance(value, (list, tuple, set, frozenset)):
-        return [_jsonable(v) for v in value]
+        return [jsonable(v) for v in value]
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     return repr(value)
 
 
+#: Backwards-compatible alias (pre-1.1 internal name).
+_jsonable = jsonable
+
+
 def config_to_dict(config: Any) -> dict[str, Any]:
     """Flatten any config (dataclass, mapping, object) to a JSON dict."""
-    out = _jsonable(config)
+    out = jsonable(config)
     if not isinstance(out, dict):
         out = {"value": out}
     return out

@@ -194,6 +194,40 @@ class MetricsRegistry:
         return {name: self._metrics[name].to_dict()
                 for name in sorted(self._metrics)}
 
+    def merge_snapshot(self, snapshot: dict[str, dict]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Used by the parallel sweep executor: worker processes return
+        their registry snapshot with each finished run, and merging
+        keeps the parent's counters equal to what a serial sweep would
+        have recorded.  Counters and histogram contents add; gauges are
+        instantaneous, so the merged value simply overwrites (last
+        delivery wins — meaningful gauges are re-set by later work).
+        """
+        for name in sorted(snapshot):
+            doc = snapshot[name]
+            kind = doc.get("kind")
+            if kind == Counter.kind:
+                self.counter(name).inc(doc["value"])
+            elif kind == Gauge.kind:
+                self.gauge(name).set(doc["value"])
+            elif kind == Histogram.kind:
+                hist = self.histogram(name, doc["boundaries"])
+                counts = doc["counts"]
+                if len(counts) != len(hist.counts):
+                    raise ValueError(
+                        f"histogram {name!r}: snapshot bucket count mismatch"
+                    )
+                for i, c in enumerate(counts):
+                    hist.counts[i] += c
+                hist.total += doc["sum"]
+                hist.count += doc["count"]
+                if doc["count"]:
+                    hist.min = min(hist.min, doc["min"])
+                    hist.max = max(hist.max, doc["max"])
+            else:
+                raise ValueError(f"metric {name!r}: unknown kind {kind!r}")
+
     def reset(self) -> None:
         """Forget every metric (used between runs and in tests)."""
         self._metrics.clear()

@@ -1,0 +1,55 @@
+"""Parallel sweep execution and content-addressed run caching.
+
+The experiment stack's bottleneck is the scenario sweep: every
+(target, scenario) pair costs two full discrete-event simulations, and
+the figure/table reproductions re-run overlapping sweeps from scratch.
+This package removes that bottleneck without touching determinism:
+
+* :mod:`repro.parallel.cachekey` — stable content-addressed keys over
+  (workload spec, interference, config, seed, code-version salt);
+* :mod:`repro.parallel.cache` — :class:`RunCache`, an atomic on-disk
+  store of :class:`~repro.monitor.aggregator.MonitoredRun` records;
+* :mod:`repro.parallel.executor` — :class:`SweepExecutor`, fanning
+  deduplicated cache misses over a ``multiprocessing`` pool while
+  keeping results bit-identical to serial execution.
+
+Quick use::
+
+    from repro.parallel import SweepExecutor
+    from repro.experiments.datagen import collect_windows
+
+    bank = collect_windows(targets, scenarios, config,
+                           n_jobs=4, cache="results/.runcache")
+
+DESIGN.md §7 documents the determinism contract and cache layout.
+"""
+
+from repro.parallel.cache import RunCache
+from repro.parallel.cachekey import (
+    CACHE_FORMAT,
+    canonical_json,
+    run_key,
+    run_key_material,
+    stable_hash,
+    workload_spec,
+)
+from repro.parallel.executor import (
+    PairJob,
+    RunJob,
+    SweepExecutor,
+    resolve_n_jobs,
+)
+
+__all__ = [
+    "CACHE_FORMAT",
+    "PairJob",
+    "RunCache",
+    "RunJob",
+    "SweepExecutor",
+    "canonical_json",
+    "resolve_n_jobs",
+    "run_key",
+    "run_key_material",
+    "stable_hash",
+    "workload_spec",
+]

@@ -1,0 +1,130 @@
+"""Content-addressed on-disk cache of monitored simulation runs.
+
+Layout (fan-out on the first two key hex digits keeps directories small
+even for very large sweeps)::
+
+    <cache_dir>/
+      <key[:2]>/<key>/
+        spec.json   # the key material, for humans and debugging
+        run/        # repro.monitor.persist.save_run output
+
+Entries are written atomically: a run is first persisted into a private
+temporary directory and then renamed into place, so concurrent sweeps
+(multiple processes, multiple invocations) can share one cache directory
+without locking — whoever renames first wins, later writers discard
+their copy.  A corrupted entry (truncated file, schema mismatch, bad
+JSON) is treated as a miss: it is deleted and the run recomputed, never
+allowed to crash or poison a sweep.
+
+Hit/miss/store/error counts land both on the instance (:meth:`stats`)
+and in the process-wide metrics registry (``parallel.cache.*``), from
+where they flow into every run manifest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import shutil
+from typing import Any
+
+from repro.monitor.aggregator import MonitoredRun
+from repro.monitor.persist import load_run, save_run
+from repro.obs.log import get_logger
+from repro.obs.metrics import REGISTRY
+
+__all__ = ["RunCache"]
+
+logger = get_logger("parallel.cache")
+
+_RUN_SUBDIR = "run"
+_SPEC_FILE = "spec.json"
+
+
+class RunCache:
+    """Persist and recall :class:`MonitoredRun` records by content key."""
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.errors = 0
+        self._hit_counter = REGISTRY.counter("parallel.cache.hits")
+        self._miss_counter = REGISTRY.counter("parallel.cache.misses")
+        self._store_counter = REGISTRY.counter("parallel.cache.stores")
+        self._error_counter = REGISTRY.counter("parallel.cache.errors")
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """Directory an entry with ``key`` lives in (existing or not)."""
+        if len(key) < 3:
+            raise ValueError(f"implausibly short cache key: {key!r}")
+        return self.directory / key[:2] / key
+
+    def __contains__(self, key: str) -> bool:
+        return (self.path_for(key) / _RUN_SUBDIR).is_dir()
+
+    def get(self, key: str) -> MonitoredRun | None:
+        """The cached run for ``key``, or ``None`` (miss / corrupt entry)."""
+        entry = self.path_for(key)
+        run_dir = entry / _RUN_SUBDIR
+        if not run_dir.is_dir():
+            self.misses += 1
+            self._miss_counter.inc()
+            return None
+        try:
+            run = load_run(run_dir)
+        except Exception as exc:  # any corruption: recompute, never crash
+            self.errors += 1
+            self.misses += 1
+            self._error_counter.inc()
+            self._miss_counter.inc()
+            logger.warning("dropping corrupt cache entry %s (%s: %s)",
+                           key, type(exc).__name__, exc)
+            shutil.rmtree(entry, ignore_errors=True)
+            return None
+        self.hits += 1
+        self._hit_counter.inc()
+        return run
+
+    def put(self, key: str, run: MonitoredRun,
+            material: dict[str, Any] | None = None) -> None:
+        """Store ``run`` under ``key`` (no-op when already present)."""
+        entry = self.path_for(key)
+        if (entry / _RUN_SUBDIR).is_dir():
+            return
+        tmp = self.directory / f".tmp-{os.getpid()}-{key[:16]}"
+        shutil.rmtree(tmp, ignore_errors=True)
+        try:
+            save_run(run, tmp / _RUN_SUBDIR)
+            if material is not None:
+                (tmp / _SPEC_FILE).write_text(
+                    json.dumps(material, indent=2, sort_keys=True) + "\n")
+            entry.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                tmp.rename(entry)
+            except OSError:
+                # Lost the race against a concurrent writer; theirs is
+                # byte-equivalent (same key), keep it.
+                shutil.rmtree(tmp, ignore_errors=True)
+                return
+        except Exception:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
+        self.stores += 1
+        self._store_counter.inc()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob(f"??/*/{_RUN_SUBDIR}"))
+
+    def stats(self) -> dict[str, Any]:
+        """Counters for manifests: hits/misses/stores/errors this process."""
+        return {
+            "directory": str(self.directory),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "errors": self.errors,
+        }

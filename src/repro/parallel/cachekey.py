@@ -1,0 +1,109 @@
+"""Stable content-addressed keys for simulation runs.
+
+A cached run is only reusable when *everything* that shapes its outcome
+is part of its key: the target workload's full specification, the
+interference mix, the experiment and cluster configuration (which embeds
+the seed) and a code-version salt that invalidates every entry when the
+simulator changes behaviour.  Keys are a BLAKE2b digest over canonical
+JSON (sorted keys, no whitespace), so they are stable across processes,
+Python versions and dict orderings — the property the on-disk cache and
+the cross-process sweep deduplication both rely on.
+
+Two deliberate normalisations keep the key *minimal* (anything not in
+the key becomes a cache hit instead of a pointless recompute):
+
+* ``window_size`` is dropped — it only parameterises post-processing
+  (labelling and vector assembly), never the simulation itself, so the
+  window-size ablation can re-bin one sweep instead of re-running it;
+* for baseline runs (no interference) the ``seed_salt`` is cleared and
+  the warm-up zeroed, because both only affect noise launches.  This is
+  what lets every scenario of a target share a single baseline run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Iterable
+
+from repro.experiments.runner import ExperimentConfig, InterferenceSpec
+from repro.obs.manifest import config_to_dict, jsonable
+from repro.workloads.base import Workload
+
+__all__ = [
+    "CACHE_FORMAT",
+    "canonical_json",
+    "stable_hash",
+    "workload_spec",
+    "run_key_material",
+    "run_key",
+]
+
+#: Bumped whenever the persisted run layout or key material changes.
+CACHE_FORMAT = 1
+
+
+def canonical_json(obj: Any) -> str:
+    """Render ``obj`` as canonical JSON (sorted keys, compact)."""
+    return json.dumps(jsonable(obj), sort_keys=True, separators=(",", ":"))
+
+
+def stable_hash(obj: Any, digest_size: int = 20) -> str:
+    """Hex BLAKE2b digest of the canonical JSON form of ``obj``."""
+    h = hashlib.blake2b(digest_size=digest_size)
+    h.update(canonical_json(obj).encode())
+    return h.hexdigest()
+
+
+def workload_spec(workload: Workload) -> dict[str, Any]:
+    """A JSON-safe full description of a workload instance.
+
+    Captures the concrete class plus every instance attribute (the
+    config dataclass, the job name, any extra knobs), so two workloads
+    hash equal exactly when they would generate the same operations.
+    """
+    spec: dict[str, Any] = {"type": type(workload).__qualname__}
+    spec.update(config_to_dict(vars(workload)))
+    return spec
+
+
+def _code_salt(extra_salt: str) -> str:
+    from repro import __version__
+
+    return f"{__version__}/f{CACHE_FORMAT}/{extra_salt}"
+
+
+def run_key_material(
+    target: Workload,
+    interference: Iterable[InterferenceSpec],
+    config: ExperimentConfig,
+    seed_salt: str = "",
+    salt: str = "",
+) -> dict[str, Any]:
+    """The key's raw material (also persisted next to cache entries)."""
+    interference = tuple(interference)
+    cfg = config_to_dict(config)
+    cfg.pop("window_size", None)  # post-processing only; see module doc
+    if not interference:
+        seed_salt = ""
+        cfg["warmup"] = 0.0
+    return {
+        "kind": "monitored-run",
+        "salt": _code_salt(salt),
+        "target": workload_spec(target),
+        "interference": [config_to_dict(spec) for spec in interference],
+        "config": cfg,
+        "seed_salt": seed_salt,
+    }
+
+
+def run_key(
+    target: Workload,
+    interference: Iterable[InterferenceSpec],
+    config: ExperimentConfig,
+    seed_salt: str = "",
+    salt: str = "",
+) -> str:
+    """Content-addressed key of one monitored run."""
+    return stable_hash(run_key_material(target, interference, config,
+                                        seed_salt=seed_salt, salt=salt))

@@ -1,0 +1,243 @@
+"""Process-pool sweep executor with run-level deduplication and caching.
+
+The experiment sweeps (Figures 3-5, Tables I/II, the ablations) are
+embarrassingly parallel: every (target, scenario) pair is an independent
+pair of discrete-event simulations.  :class:`SweepExecutor` exploits that
+in three stacked layers:
+
+1. **Deduplication** — jobs are keyed by :func:`repro.parallel.cachekey.
+   run_key`; identical runs (most importantly the baseline run a target
+   shares across *all* its scenarios) execute once per sweep, whatever
+   the worker count.
+2. **Caching** — with a :class:`~repro.parallel.cache.RunCache` attached,
+   finished runs persist on disk, so the binary and 3-class datasets
+   share one simulation sweep across invocations and re-running an
+   experiment after a training-side change costs zero simulation time.
+3. **Parallelism** — remaining misses fan out over a ``multiprocessing``
+   pool.  Determinism is free: every stochastic component derives its
+   generator via :func:`repro.common.rng.derive_seed` from the experiment
+   seed plus a stable string path, never from global or temporal state,
+   so a run's outcome depends only on its job spec — not on which worker
+   executes it or in what order jobs complete.  Results are returned in
+   submission order, making parallel output **bit-identical** to serial.
+
+Worker processes reset the metrics registry, execute, and ship their
+registry snapshot back with the run; the parent merges the snapshots so
+``monitor.*``/``sim.*`` counters match what a serial sweep would have
+recorded.  Per-run wall time lands in the ``parallel.run_seconds``
+histogram either way.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    InterferenceSpec,
+    PairedRuns,
+    execute_run,
+)
+from repro.monitor.aggregator import MonitoredRun
+from repro.obs.log import get_logger
+from repro.obs.metrics import REGISTRY
+from repro.parallel.cache import RunCache
+from repro.parallel.cachekey import run_key, run_key_material
+from repro.workloads.base import Workload
+
+__all__ = ["RunJob", "PairJob", "SweepExecutor", "resolve_n_jobs"]
+
+logger = get_logger("parallel.executor")
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalise a worker-count request: ``None``/``0``/negative = all cores."""
+    if n_jobs is None or n_jobs <= 0:
+        return os.cpu_count() or 1
+    return int(n_jobs)
+
+
+@dataclass
+class RunJob:
+    """One monitored execution (the executor's unit of work)."""
+
+    target: Workload
+    interference: tuple[InterferenceSpec, ...] = ()
+    config: ExperimentConfig = field(default_factory=ExperimentConfig)
+    seed_salt: str = ""
+
+
+@dataclass
+class PairJob:
+    """One baseline + interfered pair (what the dataset sweeps submit)."""
+
+    target: Workload
+    interference: tuple[InterferenceSpec, ...] = ()
+    config: ExperimentConfig = field(default_factory=ExperimentConfig)
+    seed_salt: str = ""
+
+
+def _execute_job(item: tuple[str, RunJob]):
+    """Pool worker: run one job and return (key, run, wall, metrics).
+
+    Runs in a separate process.  The metrics registry is reset first so
+    the returned snapshot is exactly this job's delta (fork-started
+    workers inherit the parent's state); the span tracer is detached
+    because spans cannot cross the process boundary.
+    """
+    key, job = item
+    from repro.obs import trace as _trace
+
+    _trace.TRACER = None
+    REGISTRY.reset()
+    start = time.perf_counter()
+    run = execute_run(job.target, list(job.interference), job.config,
+                      seed_salt=job.seed_salt)
+    wall = time.perf_counter() - start
+    return key, run, wall, REGISTRY.snapshot()
+
+
+def _default_start_method() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class SweepExecutor:
+    """Runs sweeps of monitored executions: deduplicated, cached, parallel.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker processes.  ``1`` (default) executes in-process;
+        ``0``/negative uses every core.
+    cache:
+        A :class:`RunCache`, a directory path to open one in, or ``None``
+        for no persistent cache (in-sweep deduplication still applies).
+    salt:
+        Extra cache-key salt, appended to the code-version salt.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (cheap on Linux), else ``spawn``.
+    """
+
+    def __init__(self, n_jobs: int = 1,
+                 cache: RunCache | str | os.PathLike | None = None,
+                 salt: str = "", start_method: str | None = None) -> None:
+        self.n_jobs = resolve_n_jobs(n_jobs)
+        if cache is not None and not isinstance(cache, RunCache):
+            cache = RunCache(cache)
+        self.cache = cache
+        self.salt = salt
+        self.start_method = start_method or _default_start_method()
+        self.runs_executed = 0
+        self.runs_deduplicated = 0
+        REGISTRY.gauge("parallel.n_jobs").set(self.n_jobs)
+
+    # -- keys -------------------------------------------------------------
+
+    def key_for(self, job: RunJob) -> str:
+        return run_key(job.target, job.interference, job.config,
+                       seed_salt=job.seed_salt, salt=self.salt)
+
+    # -- execution --------------------------------------------------------
+
+    def run_many(self, jobs: list[RunJob]) -> list[MonitoredRun]:
+        """Execute ``jobs`` and return their runs in submission order.
+
+        Jobs with equal keys execute once and share one result object.
+        """
+        wall_hist = REGISTRY.histogram("parallel.run_seconds")
+        total_counter = REGISTRY.counter("parallel.runs_requested")
+        exec_counter = REGISTRY.counter("parallel.runs_executed")
+        dedup_counter = REGISTRY.counter("parallel.runs_deduplicated")
+        total_counter.inc(len(jobs))
+
+        keys = [self.key_for(job) for job in jobs]
+        results: dict[str, MonitoredRun] = {}
+        pending: dict[str, RunJob] = {}
+        for job, key in zip(jobs, keys):
+            if key in results or key in pending:
+                self.runs_deduplicated += 1
+                dedup_counter.inc()
+                continue
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                results[key] = cached
+            else:
+                pending[key] = job
+
+        items = list(pending.items())
+        self.runs_executed += len(items)
+        exec_counter.inc(len(items))
+        logger.info(
+            "sweep: %d jobs -> %d unique, %d cache hits, %d to run "
+            "(n_jobs=%d)", len(jobs), len(jobs) - self.runs_deduplicated,
+            len(jobs) - len(pending) - self.runs_deduplicated, len(items),
+            self.n_jobs,
+        )
+
+        if items and self.n_jobs > 1 and len(items) > 1:
+            ctx = multiprocessing.get_context(self.start_method)
+            workers = min(self.n_jobs, len(items))
+            with ctx.Pool(processes=workers) as pool:
+                for key, run, wall, snapshot in pool.imap_unordered(
+                        _execute_job, items, chunksize=1):
+                    REGISTRY.merge_snapshot(snapshot)
+                    wall_hist.observe(wall)
+                    self._store(key, pending[key], run)
+                    results[key] = run
+        else:
+            for key, job in items:
+                start = time.perf_counter()
+                run = execute_run(job.target, list(job.interference),
+                                  job.config, seed_salt=job.seed_salt)
+                wall_hist.observe(time.perf_counter() - start)
+                self._store(key, job, run)
+                results[key] = run
+
+        return [results[key] for key in keys]
+
+    def run_one(self, job: RunJob) -> MonitoredRun:
+        """Convenience wrapper: a one-job sweep."""
+        return self.run_many([job])[0]
+
+    def run_pairs(self, pairs: list[PairJob]) -> list[PairedRuns]:
+        """Baseline + interfered execution for every pair, in order.
+
+        The baseline job drops the pair's ``seed_salt`` (it only seeds
+        noise launches), so all scenarios of a target key to — and reuse
+        — one baseline run.
+        """
+        jobs: list[RunJob] = []
+        for pair in pairs:
+            jobs.append(RunJob(pair.target, (), pair.config, seed_salt=""))
+            jobs.append(RunJob(pair.target, tuple(pair.interference),
+                               pair.config, seed_salt=pair.seed_salt))
+        runs = self.run_many(jobs)
+        return [
+            PairedRuns(baseline=runs[2 * i], interfered=runs[2 * i + 1])
+            for i in range(len(pairs))
+        ]
+
+    def _store(self, key: str, job: RunJob, run: MonitoredRun) -> None:
+        if self.cache is None:
+            return
+        self.cache.put(key, run,
+                       material=run_key_material(job.target, job.interference,
+                                                 job.config,
+                                                 seed_salt=job.seed_salt,
+                                                 salt=self.salt))
+
+    # -- reporting --------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Executor + cache counters, manifest-ready."""
+        return {
+            "n_jobs": self.n_jobs,
+            "runs_executed": self.runs_executed,
+            "runs_deduplicated": self.runs_deduplicated,
+            "cache": self.cache.stats() if self.cache is not None else None,
+        }

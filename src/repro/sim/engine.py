@@ -19,7 +19,7 @@ conjunction events. There is deliberately no interruption API.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable
 
 from repro.obs import trace as _trace
@@ -213,7 +213,7 @@ class Environment:
 
     def _schedule(self, event: Event, delay: float) -> None:
         self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+        heappush(self._queue, (self.now + delay, self._seq, event))
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
@@ -231,12 +231,16 @@ class Environment:
 
     def step(self) -> None:
         """Fire the next scheduled event and run its callbacks."""
-        when, _seq, event = heapq.heappop(self._queue)
+        self._step(self._queue, _trace.TRACER)
+
+    def _step(self, queue: list, tracer) -> None:
+        # Hot path: ``run()`` passes the queue and tracer in so the loop
+        # pays no attribute or module-global lookups per event.
+        when, _seq, event = heappop(queue)
         if when < self.now:
             raise SimulationError("event scheduled in the past")
         self.now = when
         event._fired = True
-        tracer = _trace.TRACER
         if tracer is not None:
             tracer.events_fired += 1
         callbacks, event.callbacks = event.callbacks, []
@@ -249,21 +253,27 @@ class Environment:
         ``until`` may be ``None`` (drain the queue), a float deadline, or
         an :class:`Event` whose firing stops the run (its value is
         returned; a failed event re-raises its exception).
+
+        The tracer is resolved once per ``run()`` call; installing or
+        removing one mid-run takes effect on the next call.
         """
+        queue = self._queue
+        step = self._step
+        tracer = _trace.TRACER
         if isinstance(until, Event):
             stop = until
             while not stop._fired:
-                if not self._queue:
+                if not queue:
                     raise SimulationError(
                         "event loop drained before the awaited event fired"
                     )
-                self.step()
+                step(queue, tracer)
             if not stop._ok:
                 raise stop._value
             return stop._value
         deadline = float("inf") if until is None else float(until)
-        while self._queue and self._queue[0][0] <= deadline:
-            self.step()
+        while queue and queue[0][0] <= deadline:
+            step(queue, tracer)
         if until is not None:
             self.now = max(self.now, deadline)
         return None

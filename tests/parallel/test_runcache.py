@@ -1,0 +1,88 @@
+"""Tests for the on-disk run cache."""
+
+import numpy as np
+import pytest
+
+from repro.common.units import MIB
+from repro.monitor.aggregator import MonitoredRun
+from repro.monitor.server_monitor import ServerMonitor
+from repro.parallel.cache import RunCache
+from repro.sim.cluster import Cluster
+from repro.workloads.base import launch
+from repro.workloads.ior import IorConfig, IorWorkload
+
+KEY = "ab" + "0" * 38
+
+
+@pytest.fixture(scope="module")
+def sample_run():
+    cluster = Cluster()
+    monitor = ServerMonitor(cluster, sample_interval=0.25)
+    monitor.start()
+    w = IorWorkload(IorConfig(mode="easy", access="write", ranks=2,
+                              bytes_per_rank=2 * MIB))
+    handle = launch(cluster, w, [0, 1], seed=3)
+    cluster.env.run(until=handle.done)
+    cluster.env.run(until=cluster.env.now + 0.5)
+    return MonitoredRun(
+        job=w.name,
+        records=cluster.collector.records,
+        server_samples=monitor.samples,
+        servers=cluster.servers,
+        duration=cluster.env.now,
+    )
+
+
+def test_miss_then_hit_round_trip(tmp_path, sample_run):
+    cache = RunCache(tmp_path / "cache")
+    assert cache.get(KEY) is None
+    cache.put(KEY, sample_run, material={"why": "test"})
+    assert KEY in cache
+    back = cache.get(KEY)
+    assert back is not None
+    assert back.job == sample_run.job
+    assert back.records == sample_run.records
+    assert back.duration == pytest.approx(sample_run.duration)
+    assert len(back.server_samples) == len(sample_run.server_samples)
+    assert cache.stats()["hits"] == 1
+    assert cache.stats()["misses"] == 1
+    assert cache.stats()["stores"] == 1
+    assert len(cache) == 1
+
+
+def test_put_is_idempotent(tmp_path, sample_run):
+    cache = RunCache(tmp_path / "cache")
+    cache.put(KEY, sample_run)
+    cache.put(KEY, sample_run)
+    assert cache.stats()["stores"] == 1
+    assert len(cache) == 1
+
+
+def test_spec_file_written(tmp_path, sample_run):
+    cache = RunCache(tmp_path / "cache")
+    cache.put(KEY, sample_run, material={"target": "ior"})
+    spec = cache.path_for(KEY) / "spec.json"
+    assert spec.exists()
+    assert "ior" in spec.read_text()
+
+
+def test_corrupt_entry_is_a_miss_and_removed(tmp_path, sample_run):
+    """A truncated/garbled entry must never crash a sweep: it reads as a
+    miss, the entry is dropped, and a recompute can store it again."""
+    cache = RunCache(tmp_path / "cache")
+    cache.put(KEY, sample_run)
+    (cache.path_for(KEY) / "run" / "samples.npz").write_bytes(b"garbage")
+    assert cache.get(KEY) is None
+    assert cache.stats()["errors"] == 1
+    assert not cache.path_for(KEY).exists()
+    # Recompute path: the slot is writable again.
+    cache.put(KEY, sample_run)
+    back = cache.get(KEY)
+    assert back is not None
+    assert np.isfinite(back.duration)
+
+
+def test_short_key_rejected(tmp_path):
+    cache = RunCache(tmp_path / "cache")
+    with pytest.raises(ValueError):
+        cache.path_for("ab")

@@ -26,12 +26,33 @@ def test_unknown_experiment_rejected():
 
 def test_table2_fast_runs_end_to_end(tmp_path, capsys):
     """The cheapest experiment actually runs through the CLI."""
-    assert main(["table2", "--fast", "--out", str(tmp_path)]) == 0
+    cache_dir = tmp_path / "cache"
+    assert main(["table2", "--fast", "--out", str(tmp_path),
+                 "--cache-dir", str(cache_dir)]) == 0
     out = capsys.readouterr().out
     assert "table2" in out
     assert "sectors_read" in out
     assert (tmp_path / "table2.txt").exists()
     assert (tmp_path / "table2.manifest.json").exists()
+    assert any(cache_dir.iterdir())  # the run landed in the cache
+
+
+def test_cli_warm_cache_recorded_in_manifest(tmp_path, capsys):
+    """Second identical invocation replays from cache; the manifest's
+    sweep stats prove zero simulations ran."""
+    from repro.obs.manifest import load_manifest
+
+    cache = ["--cache-dir", str(tmp_path / "cache")]
+    assert main(["table2", "--fast", "--out", str(tmp_path / "a"), *cache]) == 0
+    assert main(["table2", "--fast", "--out", str(tmp_path / "b"), *cache]) == 0
+    capsys.readouterr()
+    cold = load_manifest(tmp_path / "a" / "table2.manifest.json")
+    warm = load_manifest(tmp_path / "b" / "table2.manifest.json")
+    assert cold.extra["sweep"]["runs_executed"] == 1
+    assert cold.extra["sweep"]["cache"]["stores"] == 1
+    assert warm.extra["sweep"]["runs_executed"] == 0
+    assert warm.extra["sweep"]["cache"]["hits"] == 1
+    assert warm.extra["sweep"]["n_jobs"] == 1
 
 
 def test_observability_flags_and_obs_summary(tmp_path, capsys):
@@ -41,7 +62,9 @@ def test_observability_flags_and_obs_summary(tmp_path, capsys):
 
     trace_path = tmp_path / "run.trace.jsonl"
     metrics_path = tmp_path / "run.metrics.json"
-    assert main(["table2", "--fast", "--out", str(tmp_path),
+    # --no-cache: a cache hit would replay the run without simulating,
+    # and an unsimulated run emits no spans to trace.
+    assert main(["table2", "--fast", "--out", str(tmp_path), "--no-cache",
                  "--trace", str(trace_path),
                  "--metrics-out", str(metrics_path)]) == 0
     capsys.readouterr()
