@@ -8,7 +8,16 @@ Usage::
     python -m repro table2               # server-metric catalogue
     python -m repro fig3 | fig4 | fig5   # model evaluations
     python -m repro all [--fast]         # everything, in order
+    python -m repro robustness [--fast]  # F1 under telemetry faults
     python -m repro obs FILE [FILE ...]  # summarise traces/metrics/manifests
+
+Fault injection and resilience: ``--faults 'drop=0.2,kill=0.1,seed=1'``
+attaches a deterministic :class:`repro.faults.FaultPlan` to the sweep
+executor (worker/simulation faults; telemetry faults drive the
+``robustness`` experiment), ``--run-timeout`` arms a per-run watchdog
+and ``--retries`` bounds how often a failed run is retried before being
+quarantined — a sweep with poisoned runs completes and reports them
+instead of crashing.
 
 ``--fast`` shrinks workloads for a quick smoke pass; default sizes match
 the benchmark suite. Results print to stdout; pass ``--out DIR`` to also
@@ -44,7 +53,10 @@ from repro.experiments.runner import ExperimentConfig
 EXPERIMENTS = ("table1", "fig1", "table2", "fig3", "fig4", "fig5")
 
 #: Extension experiments beyond the paper (run individually).
-EXTENSIONS = ("devices", "crosscluster")
+EXTENSIONS = ("devices", "crosscluster", "robustness")
+
+#: JSON reports produced by runners (written next to the manifests).
+_REPORTS: dict[str, dict] = {}
 
 
 def _config(fast: bool) -> ExperimentConfig:
@@ -154,6 +166,19 @@ def run_crosscluster(fast: bool, executor) -> str:
     return run_cross_cluster(_config(fast), **kwargs).render()
 
 
+def run_robustness(fast: bool, executor) -> str:
+    from repro.experiments.robustness import run_robustness as _run
+
+    kwargs = {}
+    if fast:
+        kwargs = dict(max_level=1, drop_rates=(0.0, 0.4),
+                      blank_rates=(0.0, 0.4), gap_policies=("zero", "mean"),
+                      slow_factors=(8.0,), epochs=30)
+    result = _run(_config(fast), executor=executor, **kwargs)
+    _REPORTS["robustness"] = result.to_report()
+    return result.render()
+
+
 _RUNNERS = {
     "table1": run_table1,
     "fig1": run_fig1,
@@ -163,7 +188,14 @@ _RUNNERS = {
     "fig5": run_fig5,
     "devices": run_devices,
     "crosscluster": run_crosscluster,
+    "robustness": run_robustness,
 }
+
+
+def _fail(message: str) -> int:
+    """One-line CLI error: print to stderr, exit nonzero (no traceback)."""
+    print(f"error: {message}", file=sys.stderr)
+    return 2
 
 
 def main_obs(argv: list[str]) -> int:
@@ -197,22 +229,33 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro",
         description="Regenerate the paper's tables and figures.",
     )
-    parser.add_argument("experiment",
-                        choices=("list", "all", "obs",
-                                 *EXPERIMENTS, *EXTENSIONS))
+    parser.add_argument("experiment", metavar="experiment",
+                        help="one of: list, all, "
+                             + ", ".join((*EXPERIMENTS, *EXTENSIONS)))
     parser.add_argument("--fast", action="store_true",
                         help="shrink workloads for a quick smoke pass")
     parser.add_argument("--out", type=pathlib.Path, default=None,
                         help="also write one text file per experiment here")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for simulation sweeps "
-                             "(1 = in-process, 0 = all cores)")
+                             "(default: 1 = in-process)")
     parser.add_argument("--cache-dir", type=pathlib.Path,
                         default=pathlib.Path("results/.runcache"),
                         help="content-addressed run cache directory "
                              "(default: %(default)s)")
     parser.add_argument("--no-cache", action="store_true",
                         help="do not read or write the run cache")
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="deterministic fault injection spec, e.g. "
+                             "'drop=0.2,blank=0.1,kill=0.05,seed=1' "
+                             "(see repro.faults.FAULT_SPEC_FIELDS)")
+    parser.add_argument("--run-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="watchdog: kill and retry any single "
+                             "simulation run exceeding this wall time")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="retries per failed/timed-out run before it "
+                             "is quarantined (default: 0)")
     parser.add_argument("--trace", type=pathlib.Path, default=None,
                         help="record a span trace of all simulated I/O "
                              "to this JSONL file")
@@ -226,6 +269,25 @@ def main(argv: list[str] | None = None) -> int:
     if args.verbose:
         obs.configure_logging("DEBUG" if args.verbose > 1 else "INFO")
 
+    known = ("list", "all", *EXPERIMENTS, *EXTENSIONS)
+    if args.experiment not in known:
+        return _fail(f"unknown experiment {args.experiment!r} "
+                     f"(choose from: {', '.join(known)})")
+    if args.jobs <= 0:
+        return _fail(f"--jobs must be a positive integer, got {args.jobs}")
+    if args.run_timeout is not None and args.run_timeout <= 0:
+        return _fail(f"--run-timeout must be positive, got {args.run_timeout}")
+    if args.retries < 0:
+        return _fail(f"--retries must be >= 0, got {args.retries}")
+    fault_plan = None
+    if args.faults:
+        from repro.faults import parse_fault_spec
+
+        try:
+            fault_plan = parse_fault_spec(args.faults)
+        except ValueError as exc:
+            return _fail(f"bad --faults spec: {exc}")
+
     if args.experiment == "list":
         for name in (*EXPERIMENTS, *EXTENSIONS):
             print(name)
@@ -233,8 +295,19 @@ def main(argv: list[str] | None = None) -> int:
 
     from repro.parallel import RunCache, SweepExecutor
 
-    cache = None if args.no_cache else RunCache(args.cache_dir)
-    executor = SweepExecutor(n_jobs=args.jobs, cache=cache)
+    cache = None
+    if not args.no_cache:
+        try:
+            cache = RunCache(args.cache_dir)
+            probe = cache.directory / ".write-probe"
+            probe.write_bytes(b"")
+            probe.unlink()
+        except OSError as exc:
+            return _fail(f"cache dir {args.cache_dir} is not writable "
+                         f"({exc}); pass --cache-dir or --no-cache")
+    executor = SweepExecutor(n_jobs=args.jobs, cache=cache,
+                             run_timeout=args.run_timeout,
+                             retries=args.retries, fault_plan=fault_plan)
 
     tracer = obs.install_tracer() if args.trace else None
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
@@ -262,6 +335,17 @@ def main(argv: list[str] | None = None) -> int:
             )
             obs.write_manifest(manifest,
                                manifest_dir / f"{name}.manifest.json")
+            if name in _REPORTS:
+                import json
+
+                report_path = manifest_dir / f"{name}.report.json"
+                report_path.parent.mkdir(parents=True, exist_ok=True)
+                report_path.write_text(
+                    json.dumps(_REPORTS.pop(name), indent=2) + "\n")
+                print(f"wrote {report_path}")
+        if executor.quarantined:
+            print(f"WARNING: {len(executor.quarantined)} run(s) quarantined; "
+                  "see the manifest's sweep.faults section")
     finally:
         if tracer is not None:
             obs.uninstall_tracer()

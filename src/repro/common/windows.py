@@ -38,6 +38,8 @@ def window_index(t: float, window_size: float) -> int:
     """
     if window_size <= 0:
         raise ValueError(f"window_size must be positive, got {window_size}")
+    if not math.isfinite(t):
+        raise ValueError(f"non-finite time: {t}")
     if t < 0:
         raise ValueError(f"negative time: {t}")
     idx = int(t / window_size)
@@ -56,6 +58,8 @@ def window_indices(times: np.ndarray, window_size: float) -> np.ndarray:
     if window_size <= 0:
         raise ValueError(f"window_size must be positive, got {window_size}")
     times = np.asarray(times, dtype=np.float64)
+    if times.size and not np.isfinite(times).all():
+        raise ValueError("non-finite time in window_indices input")
     if times.size and times.min() < 0:
         raise ValueError(f"negative time: {times.min()}")
     idx = (times / window_size).astype(np.int64)
@@ -68,6 +72,8 @@ def iter_windows(horizon: float, window_size: float) -> Iterator[TimeWindow]:
     """All windows needed to cover ``[0, horizon)``."""
     if window_size <= 0:
         raise ValueError(f"window_size must be positive, got {window_size}")
+    if not math.isfinite(horizon):
+        raise ValueError(f"non-finite horizon: {horizon}")
     count = max(0, math.ceil(horizon / window_size))
     for i in range(count):
         yield TimeWindow(i, i * window_size, (i + 1) * window_size)

@@ -41,6 +41,11 @@ class Dataset:
                 f"X has {self.X.shape[2]} features but "
                 f"{len(self.feature_names)} names"
             )
+        if self.X.size and not np.isfinite(self.X).all():
+            raise ValueError(
+                "dataset contains non-finite feature values; gaps must be "
+                "masked/imputed upstream (see assemble_vectors gap_policy)"
+            )
         if len(self.y) and self.y.min() < 0:
             raise ValueError("labels must be non-negative class indices")
 

@@ -38,12 +38,20 @@ __all__ = ["WindowPrediction", "StreamingPredictor"]
 
 @dataclass(frozen=True)
 class WindowPrediction:
-    """One runtime prediction: emitted as soon as the window closed."""
+    """One runtime prediction: emitted as soon as the window closed.
+
+    ``completeness`` is the fraction of expected server samples that had
+    arrived when the prediction was made; ``stale`` marks a fallback
+    emission — the window's telemetry was too gappy, so the last good
+    prediction was repeated instead of trusting a half-blind vector.
+    """
 
     window: int
     severity: int
     probabilities: tuple[float, ...]
     emitted_at: float  #: simulated time the prediction was produced
+    completeness: float = 1.0
+    stale: bool = False
 
 
 @dataclass
@@ -57,6 +65,14 @@ class StreamingPredictor:
     window_size: float = 0.5
     #: Called with each WindowPrediction as it is emitted (optional).
     on_prediction: Callable[[WindowPrediction], None] | None = None
+    #: Bounded reorder buffer: window ``w`` is predicted at
+    #: ``(w + 1 + reorder_windows) * window_size``, giving late /
+    #: out-of-order samples that many windows to arrive.
+    reorder_windows: int = 0
+    #: Minimum fraction of expected server samples a window needs before
+    #: its vector is trusted; below it, fall back to the last good
+    #: prediction with ``stale=True``.  0 disables the fallback.
+    min_completeness: float = 0.0
 
     predictions: list[WindowPrediction] = field(default_factory=list)
     _record_cursor: int = field(default=0, repr=False)
@@ -66,6 +82,8 @@ class StreamingPredictor:
     _window_samples: dict[tuple[int, ServerId], list[dict]] = field(
         default_factory=dict, repr=False)
     _started: bool = field(default=False, repr=False)
+    _last_good: WindowPrediction | None = field(default=None, repr=False)
+    _emitted_through: int = field(default=-1, repr=False)
 
     def start(self) -> None:
         """Arm the per-window prediction loop on the cluster's engine."""
@@ -73,6 +91,10 @@ class StreamingPredictor:
             raise RuntimeError("streaming predictor already started")
         if self.window_size <= 0:
             raise ValueError("window_size must be positive")
+        if self.reorder_windows < 0:
+            raise ValueError("reorder_windows must be >= 0")
+        if not 0.0 <= self.min_completeness <= 1.0:
+            raise ValueError("min_completeness must be in [0, 1]")
         self._started = True
         self.cluster.env.process(self._loop())
 
@@ -91,11 +113,30 @@ class StreamingPredictor:
             self._window_records.setdefault(w, []).append(rec)
         samples = self.monitor.samples
         half = self.monitor.sample_interval / 2
+        late_counter = REGISTRY.counter("online.late_samples")
         while self._sample_cursor < len(samples):
             t, server, metrics = samples[self._sample_cursor]
             self._sample_cursor += 1
             w = window_index(max(0.0, t - half), self.window_size)
+            if w <= self._emitted_through:
+                # The sample arrived after its window was already
+                # predicted; it can no longer influence the output.
+                late_counter.inc()
             self._window_samples.setdefault((w, server), []).append(metrics)
+
+    def _completeness(self, window: int) -> float:
+        """Fraction of expected server samples present for ``window``."""
+        expected = max(1, round(self.window_size /
+                                self.monitor.sample_interval))
+        servers = self.cluster.servers
+        if not servers:
+            return 1.0
+        have = 0.0
+        for sid in servers:
+            rows = self._window_samples.get((window, sid))
+            if rows:
+                have += min(1.0, len(rows) / expected)
+        return have / len(servers)
 
     def _vector_for(self, window: int) -> np.ndarray:
         """Per-server vector of one closed window (offline-identical)."""
@@ -138,29 +179,50 @@ class StreamingPredictor:
         env = self.cluster.env
         window = 0
         emit_counter = REGISTRY.counter("online.predictions")
+        stale_counter = REGISTRY.counter("online.stale_predictions")
         latency_hist = REGISTRY.histogram("online.predict_latency_seconds")
         while True:
-            # Wake just after the window boundary so the boundary sample
-            # (taken exactly at the edge) has been recorded.
-            target_time = (window + 1) * self.window_size + 1e-9
+            # Wake just after the window boundary (plus the reorder
+            # allowance) so the boundary sample — and any straggler the
+            # reorder buffer is willing to wait for — has been recorded.
+            target_time = ((window + 1 + self.reorder_windows)
+                           * self.window_size + 1e-9)
             yield env.timeout(max(0.0, target_time - env.now))
             self._ingest()
+            completeness = self._completeness(window)
+            stale = (self.min_completeness > 0
+                     and completeness < self.min_completeness)
             t0 = time.perf_counter()
-            X = self._vector_for(window)
-            probs = self.predictor.predict_proba(X)[0]
+            if stale and self._last_good is not None:
+                # Too blind to trust the vector: repeat the last good
+                # prediction rather than classify mostly-zeros as idle.
+                probs = self._last_good.probabilities
+            else:
+                X = self._vector_for(window)
+                probs = tuple(
+                    float(p) for p in self.predictor.predict_proba(X)[0]
+                )
             latency_hist.observe(time.perf_counter() - t0)
             emit_counter.inc()
+            if stale:
+                stale_counter.inc()
             pred = WindowPrediction(
                 window=window,
                 severity=int(np.argmax(probs)),
-                probabilities=tuple(float(p) for p in probs),
+                probabilities=tuple(probs),
                 emitted_at=env.now,
+                completeness=completeness,
+                stale=stale,
             )
             self.predictions.append(pred)
+            self._emitted_through = window
+            if not stale:
+                self._last_good = pred
             if self.on_prediction is not None:
                 self.on_prediction(pred)
             logger.debug(
-                "window %d: severity=%d (p=%.3f) emitted at t=%.3fs",
-                window, pred.severity, max(pred.probabilities), env.now,
+                "window %d: severity=%d (p=%.3f)%s emitted at t=%.3fs",
+                window, pred.severity, max(pred.probabilities),
+                " [stale]" if stale else "", env.now,
             )
             window += 1

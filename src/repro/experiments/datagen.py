@@ -142,6 +142,18 @@ def collect_windows(
     ])
     parts: list[WindowBank] = []
     for (target, scenario), pair in zip(sweep, paired):
+        if pair is None:
+            # One of the pair's runs was quarantined by the executor's
+            # resilience layer; the sweep degrades instead of crashing.
+            from repro.obs.log import get_logger
+            from repro.obs.metrics import REGISTRY
+
+            REGISTRY.counter("datagen.pairs_skipped").inc()
+            get_logger("experiments.datagen").warning(
+                "skipping pair %s:%s (run quarantined)",
+                target.name, scenario.name,
+            )
+            continue
         run = pair.interfered
         levels = labeller.window_levels(
             pair.baseline.records, run.records, target.name

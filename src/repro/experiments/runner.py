@@ -128,9 +128,18 @@ def execute_run(
     interference: list[InterferenceSpec],
     config: ExperimentConfig,
     seed_salt: str = "",
+    abort_at: float | None = None,
 ) -> MonitoredRun:
-    """One monitored execution of ``target`` under the given noise."""
+    """One monitored execution of ``target`` under the given noise.
+
+    ``abort_at`` kills the simulation at that simulated time (fault
+    injection: a run that died mid-flight).  The truncated run is still
+    a valid :class:`MonitoredRun` — whatever was traced and sampled up
+    to the abort — with ``metadata["aborted"]`` recording the cut.
+    """
     wall_start = time.perf_counter()
+    if abort_at is not None and abort_at <= 0:
+        raise ValueError(f"abort_at must be positive, got {abort_at}")
     logger.info(
         "execute_run: target=%s noise=%s seed=%d",
         target.name, [spec.task for spec in interference] or "none",
@@ -154,7 +163,15 @@ def execute_run(
         cluster.env.run(until=config.warmup)
     target_seed = derive_seed(config.seed, "target", target.name)
     handle = launch(cluster, target, list(config.target_nodes), target_seed)
-    cluster.env.run(until=handle.done)
+    aborted = False
+    if abort_at is not None:
+        cluster.env.run(until=abort_at)
+        aborted = not handle.done._fired
+        if aborted:
+            logger.warning("run %s aborted at t=%.3fs (fault injection)",
+                           target.name, abort_at)
+    else:
+        cluster.env.run(until=handle.done)
     # One trailing sampling period so the last window has server samples.
     cluster.env.run(until=cluster.env.now + config.sample_interval)
     run = MonitoredRun(
@@ -171,6 +188,7 @@ def execute_run(
             "target_nodes": list(config.target_nodes),
             "window_size": config.window_size,
             "sample_interval": config.sample_interval,
+            **({"aborted": True, "abort_at": abort_at} if aborted else {}),
         },
     )
     logger.info(

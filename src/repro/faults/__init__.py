@@ -1,0 +1,41 @@
+"""``repro.faults`` — deterministic fault injection and its bookkeeping.
+
+Production telemetry pipelines drop, delay and duplicate samples; sweep
+workers crash and wedge.  This package makes those failure modes a
+first-class, *seeded* part of the reproduction so the degradation
+machinery (missing-data policies in the aggregator, the streaming
+predictor's staleness fallback, the executor's retry/quarantine loop)
+can be exercised bit-reproducibly:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, the serialisable fault
+  regime whose every decision derives from ``repro.common.rng``;
+* :mod:`repro.faults.inject` — pure post-hoc transforms that corrupt a
+  monitored run's telemetry (cache-friendly: clean simulations are
+  cached, faults are re-applied per grid point).
+
+Live injection points live with their hosts: the
+:class:`~repro.monitor.server_monitor.ServerMonitor` accepts a plan and
+faults its sample stream as it collects, and the
+:class:`~repro.parallel.executor.SweepExecutor` consults the plan for
+worker kills/stalls and simulated-run aborts.
+"""
+
+from repro.faults.inject import (
+    FaultStats,
+    apply_faults,
+    blank_client_windows,
+    inject_sample_faults,
+    sample_clock_skews,
+)
+from repro.faults.plan import FAULT_SPEC_FIELDS, FaultPlan, parse_fault_spec
+
+__all__ = [
+    "FaultPlan",
+    "FaultStats",
+    "FAULT_SPEC_FIELDS",
+    "parse_fault_spec",
+    "apply_faults",
+    "inject_sample_faults",
+    "blank_client_windows",
+    "sample_clock_skews",
+]

@@ -1,0 +1,188 @@
+"""Post-hoc fault injection into monitored runs.
+
+The transforms here corrupt a :class:`~repro.monitor.aggregator.
+MonitoredRun`'s *telemetry* — the server sample stream and the client
+trace — without touching the simulation that produced it.  That split is
+what makes the robustness sweep cheap: one clean (cached) simulation
+serves every point of a drop-rate × blank-rate grid, because faults are
+re-applied deterministically from the :class:`~repro.faults.plan.
+FaultPlan` at analysis time.
+
+Every transform is pure (inputs are never mutated) and bit-reproducible:
+the random draws come from the plan's seed plus a caller-supplied scope
+string (normally the run's job name), one fixed-size draw block per
+sample, so the same plan applied to the same run twice yields identical
+output.  Injection counts land both on the returned
+:class:`FaultStats` and in the ``faults.*`` metrics of
+:data:`repro.obs.metrics.REGISTRY`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.common.records import IORecord, ServerId
+from repro.common.windows import window_index
+from repro.faults.plan import FaultPlan
+from repro.monitor.aggregator import MonitoredRun
+from repro.obs.log import get_logger
+from repro.obs.metrics import REGISTRY
+
+__all__ = ["FaultStats", "sample_clock_skews", "inject_sample_faults",
+           "blank_client_windows", "apply_faults"]
+
+logger = get_logger("faults.inject")
+
+
+@dataclass
+class FaultStats:
+    """What one injection pass actually did (manifest-ready)."""
+
+    samples_in: int = 0
+    samples_dropped: int = 0
+    samples_delayed: int = 0
+    samples_lost_late: int = 0
+    samples_duplicated: int = 0
+    servers_skewed: int = 0
+    windows_blanked: int = 0
+    records_blanked: int = 0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def merge(self, other: "FaultStats") -> "FaultStats":
+        for name, value in asdict(other).items():
+            setattr(self, name, getattr(self, name) + value)
+        return self
+
+
+def sample_clock_skews(
+    plan: FaultPlan, servers: list[ServerId], scope: str
+) -> dict[ServerId, float]:
+    """Per-server clock skew, uniform in ``[-max, +max]``, deterministic.
+
+    Each server's skew derives from its own rng path, so the mapping is
+    independent of server-list order.
+    """
+    if plan.clock_skew_max <= 0:
+        return {server: 0.0 for server in servers}
+    return {
+        server: float(plan.rng("skew", scope, str(server)).uniform(
+            -plan.clock_skew_max, plan.clock_skew_max))
+        for server in servers
+    }
+
+
+def inject_sample_faults(
+    samples: list[tuple[float, ServerId, dict[str, float]]],
+    plan: FaultPlan,
+    scope: str,
+    duration: float,
+    servers: list[ServerId] | None = None,
+) -> tuple[list[tuple[float, ServerId, dict[str, float]]], FaultStats]:
+    """Drop / delay / duplicate / clock-skew a server sample stream.
+
+    Returns the faulted stream in *delivery* order (each row keeps its
+    possibly-skewed sample time) plus the injection stats.  A delayed
+    sample whose delivery would land past ``duration`` is lost — the
+    collection window closed before it arrived.
+    """
+    stats = FaultStats(samples_in=len(samples))
+    if servers is None:
+        servers = sorted({server for _, server, _ in samples}, key=str)
+    skews = sample_clock_skews(plan, servers, scope)
+    stats.servers_skewed = sum(1 for s in skews.values() if s != 0.0)
+    rng = plan.rng("samples", scope)
+    delivered: list[tuple[float, float, ServerId, dict[str, float]]] = []
+    for t, server, metrics in samples:
+        # One fixed-size draw block per sample keeps the stream aligned
+        # whatever mix of faults is enabled.
+        u_drop, u_dup, u_delay, u_amount = rng.random(4)
+        if plan.sample_drop_rate and u_drop < plan.sample_drop_rate:
+            stats.samples_dropped += 1
+            continue
+        t_obs = max(0.0, t + skews.get(server, 0.0))
+        delivery = t_obs
+        if plan.sample_delay_rate and u_delay < plan.sample_delay_rate:
+            delivery = t_obs + u_amount * plan.sample_delay_max
+            stats.samples_delayed += 1
+            if delivery > duration:
+                stats.samples_lost_late += 1
+                continue
+        delivered.append((delivery, t_obs, server, metrics))
+        if plan.sample_duplicate_rate and u_dup < plan.sample_duplicate_rate:
+            stats.samples_duplicated += 1
+            delivered.append((delivery, t_obs, server, dict(metrics)))
+    delivered.sort(key=lambda row: row[0])
+    return [(t_obs, server, metrics)
+            for _, t_obs, server, metrics in delivered], stats
+
+
+def blank_client_windows(
+    records: list[IORecord],
+    plan: FaultPlan,
+    scope: str,
+    job: str,
+    window_size: float,
+    duration: float,
+) -> tuple[list[IORecord], FaultStats]:
+    """Erase the target job's records from deterministically-chosen windows.
+
+    Models a client monitor losing whole aggregation windows (SHM buffer
+    overrun, flush failure).  Other jobs' records are untouched.
+    """
+    if window_size <= 0:
+        raise ValueError(f"window_size must be positive, got {window_size}")
+    stats = FaultStats()
+    if plan.window_blank_rate <= 0 or not records:
+        return list(records), stats
+    n_windows = max(1, int(-(-duration // window_size)))
+    blanked = {
+        w for w in range(n_windows)
+        if plan.rng("blank", scope, w).random() < plan.window_blank_rate
+    }
+    stats.windows_blanked = len(blanked)
+    kept: list[IORecord] = []
+    for rec in records:
+        if rec.job == job and window_index(rec.end, window_size) in blanked:
+            stats.records_blanked += 1
+            continue
+        kept.append(rec)
+    return kept, stats
+
+
+def apply_faults(
+    run: MonitoredRun, plan: FaultPlan, window_size: float = 1.0
+) -> MonitoredRun:
+    """A faulted copy of ``run`` (telemetry faults only; run untouched).
+
+    The returned run carries the injection stats in
+    ``metadata["faults"]`` and the originating plan's digest, and the
+    pass increments the ``faults.*`` registry counters.
+    """
+    samples, stats = inject_sample_faults(
+        run.server_samples, plan, run.job, run.duration, servers=run.servers
+    )
+    records, blank_stats = blank_client_windows(
+        run.records, plan, run.job, run.job, window_size, run.duration
+    )
+    stats.merge(blank_stats)
+    for name, value in stats.to_dict().items():
+        if name != "samples_in" and value:
+            REGISTRY.counter(f"faults.{name}").inc(value)
+    if stats.samples_dropped or stats.windows_blanked:
+        logger.info(
+            "faults applied to %s: dropped %d/%d samples, blanked %d windows",
+            run.job, stats.samples_dropped, stats.samples_in,
+            stats.windows_blanked,
+        )
+    metadata = dict(run.metadata)
+    metadata["faults"] = {"plan": plan.digest(), **stats.to_dict()}
+    return MonitoredRun(
+        job=run.job,
+        records=records,
+        server_samples=samples,
+        servers=list(run.servers),
+        duration=run.duration,
+        metadata=metadata,
+    )

@@ -18,8 +18,34 @@ from repro.common.records import IORecord, ServerId
 from repro.monitor.client_monitor import ClientWindowAggregator
 from repro.monitor.schema import CLIENT_FEATURES, SERVER_FEATURES
 from repro.monitor.server_monitor import ServerMonitor
+from repro.obs.metrics import REGISTRY
 
-__all__ = ["MonitoredRun", "assemble_vectors"]
+__all__ = ["MonitoredRun", "assemble_vectors", "GAP_POLICIES",
+           "assert_finite"]
+
+#: Missing-data policies for (window, server) cells with no server
+#: samples: ``zero`` keeps the historical zero fill, ``mean`` imputes
+#: the server's mean over its observed windows, ``carry`` carries the
+#: last observed window forward.
+GAP_POLICIES: tuple[str, ...] = ("zero", "mean", "carry")
+
+
+def assert_finite(X: np.ndarray, context: str = "") -> np.ndarray:
+    """Raise :class:`ValueError` if ``X`` holds NaN/inf; returns ``X``.
+
+    The guard every assembled feature array passes before it reaches
+    training or inference — missing data must be masked and imputed
+    explicitly, never smuggled through as NaN.
+    """
+    X = np.asarray(X)
+    if X.size and not np.isfinite(X).all():
+        bad = int(X.size - np.isfinite(X).sum())
+        where = np.argwhere(~np.isfinite(X))[:3].tolist()
+        raise ValueError(
+            f"non-finite feature values{f' in {context}' if context else ''}: "
+            f"{bad} bad entries, first at indices {where}"
+        )
+    return X
 
 
 @dataclass
@@ -52,7 +78,9 @@ def assemble_vectors(
     run: MonitoredRun,
     window_size: float = 1.0,
     sample_interval: float = 0.25,
-) -> tuple[np.ndarray, list[int]]:
+    gap_policy: str = "zero",
+    return_mask: bool = False,
+):
     """Build per-server vectors for every window of a monitored run.
 
     Returns ``(X, window_ids)`` where ``X`` has shape
@@ -61,7 +89,20 @@ def assemble_vectors(
     the corresponding window indices. Windows beyond the run duration are
     not emitted; windows with no activity at all still appear (all-zero
     except gauges), because "idle" is a state the model must recognise.
+
+    Missing data is handled explicitly, never as NaN: a (window, server)
+    cell that received *no server samples at all* (a telemetry gap, e.g.
+    injected by :mod:`repro.faults`) is imputed per ``gap_policy`` (see
+    :data:`GAP_POLICIES`); ``return_mask=True`` additionally returns the
+    ``(n_windows, n_servers)`` boolean mask of cells that *did* have
+    samples.  Gap counts land in the ``monitor.gap_cells`` counter and
+    the ``monitor.gap_fraction`` gauge.  The assembled array is asserted
+    finite before it is returned.
     """
+    if gap_policy not in GAP_POLICIES:
+        raise ValueError(
+            f"unknown gap_policy {gap_policy!r} (choose from {GAP_POLICIES})"
+        )
     client = ClientWindowAggregator(window_size).aggregate(run.records, run.job)
     # Re-aggregate raw samples through a throwaway monitor-shaped object.
     server_keys, server_feats = _server_features_from_samples(
@@ -73,6 +114,7 @@ def assemble_vectors(
     base = len(CLIENT_FEATURES)
     X = np.zeros((n_windows, len(servers), base + len(SERVER_FEATURES)),
                  dtype=float)
+    mask = np.zeros((n_windows, len(servers)), dtype=bool)
     # Fill only the active (window, server) cells; idle cells stay zero.
     for (w, sid), cf in client.items():
         si = server_pos.get(sid)
@@ -82,7 +124,46 @@ def assemble_vectors(
         si = server_pos.get(sid)
         if si is not None and 0 <= w < n_windows:
             X[w, si, base:] = row
+            mask[w, si] = True
+    _impute_gaps(X, mask, base, gap_policy)
+    gaps = int(mask.size - mask.sum())
+    if gaps:
+        REGISTRY.counter("monitor.gap_cells").inc(gaps)
+    REGISTRY.gauge("monitor.gap_fraction").set(
+        gaps / mask.size if mask.size else 0.0
+    )
+    assert_finite(X, context=f"assemble_vectors({run.job})")
+    if return_mask:
+        return X, list(range(n_windows)), mask
     return X, list(range(n_windows))
+
+
+def _impute_gaps(X: np.ndarray, mask: np.ndarray, base: int,
+                 gap_policy: str) -> None:
+    """Fill server-feature blocks of gap cells in place per policy.
+
+    ``zero`` is a no-op (cells already zero); ``mean`` uses the server's
+    mean over observed windows; ``carry`` repeats the last observed
+    window.  A server with no observed windows at all stays zero under
+    every policy — there is nothing to impute from.
+    """
+    if gap_policy == "zero" or mask.all():
+        return
+    n_windows, n_servers = mask.shape
+    for si in range(n_servers):
+        observed = mask[:, si]
+        if not observed.any():
+            continue
+        if gap_policy == "mean":
+            fill = X[observed, si, base:].mean(axis=0)
+            X[~observed, si, base:] = fill
+        elif gap_policy == "carry":
+            last: np.ndarray | None = None
+            for w in range(n_windows):
+                if observed[w]:
+                    last = X[w, si, base:]
+                elif last is not None:
+                    X[w, si, base:] = last
 
 
 def _server_features_from_samples(

@@ -11,6 +11,9 @@ window aggregation.
 
 from __future__ import annotations
 
+import heapq
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.common.records import ServerId
@@ -18,6 +21,9 @@ from repro.common.windows import window_indices
 from repro.monitor.schema import GAUGE_METRICS, SERVER_METRICS, SERVER_STATS
 from repro.obs.metrics import REGISTRY
 from repro.sim.cluster import Cluster
+
+if TYPE_CHECKING:  # runtime import would cycle via repro.faults.inject
+    from repro.faults.plan import FaultPlan
 
 __all__ = ["ServerMonitor"]
 
@@ -44,9 +50,20 @@ class ServerMonitor:
 
     Call :meth:`start` before running the simulation; samples accumulate
     in :attr:`samples` as ``(time, server, metrics-dict)`` rows.
+
+    With a :class:`~repro.faults.plan.FaultPlan` attached, the monitor
+    injects telemetry faults *live* as it collects: samples are dropped,
+    delivered late (appended to :attr:`samples` only once simulated time
+    reaches their delivery time, i.e. out of sample-time order),
+    duplicated, and per-server clock skew shifts recorded sample times.
+    All decisions derive from the plan seed plus ``fault_scope``, so the
+    faulted stream replays bit-identically.  Injection counts appear in
+    the ``faults.monitor.*`` registry counters.
     """
 
-    def __init__(self, cluster: Cluster, sample_interval: float = 0.25) -> None:
+    def __init__(self, cluster: Cluster, sample_interval: float = 0.25,
+                 faults: "FaultPlan | None" = None,
+                 fault_scope: str = "") -> None:
         if sample_interval <= 0:
             raise ValueError(
                 f"sample_interval must be positive, got {sample_interval}"
@@ -56,6 +73,17 @@ class ServerMonitor:
         self.samples: list[tuple[float, ServerId, dict[str, float]]] = []
         self._last_counters: dict[ServerId, dict[str, float]] = {}
         self._started = False
+        self.faults = faults if faults is not None and \
+            faults.has_telemetry_faults else None
+        self.fault_scope = fault_scope
+        self._fault_rng = None
+        self._skews: dict[ServerId, float] = {}
+        #: Heap of (delivery_time, seq, sample_time, server, metrics).
+        self._delayed: list[tuple] = []
+        self._delay_seq = 0
+        self.samples_dropped = 0
+        self.samples_delayed = 0
+        self.samples_duplicated = 0
 
     def start(self) -> None:
         """Arm the sampling process on the cluster's environment."""
@@ -64,7 +92,56 @@ class ServerMonitor:
         self._started = True
         for server in self.cluster.servers:
             self._last_counters[server] = self.cluster.server_counters(server)
+        if self.faults is not None:
+            from repro.faults.inject import sample_clock_skews
+
+            self._fault_rng = self.faults.rng("monitor", self.fault_scope)
+            self._skews = sample_clock_skews(
+                self.faults, list(self.cluster.servers), self.fault_scope
+            )
         self.cluster.env.process(self._loop())
+
+    def _emit(self, t: float, server: ServerId,
+              metrics: dict[str, float]) -> bool:
+        """Record one sample row, applying live telemetry faults.
+
+        Returns ``False`` when the sample was dropped.  Delayed samples
+        are parked on a heap and released by :meth:`_flush_delayed` once
+        simulated time reaches their delivery time.
+        """
+        plan = self.faults
+        if plan is None:
+            self.samples.append((t, server, metrics))
+            return True
+        # Fixed-size draw block per sample: the stream stays aligned
+        # whatever subset of fault kinds is enabled.
+        u_drop, u_dup, u_delay, u_amount = self._fault_rng.random(4)
+        if plan.sample_drop_rate and u_drop < plan.sample_drop_rate:
+            self.samples_dropped += 1
+            REGISTRY.counter("faults.monitor.samples_dropped").inc()
+            return False
+        t_obs = max(0.0, t + self._skews.get(server, 0.0))
+        row = (t_obs, server, metrics)
+        if plan.sample_delay_rate and u_delay < plan.sample_delay_rate:
+            delivery = self.cluster.env.now + u_amount * plan.sample_delay_max
+            self.samples_delayed += 1
+            REGISTRY.counter("faults.monitor.samples_delayed").inc()
+            self._delay_seq += 1
+            heapq.heappush(self._delayed,
+                           (delivery, self._delay_seq, *row))
+        else:
+            self.samples.append(row)
+        if plan.sample_duplicate_rate and u_dup < plan.sample_duplicate_rate:
+            self.samples_duplicated += 1
+            REGISTRY.counter("faults.monitor.samples_duplicated").inc()
+            self.samples.append((t_obs, server, dict(metrics)))
+        return True
+
+    def _flush_delayed(self, now: float) -> None:
+        """Deliver parked samples whose delay has elapsed."""
+        while self._delayed and self._delayed[0][0] <= now:
+            _, _, t_obs, server, metrics = heapq.heappop(self._delayed)
+            self.samples.append((t_obs, server, metrics))
 
     def _loop(self):
         env = self.cluster.env
@@ -73,12 +150,15 @@ class ServerMonitor:
         sample_counter = REGISTRY.counter("monitor.server_samples")
         tick_counter = REGISTRY.counter("monitor.sample_ticks")
         last_sample = REGISTRY.gauge("monitor.last_sample_sim_time")
+        faulty = self.faults is not None
         while True:
             yield env.timeout(self.sample_interval)
             t = env.now
             tick_counter.inc()
             last_sample.set(t)
             sample_counter.inc(len(self.cluster.servers))
+            if faulty:
+                self._flush_delayed(t)
             for server in self.cluster.servers:
                 counters = self.cluster.server_counters(server)
                 prev = self._last_counters[server]
@@ -90,7 +170,25 @@ class ServerMonitor:
                 for name, source in _GAUGE_SOURCES.items():
                     metrics[name] = counters[source]
                 self._last_counters[server] = counters
-                self.samples.append((t, server, metrics))
+                self._emit(t, server, metrics)
+
+    def expected_samples(self, duration: float) -> int:
+        """Rows a gap-free collection over ``duration`` would hold."""
+        if duration <= 0:
+            return 0
+        ticks = int(duration / self.sample_interval + 1e-9)
+        return ticks * len(self.cluster.servers)
+
+    def coverage(self, duration: float) -> float:
+        """Observed / expected sample fraction (capped at 1.0).
+
+        Also published as the ``monitor.sample_coverage`` gauge, the
+        monitors' headline gap signal.
+        """
+        expected = self.expected_samples(duration)
+        cov = min(1.0, len(self.samples) / expected) if expected else 1.0
+        REGISTRY.gauge("monitor.sample_coverage").set(cov)
+        return cov
 
     def window_feature_arrays(
         self, window_size: float

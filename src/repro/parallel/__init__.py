@@ -34,6 +34,7 @@ from repro.parallel.cachekey import (
     workload_spec,
 )
 from repro.parallel.executor import (
+    InjectedWorkerFault,
     PairJob,
     RunJob,
     SweepExecutor,
@@ -42,6 +43,7 @@ from repro.parallel.executor import (
 
 __all__ = [
     "CACHE_FORMAT",
+    "InjectedWorkerFault",
     "PairJob",
     "RunCache",
     "RunJob",

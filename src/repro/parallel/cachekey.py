@@ -79,15 +79,23 @@ def run_key_material(
     config: ExperimentConfig,
     seed_salt: str = "",
     salt: str = "",
+    faults: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
-    """The key's raw material (also persisted next to cache entries)."""
+    """The key's raw material (also persisted next to cache entries).
+
+    ``faults`` carries the *simulation-affecting* part of a
+    :class:`repro.faults.FaultPlan` (``plan.sim_material()``): a run
+    aborted mid-flight has different content than a clean run and must
+    never collide with it in the cache.  Worker- and telemetry-level
+    faults don't change run content and stay out of the key.
+    """
     interference = tuple(interference)
     cfg = config_to_dict(config)
     cfg.pop("window_size", None)  # post-processing only; see module doc
     if not interference:
         seed_salt = ""
         cfg["warmup"] = 0.0
-    return {
+    material = {
         "kind": "monitored-run",
         "salt": _code_salt(salt),
         "target": workload_spec(target),
@@ -95,6 +103,9 @@ def run_key_material(
         "config": cfg,
         "seed_salt": seed_salt,
     }
+    if faults:
+        material["faults"] = dict(faults)
+    return material
 
 
 def run_key(
@@ -103,7 +114,9 @@ def run_key(
     config: ExperimentConfig,
     seed_salt: str = "",
     salt: str = "",
+    faults: dict[str, Any] | None = None,
 ) -> str:
     """Content-addressed key of one monitored run."""
     return stable_hash(run_key_material(target, interference, config,
-                                        seed_salt=seed_salt, salt=salt))
+                                        seed_salt=seed_salt, salt=salt,
+                                        faults=faults))

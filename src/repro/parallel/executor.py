@@ -21,6 +21,18 @@ in three stacked layers:
    executes it or in what order jobs complete.  Results are returned in
    submission order, making parallel output **bit-identical** to serial.
 
+On top of that sits the **resilience layer**: with ``run_timeout``,
+``retries`` or a :class:`~repro.faults.FaultPlan` with worker faults
+configured, pending runs execute under supervision — one watched child
+process per run, a wall-clock watchdog that terminates overdue workers,
+bounded retry with exponential backoff, and quarantine of runs that keep
+failing.  A sweep with poisoned runs *completes*: ``run_many`` returns
+``None`` in the quarantined slots and :meth:`SweepExecutor.fault_report`
+says exactly what died, how often, and why.  Because every successful
+run lands in the cache the moment it finishes, an interrupted or
+fault-ridden sweep resumes from the cache: re-running it re-executes
+only the runs that never completed.
+
 Worker processes reset the metrics registry, execute, and ship their
 registry snapshot back with the run; the parent merges the snapshots so
 ``monitor.*``/``sim.*`` counters match what a serial sweep would have
@@ -30,6 +42,7 @@ histogram either way.
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import os
 import time
@@ -41,6 +54,7 @@ from repro.experiments.runner import (
     PairedRuns,
     execute_run,
 )
+from repro.faults.plan import FaultPlan
 from repro.monitor.aggregator import MonitoredRun
 from repro.obs.log import get_logger
 from repro.obs.metrics import REGISTRY
@@ -48,9 +62,17 @@ from repro.parallel.cache import RunCache
 from repro.parallel.cachekey import run_key, run_key_material
 from repro.workloads.base import Workload
 
-__all__ = ["RunJob", "PairJob", "SweepExecutor", "resolve_n_jobs"]
+__all__ = ["RunJob", "PairJob", "SweepExecutor", "resolve_n_jobs",
+           "InjectedWorkerFault"]
 
 logger = get_logger("parallel.executor")
+
+#: Seconds between supervision polls (watchdog granularity).
+_POLL_INTERVAL = 0.005
+
+
+class InjectedWorkerFault(RuntimeError):
+    """A deliberate, plan-driven worker failure (crash injection)."""
 
 
 def resolve_n_jobs(n_jobs: int | None) -> int:
@@ -80,24 +102,58 @@ class PairJob:
     seed_salt: str = ""
 
 
-def _execute_job(item: tuple[str, RunJob]):
-    """Pool worker: run one job and return (key, run, wall, metrics).
+def _execute_job(item: tuple[str, RunJob, int],
+                 plan: FaultPlan | None = None):
+    """Worker body: run one job and return (key, run, wall, metrics).
 
-    Runs in a separate process.  The metrics registry is reset first so
-    the returned snapshot is exactly this job's delta (fork-started
-    workers inherit the parent's state); the span tracer is detached
-    because spans cannot cross the process boundary.
+    Runs in a separate process (pool worker or supervised child).  The
+    metrics registry is reset first so the returned snapshot is exactly
+    this job's delta (fork-started workers inherit the parent's state);
+    the span tracer is detached because spans cannot cross the process
+    boundary.  When a fault plan is supplied, injected worker faults
+    fire *before* the simulation (a killed worker never produces partial
+    results) and simulated-run aborts are threaded into ``execute_run``.
     """
-    key, job = item
+    key, job, attempt = item
     from repro.obs import trace as _trace
 
     _trace.TRACER = None
     REGISTRY.reset()
+    abort_at = None
+    if plan is not None:
+        if plan.kills_worker(key):
+            raise InjectedWorkerFault(
+                f"injected persistent crash for run {key[:12]}"
+            )
+        if plan.worker_is_flaky(key, attempt):
+            raise InjectedWorkerFault(
+                f"injected transient crash for run {key[:12]} "
+                f"(attempt {attempt})"
+            )
+        stall = plan.worker_stall(key, attempt)
+        if stall > 0:
+            time.sleep(stall)
+        abort_at = plan.run_abort_time(job.target.name, job.seed_salt)
     start = time.perf_counter()
     run = execute_run(job.target, list(job.interference), job.config,
-                      seed_salt=job.seed_salt)
+                      seed_salt=job.seed_salt, abort_at=abort_at)
     wall = time.perf_counter() - start
     return key, run, wall, REGISTRY.snapshot()
+
+
+def _supervised_entry(conn, item, plan) -> None:
+    """Child-process wrapper: ship the result or the failure over a pipe."""
+    try:
+        result = _execute_job(item, plan)
+    except BaseException as exc:  # noqa: BLE001 — everything must be reported
+        try:
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    else:
+        conn.send(("ok", result))
+    finally:
+        conn.close()
 
 
 def _default_start_method() -> str:
@@ -121,33 +177,80 @@ class SweepExecutor:
     start_method:
         ``multiprocessing`` start method; defaults to ``fork`` where
         available (cheap on Linux), else ``spawn``.
+    run_timeout:
+        Wall-clock seconds one run may take before the watchdog kills
+        its worker (counts as a failed attempt).  ``None`` disables the
+        watchdog.
+    retries:
+        How many times a failed (crashed / timed-out) run is retried
+        before quarantine.  ``0`` quarantines on first failure.
+    retry_backoff:
+        Base of the exponential retry backoff in seconds (attempt ``k``
+        waits ``retry_backoff * 2**k``).
+    fault_plan:
+        A :class:`repro.faults.FaultPlan` whose worker- and
+        simulation-level faults are injected into this sweep's runs.
+        Telemetry faults are *not* applied here (apply
+        :func:`repro.faults.apply_faults` to the returned runs), so
+        cached runs stay clean.
     """
 
     def __init__(self, n_jobs: int = 1,
                  cache: RunCache | str | os.PathLike | None = None,
-                 salt: str = "", start_method: str | None = None) -> None:
+                 salt: str = "", start_method: str | None = None,
+                 run_timeout: float | None = None,
+                 retries: int = 0,
+                 retry_backoff: float = 0.05,
+                 fault_plan: FaultPlan | None = None) -> None:
+        if run_timeout is not None and run_timeout <= 0:
+            raise ValueError(f"run_timeout must be positive, got {run_timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
         self.n_jobs = resolve_n_jobs(n_jobs)
         if cache is not None and not isinstance(cache, RunCache):
             cache = RunCache(cache)
         self.cache = cache
         self.salt = salt
         self.start_method = start_method or _default_start_method()
+        self.run_timeout = run_timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.fault_plan = fault_plan
         self.runs_executed = 0
         self.runs_deduplicated = 0
+        self.retries_used = 0
+        self.timeouts = 0
+        #: key -> {"target", "attempts", "errors"} for runs that kept dying.
+        self.quarantined: dict[str, dict] = {}
         REGISTRY.gauge("parallel.n_jobs").set(self.n_jobs)
 
     # -- keys -------------------------------------------------------------
 
     def key_for(self, job: RunJob) -> str:
         return run_key(job.target, job.interference, job.config,
-                       seed_salt=job.seed_salt, salt=self.salt)
+                       seed_salt=job.seed_salt, salt=self.salt,
+                       faults=self._fault_material())
+
+    def _fault_material(self) -> dict | None:
+        if self.fault_plan is not None and self.fault_plan.affects_simulation:
+            return self.fault_plan.sim_material()
+        return None
+
+    def _needs_supervision(self) -> bool:
+        return (self.run_timeout is not None or self.retries > 0
+                or (self.fault_plan is not None
+                    and self.fault_plan.has_worker_faults))
 
     # -- execution --------------------------------------------------------
 
-    def run_many(self, jobs: list[RunJob]) -> list[MonitoredRun]:
+    def run_many(self, jobs: list[RunJob]) -> list[MonitoredRun | None]:
         """Execute ``jobs`` and return their runs in submission order.
 
         Jobs with equal keys execute once and share one result object.
+        Slots whose run was quarantined (kept failing after every retry)
+        hold ``None``; without failures no slot is ever ``None``.
         """
         wall_hist = REGISTRY.histogram("parallel.run_seconds")
         total_counter = REGISTRY.counter("parallel.runs_requested")
@@ -179,37 +282,162 @@ class SweepExecutor:
             self.n_jobs,
         )
 
-        if items and self.n_jobs > 1 and len(items) > 1:
+        if items and self._needs_supervision():
+            self._run_supervised(items, results, wall_hist)
+        elif items and self.n_jobs > 1 and len(items) > 1:
             ctx = multiprocessing.get_context(self.start_method)
             workers = min(self.n_jobs, len(items))
+            worker_fn = functools.partial(_execute_job, plan=self.fault_plan)
             with ctx.Pool(processes=workers) as pool:
                 for key, run, wall, snapshot in pool.imap_unordered(
-                        _execute_job, items, chunksize=1):
+                        worker_fn, [(k, j, 0) for k, j in items],
+                        chunksize=1):
                     REGISTRY.merge_snapshot(snapshot)
                     wall_hist.observe(wall)
                     self._store(key, pending[key], run)
                     results[key] = run
         else:
+            plan = self.fault_plan
             for key, job in items:
+                abort_at = (plan.run_abort_time(job.target.name, job.seed_salt)
+                            if plan is not None else None)
                 start = time.perf_counter()
                 run = execute_run(job.target, list(job.interference),
-                                  job.config, seed_salt=job.seed_salt)
+                                  job.config, seed_salt=job.seed_salt,
+                                  abort_at=abort_at)
                 wall_hist.observe(time.perf_counter() - start)
                 self._store(key, job, run)
                 results[key] = run
 
-        return [results[key] for key in keys]
+        return [results.get(key) for key in keys]
 
-    def run_one(self, job: RunJob) -> MonitoredRun:
+    def _run_supervised(self, items: list[tuple[str, RunJob]],
+                        results: dict[str, MonitoredRun],
+                        wall_hist) -> None:
+        """Watchdogged execution: child process per run, retry, quarantine.
+
+        Every pending run gets its own supervised child so a crash or a
+        wedge never takes the sweep down: crashes are reported over the
+        result pipe, silent deaths are detected by exit code, and runs
+        that exceed ``run_timeout`` are terminated.  Failed attempts are
+        retried with exponential backoff up to ``retries`` times, then
+        the run is quarantined and the sweep moves on.
+        """
+        ctx = multiprocessing.get_context(self.start_method)
+        workers = max(1, min(self.n_jobs, len(items)))
+        retry_counter = REGISTRY.counter("parallel.retries")
+        timeout_counter = REGISTRY.counter("parallel.timeouts")
+        quarantine_counter = REGISTRY.counter("parallel.quarantined")
+        jobs = dict(items)
+        #: (key, attempt, ready_at) — ready_at implements retry backoff.
+        queue: list[tuple[str, int, float]] = [
+            (key, 0, 0.0) for key, _ in items
+        ]
+        #: key -> (proc, conn, deadline, attempt, started_at)
+        active: dict[str, tuple] = {}
+        errors: dict[str, list[str]] = {}
+
+        def fail(key: str, attempt: int, message: str) -> None:
+            errors.setdefault(key, []).append(message)
+            if attempt < self.retries:
+                self.retries_used += 1
+                retry_counter.inc()
+                backoff = self.retry_backoff * (2 ** attempt)
+                logger.warning(
+                    "run %s attempt %d failed (%s); retrying in %.2fs",
+                    key[:12], attempt, message, backoff,
+                )
+                queue.append((key, attempt + 1,
+                              time.monotonic() + backoff))
+            else:
+                quarantine_counter.inc()
+                self.quarantined[key] = {
+                    "target": jobs[key].target.name,
+                    "seed_salt": jobs[key].seed_salt,
+                    "attempts": attempt + 1,
+                    "errors": list(errors[key]),
+                }
+                logger.error(
+                    "run %s quarantined after %d attempt(s): %s",
+                    key[:12], attempt + 1, message,
+                )
+
+        while queue or active:
+            now = time.monotonic()
+            progressed = False
+            # Launch any ready job into a free slot.
+            while len(active) < workers:
+                ready_idx = next(
+                    (i for i, (_, _, ready_at) in enumerate(queue)
+                     if ready_at <= now), None,
+                )
+                if ready_idx is None:
+                    break
+                key, attempt, _ = queue.pop(ready_idx)
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_supervised_entry,
+                    args=(child_conn, (key, jobs[key], attempt),
+                          self.fault_plan),
+                )
+                proc.start()
+                child_conn.close()
+                deadline = (now + self.run_timeout
+                            if self.run_timeout is not None else None)
+                active[key] = (proc, parent_conn, deadline, attempt, now)
+                progressed = True
+            # Harvest finished / dead / overdue children.
+            for key in list(active):
+                proc, conn, deadline, attempt, started = active[key]
+                if conn.poll():
+                    try:
+                        kind, payload = conn.recv()
+                    except EOFError:
+                        kind, payload = "err", "worker died (pipe closed)"
+                    proc.join()
+                    conn.close()
+                    del active[key]
+                    progressed = True
+                    if kind == "ok":
+                        _, run, wall, snapshot = payload
+                        REGISTRY.merge_snapshot(snapshot)
+                        wall_hist.observe(wall)
+                        self._store(key, jobs[key], run)
+                        results[key] = run
+                    else:
+                        fail(key, attempt, str(payload))
+                elif not proc.is_alive():
+                    proc.join()
+                    conn.close()
+                    del active[key]
+                    progressed = True
+                    fail(key, attempt,
+                         f"worker died silently (exitcode {proc.exitcode})")
+                elif deadline is not None and now > deadline:
+                    proc.terminate()
+                    proc.join()
+                    conn.close()
+                    del active[key]
+                    progressed = True
+                    self.timeouts += 1
+                    timeout_counter.inc()
+                    fail(key, attempt,
+                         f"timeout after {now - started:.2f}s "
+                         f"(limit {self.run_timeout}s)")
+            if not progressed:
+                time.sleep(_POLL_INTERVAL)
+
+    def run_one(self, job: RunJob) -> MonitoredRun | None:
         """Convenience wrapper: a one-job sweep."""
         return self.run_many([job])[0]
 
-    def run_pairs(self, pairs: list[PairJob]) -> list[PairedRuns]:
+    def run_pairs(self, pairs: list[PairJob]) -> list[PairedRuns | None]:
         """Baseline + interfered execution for every pair, in order.
 
         The baseline job drops the pair's ``seed_salt`` (it only seeds
         noise launches), so all scenarios of a target key to — and reuse
-        — one baseline run.
+        — one baseline run.  A pair either of whose runs was quarantined
+        comes back as ``None`` (sweeps degrade, they don't crash).
         """
         jobs: list[RunJob] = []
         for pair in pairs:
@@ -217,10 +445,15 @@ class SweepExecutor:
             jobs.append(RunJob(pair.target, tuple(pair.interference),
                                pair.config, seed_salt=pair.seed_salt))
         runs = self.run_many(jobs)
-        return [
-            PairedRuns(baseline=runs[2 * i], interfered=runs[2 * i + 1])
-            for i in range(len(pairs))
-        ]
+        out: list[PairedRuns | None] = []
+        for i in range(len(pairs)):
+            baseline, interfered = runs[2 * i], runs[2 * i + 1]
+            if baseline is None or interfered is None:
+                out.append(None)
+            else:
+                out.append(PairedRuns(baseline=baseline,
+                                      interfered=interfered))
+        return out
 
     def _store(self, key: str, job: RunJob, run: MonitoredRun) -> None:
         if self.cache is None:
@@ -229,15 +462,35 @@ class SweepExecutor:
                        material=run_key_material(job.target, job.interference,
                                                  job.config,
                                                  seed_salt=job.seed_salt,
-                                                 salt=self.salt))
+                                                 salt=self.salt,
+                                                 faults=self._fault_material()))
 
     # -- reporting --------------------------------------------------------
 
+    def fault_report(self) -> dict:
+        """What the resilience layer saw: quarantine, retries, timeouts."""
+        return {
+            "plan": (self.fault_plan.to_dict()
+                     if self.fault_plan is not None else None),
+            "quarantined": [
+                {"key": key, **info}
+                for key, info in sorted(self.quarantined.items())
+            ],
+            "retries_used": self.retries_used,
+            "timeouts": self.timeouts,
+        }
+
     def stats(self) -> dict:
         """Executor + cache counters, manifest-ready."""
-        return {
+        stats = {
             "n_jobs": self.n_jobs,
             "runs_executed": self.runs_executed,
             "runs_deduplicated": self.runs_deduplicated,
             "cache": self.cache.stats() if self.cache is not None else None,
         }
+        if (self.fault_plan is not None or self.quarantined
+                or self.run_timeout is not None or self.retries):
+            stats["run_timeout"] = self.run_timeout
+            stats["retries"] = self.retries
+            stats["faults"] = self.fault_report()
+        return stats

@@ -41,9 +41,12 @@ def trained_predictor():
     )
 
 
-def run_streaming(predictor, window_size=0.5, with_noise=True):
+def run_streaming(predictor, window_size=0.5, with_noise=True,
+                  monitor_faults=None, reorder_windows=0,
+                  min_completeness=0.0):
     cluster = Cluster(experiment_cluster())
-    monitor = ServerMonitor(cluster, sample_interval=0.125)
+    monitor = ServerMonitor(cluster, sample_interval=0.125,
+                            faults=monitor_faults, fault_scope="online")
     monitor.start()
     target = make_io500_task("ior-easy-write", ranks=4, scale=0.3)
     streaming = StreamingPredictor(
@@ -52,6 +55,8 @@ def run_streaming(predictor, window_size=0.5, with_noise=True):
         monitor=monitor,
         job=target.name,
         window_size=window_size,
+        reorder_windows=reorder_windows,
+        min_completeness=min_completeness,
     )
     streaming.start()
     if with_noise:
@@ -125,3 +130,110 @@ def test_double_start_rejected(trained_predictor):
     streaming.start()
     with pytest.raises(RuntimeError):
         streaming.start()
+
+
+# -- degraded telemetry -------------------------------------------------------
+
+
+def test_param_validation(trained_predictor):
+    cluster = Cluster(experiment_cluster())
+    monitor = ServerMonitor(cluster)
+    monitor.start()
+
+    def build(**kwargs):
+        return StreamingPredictor(predictor=trained_predictor,
+                                  cluster=cluster, monitor=monitor, job="x",
+                                  **kwargs)
+
+    with pytest.raises(ValueError, match="reorder_windows"):
+        build(reorder_windows=-1).start()
+    with pytest.raises(ValueError, match="min_completeness"):
+        build(min_completeness=1.5).start()
+
+
+def test_defaults_report_full_completeness(trained_predictor):
+    """Without faults every emitted window is complete and fresh."""
+    _, _, streaming, _ = run_streaming(trained_predictor,
+                                       min_completeness=0.5)
+    assert len(streaming.predictions) >= 2
+    for pred in streaming.predictions:
+        assert pred.completeness == pytest.approx(1.0)
+        assert not pred.stale
+
+
+def test_complete_windows_unchanged_by_fallback_knobs(trained_predictor):
+    """Enabling the resilience knobs on a healthy stream must not change
+    a single prediction."""
+    from repro.faults import FaultPlan
+
+    plain = run_streaming(trained_predictor)[2]
+    guarded = run_streaming(trained_predictor, monitor_faults=FaultPlan(),
+                            min_completeness=0.5)[2]
+    assert [(p.window, p.severity, p.probabilities)
+            for p in plain.predictions] == \
+           [(p.window, p.severity, p.probabilities)
+            for p in guarded.predictions]
+
+
+def test_out_of_order_samples_recovered_by_reorder_buffer(trained_predictor):
+    """Delayed (out-of-order) samples land inside the reorder allowance:
+    the buffered predictor sees fuller windows than the eager one."""
+    from repro.faults import FaultPlan
+    from repro.obs.metrics import REGISTRY
+
+    plan = FaultPlan(seed=1, sample_delay_rate=0.6, sample_delay_max=0.4)
+    before_late = REGISTRY.counter("online.late_samples").value
+    eager = run_streaming(trained_predictor, monitor_faults=plan)[2]
+    assert REGISTRY.counter("online.late_samples").value > before_late
+
+    buffered = run_streaming(trained_predictor, monitor_faults=plan,
+                             reorder_windows=1)[2]
+    shared = sorted(
+        set(p.window for p in eager.predictions)
+        & set(p.window for p in buffered.predictions)
+    )
+    assert shared
+    eager_c = {p.window: p.completeness for p in eager.predictions}
+    buffered_c = {p.window: p.completeness for p in buffered.predictions}
+    assert all(buffered_c[w] >= eager_c[w] for w in shared)
+    assert sum(buffered_c[w] for w in shared) > sum(eager_c[w] for w in shared)
+    # The buffer delays emission by exactly reorder_windows windows.
+    for pred in buffered.predictions:
+        assert pred.emitted_at == pytest.approx(
+            (pred.window + 2) * 0.5, abs=0.05)
+
+
+def test_stale_fallback_on_gapped_windows(trained_predictor):
+    """Windows below min_completeness are flagged stale and repeat the
+    last good prediction instead of classifying a half-blind vector."""
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan(seed=3, sample_drop_rate=0.85)
+    streaming = run_streaming(trained_predictor, monitor_faults=plan,
+                              min_completeness=0.6)[2]
+    preds = streaming.predictions
+    assert len(preds) >= 2
+    stale = [p for p in preds if p.stale]
+    assert stale, "85% sample loss must push some window below 0.6"
+    for p in stale:
+        assert p.completeness < 0.6
+    # A stale window following a good one repeats its probabilities.
+    last_good = None
+    for p in preds:
+        if p.stale and last_good is not None:
+            assert p.probabilities == last_good.probabilities
+        if not p.stale:
+            last_good = p
+
+
+def test_missing_samples_lower_completeness_not_crash(trained_predictor):
+    """Total telemetry loss still emits a prediction per window, flagged
+    with completeness 0 (the stream degrades, it never NaNs)."""
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan(seed=0, sample_drop_rate=1.0)
+    streaming = run_streaming(trained_predictor, monitor_faults=plan)[2]
+    assert streaming.predictions
+    for pred in streaming.predictions:
+        assert pred.completeness == 0.0
+        assert np.isfinite(pred.probabilities).all()

@@ -1,0 +1,143 @@
+"""Tests for post-hoc telemetry fault injection."""
+
+import pytest
+
+from repro.common.units import MIB
+from repro.faults import (
+    FaultPlan,
+    apply_faults,
+    blank_client_windows,
+    inject_sample_faults,
+    sample_clock_skews,
+)
+from repro.monitor.aggregator import MonitoredRun
+from repro.monitor.server_monitor import ServerMonitor
+from repro.obs.metrics import REGISTRY
+from repro.sim.cluster import Cluster
+from repro.workloads.base import launch
+from repro.workloads.ior import IorConfig, IorWorkload
+
+
+@pytest.fixture(scope="module")
+def clean_run():
+    cluster = Cluster()
+    monitor = ServerMonitor(cluster, sample_interval=0.05)
+    monitor.start()
+    workload = IorWorkload(IorConfig(mode="easy", access="write", ranks=4,
+                                     bytes_per_rank=256 * MIB))
+    handle = launch(cluster, workload, [0, 1], 1)
+    cluster.env.run(until=handle.done)
+    cluster.env.run(until=cluster.env.now + 0.05)
+    return MonitoredRun(
+        job=workload.name,
+        records=cluster.collector.records,
+        server_samples=monitor.samples,
+        servers=cluster.servers,
+        duration=cluster.env.now,
+        metadata={},
+    )
+
+
+class TestSampleFaults:
+    def test_zero_rates_are_identity(self, clean_run):
+        samples, stats = inject_sample_faults(
+            clean_run.server_samples, FaultPlan(), clean_run.job,
+            clean_run.duration)
+        assert samples == clean_run.server_samples
+        assert stats.samples_dropped == 0
+        assert stats.samples_in == len(clean_run.server_samples)
+
+    def test_drop_rate_one_loses_everything(self, clean_run):
+        samples, stats = inject_sample_faults(
+            clean_run.server_samples, FaultPlan(sample_drop_rate=1.0),
+            clean_run.job, clean_run.duration)
+        assert samples == []
+        assert stats.samples_dropped == len(clean_run.server_samples)
+
+    def test_injection_replays_bit_identically(self, clean_run):
+        plan = FaultPlan(seed=11, sample_drop_rate=0.3,
+                         sample_delay_rate=0.3, sample_delay_max=1.0,
+                         sample_duplicate_rate=0.2, clock_skew_max=0.05)
+        first, s1 = inject_sample_faults(
+            clean_run.server_samples, plan, clean_run.job, clean_run.duration)
+        second, s2 = inject_sample_faults(
+            clean_run.server_samples, plan, clean_run.job, clean_run.duration)
+        assert first == second
+        assert s1.to_dict() == s2.to_dict()
+        assert s1.samples_dropped > 0
+        assert s1.samples_delayed > 0
+        assert s1.samples_duplicated > 0
+
+    def test_delay_reorders_but_keeps_sample_times(self, clean_run):
+        plan = FaultPlan(seed=1, sample_delay_rate=0.5, sample_delay_max=2.0)
+        samples, stats = inject_sample_faults(
+            clean_run.server_samples, plan, clean_run.job,
+            clean_run.duration)
+        assert stats.samples_delayed > 0
+        times = [t for t, _, _ in samples]
+        assert times != sorted(times)  # delivery order != sample-time order
+        # No sample time was invented: all come from the original stream.
+        original = {t for t, _, _ in clean_run.server_samples}
+        assert {t for t, _, _ in samples} <= original
+
+    def test_late_delivery_past_duration_is_lost(self, clean_run):
+        plan = FaultPlan(seed=2, sample_delay_rate=1.0,
+                         sample_delay_max=10 * clean_run.duration)
+        samples, stats = inject_sample_faults(
+            clean_run.server_samples, plan, clean_run.job,
+            clean_run.duration)
+        assert stats.samples_lost_late > 0
+        assert len(samples) == (len(clean_run.server_samples)
+                                - stats.samples_lost_late)
+
+    def test_clock_skew_is_per_server_and_order_independent(self, clean_run):
+        plan = FaultPlan(seed=4, clock_skew_max=0.1)
+        servers = list(clean_run.servers)
+        forward = sample_clock_skews(plan, servers, clean_run.job)
+        backward = sample_clock_skews(plan, servers[::-1], clean_run.job)
+        assert forward == backward
+        assert all(-0.1 <= s <= 0.1 for s in forward.values())
+        assert len(set(forward.values())) > 1  # servers skew differently
+
+
+class TestWindowBlanking:
+    def test_zero_rate_is_identity(self, clean_run):
+        records, stats = blank_client_windows(
+            clean_run.records, FaultPlan(), clean_run.job, clean_run.job,
+            0.5, clean_run.duration)
+        assert records == clean_run.records
+        assert stats.windows_blanked == 0
+
+    def test_blanking_removes_target_windows_only(self, clean_run):
+        plan = FaultPlan(seed=0, window_blank_rate=0.5)
+        records, stats = blank_client_windows(
+            clean_run.records, plan, clean_run.job, clean_run.job,
+            0.25, clean_run.duration)
+        assert stats.windows_blanked > 0
+        assert stats.records_blanked > 0
+        assert len(records) == len(clean_run.records) - stats.records_blanked
+        # Replay determinism.
+        again, _ = blank_client_windows(
+            clean_run.records, plan, clean_run.job, clean_run.job,
+            0.25, clean_run.duration)
+        assert records == again
+
+
+class TestApplyFaults:
+    def test_apply_faults_is_pure_and_annotated(self, clean_run):
+        plan = FaultPlan(seed=6, sample_drop_rate=0.4,
+                         window_blank_rate=0.3)
+        n_samples = len(clean_run.server_samples)
+        n_records = len(clean_run.records)
+        before = REGISTRY.counter("faults.samples_dropped").value
+        faulted = apply_faults(clean_run, plan, window_size=0.25)
+        # Original untouched.
+        assert len(clean_run.server_samples) == n_samples
+        assert len(clean_run.records) == n_records
+        # Faulted copy is degraded and self-describing.
+        assert len(faulted.server_samples) < n_samples
+        assert faulted.metadata["faults"]["plan"] == plan.digest()
+        assert faulted.metadata["faults"]["samples_dropped"] > 0
+        assert REGISTRY.counter("faults.samples_dropped").value > before
+        assert faulted.duration == clean_run.duration
+        assert faulted.servers == clean_run.servers

@@ -1,0 +1,141 @@
+"""Tests for FaultPlan: validation, determinism, serialisation."""
+
+import pickle
+
+import pytest
+
+from repro.faults import FAULT_SPEC_FIELDS, FaultPlan, parse_fault_spec
+
+
+class TestValidation:
+    def test_defaults_are_fault_free(self):
+        plan = FaultPlan()
+        assert not plan.has_telemetry_faults
+        assert not plan.affects_simulation
+        assert not plan.has_worker_faults
+
+    @pytest.mark.parametrize("field", [
+        "sample_drop_rate", "sample_delay_rate", "sample_duplicate_rate",
+        "window_blank_rate", "run_abort_rate", "worker_kill_rate",
+        "worker_flaky_rate", "worker_stall_rate",
+    ])
+    def test_rates_bounded(self, field):
+        with pytest.raises(ValueError, match=field):
+            FaultPlan(**{field: 1.5})
+        with pytest.raises(ValueError, match=field):
+            FaultPlan(**{field: -0.1})
+        FaultPlan(**{field: 1.0})  # bounds themselves are legal
+
+    @pytest.mark.parametrize("field", [
+        "sample_delay_max", "clock_skew_max", "run_abort_after",
+        "worker_stall_seconds",
+    ])
+    def test_nonnegatives(self, field):
+        with pytest.raises(ValueError, match=field):
+            FaultPlan(**{field: -1.0})
+
+    def test_domain_classification(self):
+        assert FaultPlan(sample_drop_rate=0.1).has_telemetry_faults
+        assert FaultPlan(clock_skew_max=0.1).has_telemetry_faults
+        assert FaultPlan(run_abort_rate=0.1).affects_simulation
+        assert FaultPlan(worker_kill_rate=0.1).has_worker_faults
+        assert not FaultPlan(worker_kill_rate=0.1).has_telemetry_faults
+        assert not FaultPlan(sample_drop_rate=0.1).affects_simulation
+
+
+class TestDeterminism:
+    def test_decisions_replay_bit_identically(self):
+        plan = FaultPlan(seed=7, worker_kill_rate=0.4,
+                         worker_flaky_rate=0.3, run_abort_rate=0.5)
+        replay = FaultPlan(seed=7, worker_kill_rate=0.4,
+                           worker_flaky_rate=0.3, run_abort_rate=0.5)
+        keys = [f"key-{i}" for i in range(50)]
+        assert [plan.kills_worker(k) for k in keys] == \
+               [replay.kills_worker(k) for k in keys]
+        assert [plan.worker_is_flaky(k, 1) for k in keys] == \
+               [replay.worker_is_flaky(k, 1) for k in keys]
+        assert [plan.run_abort_time(k) for k in keys] == \
+               [replay.run_abort_time(k) for k in keys]
+
+    def test_seed_changes_decisions(self):
+        keys = [f"key-{i}" for i in range(200)]
+        a = [FaultPlan(seed=1, worker_kill_rate=0.5).kills_worker(k)
+             for k in keys]
+        b = [FaultPlan(seed=2, worker_kill_rate=0.5).kills_worker(k)
+             for k in keys]
+        assert a != b
+
+    def test_attempts_are_independent_for_flaky(self):
+        plan = FaultPlan(seed=3, worker_flaky_rate=0.5)
+        outcomes = {plan.worker_is_flaky("k", a) for a in range(30)}
+        assert outcomes == {True, False}
+
+    def test_kill_is_attempt_independent(self):
+        plan = FaultPlan(seed=3, worker_kill_rate=0.5)
+        killed = [k for k in (f"key-{i}" for i in range(40))
+                  if plan.kills_worker(k)]
+        assert killed  # rate 0.5 over 40 keys: some die
+        for k in killed:  # and they die every time they are asked
+            assert plan.kills_worker(k)
+
+    def test_rate_extremes(self):
+        assert not FaultPlan(worker_kill_rate=0.0).kills_worker("k")
+        assert FaultPlan(worker_kill_rate=1.0).kills_worker("k")
+        assert FaultPlan(run_abort_rate=1.0,
+                         run_abort_after=2.5).run_abort_time("j") == 2.5
+        assert FaultPlan().run_abort_time("j") is None
+
+    def test_stall_returns_configured_seconds(self):
+        plan = FaultPlan(worker_stall_rate=1.0, worker_stall_seconds=0.25)
+        assert plan.worker_stall("k", 0) == 0.25
+        assert FaultPlan().worker_stall("k", 0) == 0.0
+
+
+class TestSerialisation:
+    def test_digest_stable_and_sensitive(self):
+        a = FaultPlan(seed=1, sample_drop_rate=0.2)
+        assert a.digest() == FaultPlan(seed=1, sample_drop_rate=0.2).digest()
+        assert a.digest() != FaultPlan(seed=1, sample_drop_rate=0.3).digest()
+
+    def test_sim_material_excludes_other_domains(self):
+        plan = FaultPlan(seed=5, run_abort_rate=0.3, sample_drop_rate=0.9,
+                         worker_kill_rate=0.9)
+        material = plan.sim_material()
+        assert material == {"seed": 5, "run_abort_rate": 0.3,
+                            "run_abort_after": 1.0}
+
+    def test_round_trips_through_dict_and_pickle(self):
+        plan = FaultPlan(seed=9, sample_drop_rate=0.1, worker_kill_rate=0.2)
+        assert FaultPlan(**plan.to_dict()) == plan
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestSpecParsing:
+    def test_parse_round_trip(self):
+        plan = parse_fault_spec("drop=0.2, kill=0.5, seed=3")
+        assert plan.sample_drop_rate == 0.2
+        assert plan.worker_kill_rate == 0.5
+        assert plan.seed == 3
+
+    def test_every_shorthand_maps_to_a_field(self):
+        fields = {f for f in FaultPlan.__dataclass_fields__}
+        assert set(FAULT_SPEC_FIELDS.values()) <= fields
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault spec key"):
+            parse_fault_spec("nosuchthing=1")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ValueError, match="not a number"):
+            parse_fault_spec("drop=lots")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ValueError, match="key=value"):
+            parse_fault_spec("drop")
+
+    def test_out_of_range_value_rejected(self):
+        with pytest.raises(ValueError, match="sample_drop_rate"):
+            parse_fault_spec("drop=2.0")
+
+    def test_empty_spec_is_fault_free(self):
+        assert parse_fault_spec("") == FaultPlan()

@@ -19,9 +19,38 @@ def test_list_command(capsys):
     assert out == list(EXPERIMENTS) + list(EXTENSIONS)
 
 
-def test_unknown_experiment_rejected():
-    with pytest.raises(SystemExit):
-        main(["figure9000"])
+def test_unknown_experiment_rejected(capsys):
+    """Unknown names get a one-line error and exit code 2, no traceback."""
+    assert main(["figure9000"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "figure9000" in err
+
+
+def test_bad_jobs_rejected(capsys):
+    assert main(["table2", "--jobs", "0"]) == 2
+    assert main(["table2", "--jobs", "-4"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_bad_run_timeout_and_retries_rejected(capsys):
+    assert main(["table2", "--run-timeout", "0"]) == 2
+    assert main(["table2", "--retries", "-1"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_bad_fault_spec_rejected(capsys):
+    assert main(["table2", "--faults", "drop=oops"]) == 2
+    assert main(["table2", "--faults", "nosuchkey=1"]) == 2
+    err = capsys.readouterr().err
+    assert "error: bad --faults spec" in err
+
+
+def test_unwritable_cache_dir_rejected(capsys):
+    """An uncreatable cache dir fails with a one-line error, not a
+    traceback.  /proc rejects mkdir for every uid, including root."""
+    assert main(["table2", "--fast", "--cache-dir", "/proc/nope/cache"]) == 2
+    assert "not writable" in capsys.readouterr().err
 
 
 def test_table2_fast_runs_end_to_end(tmp_path, capsys):
