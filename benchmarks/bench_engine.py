@@ -1,78 +1,21 @@
 #!/usr/bin/env python
-"""Microbenchmark of the discrete-event kernel's hot path.
+"""Engine microbenchmark baseline — thin wrapper over :mod:`repro.bench`.
 
-Measures events/second through ``Environment.run()`` on a pure
-timeout-churn workload (the ``step`` fast path dominates every
-simulation), and proves the micro-optimised loop kept determinism: two
-identical runs must replay the identical event order.
+Measures raw timeout churn through the event kernel plus the
+request-path comparison (per-request generator processes vs the batched
+callback chain) and writes ``BENCH_engine.json``. Equivalent to
+``python -m repro bench engine``.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_engine.py [--events N] [--out FILE]
+    PYTHONPATH=src python benchmarks/bench_engine.py [--out-dir DIR]
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import pathlib
 import sys
-import time
 
-import numpy as np
-
-from repro.sim.engine import Environment
-
-
-def churn(n_processes: int, hops: int):
-    """Run a timeout-relay workload; returns (events_fired, wall, order)."""
-    env = Environment()
-    order: list[tuple[str, float]] = []
-    rng = np.random.default_rng(11)
-    delays = rng.integers(1, 7, size=(n_processes, hops)) * 0.125
-
-    def proc(pid: int):
-        for h in range(hops):
-            yield env.timeout(float(delays[pid, h]))
-        order.append((f"p{pid}", env.now))
-
-    for pid in range(n_processes):
-        env.process(proc(pid))
-    t0 = time.perf_counter()
-    env.run()
-    wall = time.perf_counter() - t0
-    # Every hop is a timeout event + each process start/finish events.
-    return n_processes * hops, wall, order
-
-
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.split("\n")[1])
-    parser.add_argument("--processes", type=int, default=2000)
-    parser.add_argument("--hops", type=int, default=100)
-    parser.add_argument("--out", type=pathlib.Path,
-                        default=pathlib.Path("BENCH_engine.json"))
-    args = parser.parse_args(argv)
-
-    n1, wall1, order1 = churn(args.processes, args.hops)
-    n2, wall2, order2 = churn(args.processes, args.hops)
-    assert order1 == order2, "engine event order is not deterministic"
-    wall = min(wall1, wall2)
-    rate = n1 / wall
-    print(f"{args.processes} procs x {args.hops} hops: "
-          f"{n1} timeouts in {wall:.3f}s -> {rate:,.0f} timeouts/s")
-    print("determinism: identical replay  [ok]")
-
-    args.out.write_text(json.dumps({
-        "processes": args.processes,
-        "hops": args.hops,
-        "timeout_events": n1,
-        "wall_seconds": wall,
-        "timeouts_per_second": rate,
-        "deterministic": True,
-    }, indent=2) + "\n")
-    print(f"wrote {args.out}")
-    return 0
-
+from repro.bench import main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(["engine", *sys.argv[1:]]))

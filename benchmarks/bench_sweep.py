@@ -1,120 +1,22 @@
 #!/usr/bin/env python
-"""Benchmark the parallel sweep executor and run cache.
+"""End-to-end sweep baseline — thin wrapper over :mod:`repro.bench`.
 
-Runs one small (target, scenario) grid three ways —
-
-* **serial** — ``n_jobs=1``, no cache (the pre-executor behaviour);
-* **parallel** — ``n_jobs=N`` over a fresh cache;
-* **warm** — same grid again from the now-populated cache;
-
-asserts that all three produce bit-identical window banks and that the
-warm pass executed zero simulations, then writes the wall-clock numbers
-and cache statistics to ``BENCH_sweep.json``.
+Runs the benchmark grid serial with the event backend (the pre-batch
+baseline), serial with ``--sim-backend batch``, then cold and warm
+through the parallel executor; asserts all four window banks are
+bit-identical and writes ``BENCH_sweep.json``. Equivalent to
+``python -m repro bench sweep``.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_sweep.py [--jobs N] [--out FILE]
+    PYTHONPATH=src python benchmarks/bench_sweep.py [--jobs N] [--out-dir DIR]
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import os
-import pathlib
 import sys
-import tempfile
-import time
 
-import numpy as np
-
-from repro.experiments.datagen import Scenario, collect_windows
-from repro.experiments.runner import ExperimentConfig, InterferenceSpec
-from repro.parallel import RunCache, SweepExecutor
-from repro.workloads.io500 import make_io500_task
-
-
-def bench_grid():
-    config = ExperimentConfig(window_size=0.25, sample_interval=0.125,
-                              warmup=1.0, seed=0)
-    targets = [
-        make_io500_task("ior-easy-write", ranks=4, scale=2.5),
-        make_io500_task("ior-easy-read", ranks=4, scale=2.5),
-        make_io500_task("mdt-hard-write", ranks=4, scale=2.5),
-    ]
-    scenarios = [Scenario("quiet")]
-    for level in (1, 2):
-        scenarios.append(Scenario(
-            f"io500-x{level}",
-            (InterferenceSpec("ior-easy-write", instances=level, ranks=2,
-                              scale=0.2),
-             InterferenceSpec("ior-easy-read", instances=1, ranks=2,
-                              scale=0.2)),
-        ))
-    return targets, scenarios, config
-
-
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.split("\n")[1])
-    parser.add_argument("--jobs", type=int, default=min(4, os.cpu_count() or 1),
-                        help="worker processes for the parallel pass")
-    parser.add_argument("--out", type=pathlib.Path,
-                        default=pathlib.Path("BENCH_sweep.json"))
-    args = parser.parse_args(argv)
-
-    targets, scenarios, config = bench_grid()
-    n_pairs = len(targets) * len(scenarios)
-    print(f"grid: {len(targets)} targets x {len(scenarios)} scenarios "
-          f"= {n_pairs} pairs")
-
-    t0 = time.perf_counter()
-    serial_bank = collect_windows(targets, scenarios, config, n_jobs=1)
-    serial_s = time.perf_counter() - t0
-    print(f"serial:   {serial_s:7.2f}s  ({len(serial_bank)} windows)")
-
-    with tempfile.TemporaryDirectory(prefix="bench-sweep-") as tmp:
-        cold = SweepExecutor(n_jobs=args.jobs, cache=RunCache(tmp))
-        t0 = time.perf_counter()
-        parallel_bank = collect_windows(targets, scenarios, config,
-                                        executor=cold)
-        parallel_s = time.perf_counter() - t0
-        print(f"parallel: {parallel_s:7.2f}s  (n_jobs={cold.n_jobs}, "
-              f"{cold.runs_executed} runs executed)")
-
-        warm = SweepExecutor(n_jobs=args.jobs, cache=RunCache(tmp))
-        t0 = time.perf_counter()
-        warm_bank = collect_windows(targets, scenarios, config, executor=warm)
-        warm_s = time.perf_counter() - t0
-        print(f"warm:     {warm_s:7.2f}s  ({warm.cache.hits} cache hits, "
-              f"{warm.runs_executed} runs executed)")
-
-        identical = (np.array_equal(serial_bank.X, parallel_bank.X)
-                     and np.array_equal(serial_bank.X, warm_bank.X)
-                     and np.array_equal(serial_bank.levels,
-                                        parallel_bank.levels)
-                     and np.array_equal(serial_bank.levels, warm_bank.levels))
-        assert identical, "parallel/cached banks differ from serial"
-        assert warm.runs_executed == 0, "warm cache still executed runs"
-        print("identity: serial == parallel == warm  [ok]")
-
-        result = {
-            "grid": {"targets": len(targets), "scenarios": len(scenarios),
-                     "pairs": n_pairs, "windows": len(serial_bank)},
-            "serial_seconds": serial_s,
-            "parallel_seconds": parallel_s,
-            "warm_seconds": warm_s,
-            "speedup_parallel": serial_s / parallel_s if parallel_s else None,
-            "speedup_warm": serial_s / warm_s if warm_s else None,
-            "n_jobs": cold.n_jobs,
-            "cpu_count": os.cpu_count(),
-            "bit_identical": identical,
-            "cold": cold.stats(),
-            "warm": warm.stats(),
-        }
-    args.out.write_text(json.dumps(result, indent=2) + "\n")
-    print(f"wrote {args.out}")
-    return 0
-
+from repro.bench import main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(["sweep", *sys.argv[1:]]))

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Compare fresh benchmark results against the committed baselines.
+
+Reads the committed ``BENCH_engine.json`` / ``BENCH_sweep.json`` from
+one directory and freshly generated ones from another, and flags any
+tracked metric that regressed by more than the threshold (25% by
+default; throughput metrics must not drop, wall-clock metrics must not
+grow). Exits nonzero on regression — the CI job that runs it is
+non-gating, so this marks the job red without blocking the merge.
+
+Usage::
+
+    python benchmarks/check_regression.py BASELINE_DIR FRESH_DIR
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+#: (file, path-into-json, kind): "rate" regresses down, "wall" up.
+METRICS = (
+    ("BENCH_engine.json", ("timeouts_per_second",), "rate"),
+    ("BENCH_engine.json",
+     ("request_path", "process_requests_per_second"), "rate"),
+    ("BENCH_engine.json",
+     ("request_path", "batch_requests_per_second"), "rate"),
+    ("BENCH_engine.json", ("request_path", "batch_speedup"), "rate"),
+    ("BENCH_sweep.json", ("serial_event_seconds",), "wall"),
+    ("BENCH_sweep.json", ("serial_batch_seconds",), "wall"),
+    ("BENCH_sweep.json", ("cold_batch_seconds",), "wall"),
+    ("BENCH_sweep.json", ("warm_seconds",), "wall"),
+)
+
+
+def _get(obj, path):
+    for key in path:
+        obj = obj[key]
+    return obj
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[1])
+    parser.add_argument("baseline_dir", type=pathlib.Path)
+    parser.add_argument("fresh_dir", type=pathlib.Path)
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed relative regression (default: 0.25)")
+    args = parser.parse_args(argv)
+
+    docs: dict[tuple[pathlib.Path, str], dict] = {}
+    regressions = []
+    for name, path, kind in METRICS:
+        row = []
+        for directory in (args.baseline_dir, args.fresh_dir):
+            key = (directory, name)
+            if key not in docs:
+                docs[key] = json.loads((directory / name).read_text())
+            row.append(float(_get(docs[key], path)))
+        base, fresh = row
+        rel = (fresh - base) / base if base else 0.0
+        worse = (-rel if kind == "rate" else rel) > args.threshold
+        label = f"{name}:{'.'.join(path)}"
+        print(f"{label}: baseline {base:.4g}, fresh {fresh:.4g} "
+              f"({rel:+.1%}) [{'REGRESSED' if worse else 'ok'}]")
+        if worse:
+            regressions.append(label)
+
+    if regressions:
+        print(f"\n{len(regressions)} metric(s) regressed beyond "
+              f"{args.threshold:.0%}: {', '.join(regressions)}")
+        return 1
+    print("\nall benchmark metrics within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

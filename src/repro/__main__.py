@@ -10,6 +10,14 @@ Usage::
     python -m repro all [--fast]         # everything, in order
     python -m repro robustness [--fast]  # F1 under telemetry faults
     python -m repro obs FILE [FILE ...]  # summarise traces/metrics/manifests
+    python -m repro bench [engine|sweep] # regenerate BENCH_*.json baselines
+
+Simulator backend: ``--sim-backend batch`` routes every client burst
+through the vectorised :mod:`repro.sim.batch` request path (one engine
+event per batch instead of one process per striped RPC) with bit-
+identical window vectors and labels; ``event`` (default) is the
+per-request generator path. The backend is part of the run-cache key,
+so the two never share cache entries.
 
 Fault injection and resilience: ``--faults 'drop=0.2,kill=0.1,seed=1'``
 attaches a deterministic :class:`repro.faults.FaultPlan` to the sweep
@@ -42,12 +50,13 @@ any of the exported files.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import pathlib
 import sys
 import time
 
 from repro import obs
-from repro.experiments.runner import ExperimentConfig
+from repro.experiments.runner import ExperimentConfig, experiment_cluster
 
 #: Paper artefacts (run by ``all``).
 EXPERIMENTS = ("table1", "fig1", "table2", "fig3", "fig4", "fig5")
@@ -59,8 +68,21 @@ EXTENSIONS = ("devices", "crosscluster", "robustness")
 _REPORTS: dict[str, dict] = {}
 
 
+#: Simulator request path for every experiment this invocation runs;
+#: set once from ``--sim-backend`` before any runner is called.
+_SIM_BACKEND = "event"
+
+
+def _cluster():
+    cluster = experiment_cluster()
+    if _SIM_BACKEND != "event":
+        cluster = dataclasses.replace(cluster, sim_backend=_SIM_BACKEND)
+    return cluster
+
+
 def _config(fast: bool) -> ExperimentConfig:
-    return ExperimentConfig(window_size=0.25, sample_interval=0.125,
+    return ExperimentConfig(cluster=_cluster(), window_size=0.25,
+                            sample_interval=0.125,
                             warmup=0.5 if fast else 1.0, seed=0)
 
 
@@ -119,8 +141,8 @@ def run_fig3(fast: bool, executor) -> str:
                                max_level=2 if fast else 3,
                                noise_scale=s["noise_scale"],
                                executor=executor)
-    dlio_cfg = ExperimentConfig(window_size=0.5, sample_interval=0.125,
-                                warmup=1.0, seed=0)
+    dlio_cfg = ExperimentConfig(cluster=_cluster(), window_size=0.5,
+                                sample_interval=0.125, warmup=1.0, seed=0)
     dlio = collect_dlio_bank(dlio_cfg, max_level=2 if fast else 3,
                              noise_scale=s["noise_scale"],
                              steps_per_epoch=8 if fast else 12,
@@ -224,6 +246,10 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "obs":
         return main_obs(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.bench import main as main_bench
+
+        return main_bench(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -236,6 +262,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="shrink workloads for a quick smoke pass")
     parser.add_argument("--out", type=pathlib.Path, default=None,
                         help="also write one text file per experiment here")
+    parser.add_argument("--sim-backend", choices=("event", "batch"),
+                        default="event",
+                        help="simulator request path: per-request generator "
+                             "processes (event, default) or the vectorised "
+                             "batched fast path (batch); results are "
+                             "bit-identical (default: %(default)s)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for simulation sweeps "
                              "(default: 1 = in-process)")
@@ -268,6 +300,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.verbose:
         obs.configure_logging("DEBUG" if args.verbose > 1 else "INFO")
+
+    global _SIM_BACKEND
+    _SIM_BACKEND = args.sim_backend
 
     known = ("list", "all", *EXPERIMENTS, *EXTENSIONS)
     if args.experiment not in known:

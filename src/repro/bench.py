@@ -1,0 +1,314 @@
+"""Performance baselines: the ``repro bench`` subcommand.
+
+Two committed baselines (regenerated with ``python -m repro bench``, and
+compared non-gatingly in CI against the checked-in ``BENCH_engine.json``
+/ ``BENCH_sweep.json``):
+
+* **engine** — microbenchmarks of the discrete-event kernel: raw timeout
+  churn through ``Environment.run()``, plus a request-path comparison
+  driving the same windowed RPC pattern once through per-request
+  generator ``Process``es (the event backend's shape, one process per
+  striped RPC) and once through the batched callback chain
+  (``after``/``try_acquire``/``CountEvent`` — the batch backend's
+  shape). The ratio isolates the per-request machinery the batch
+  backend eliminates, free of the shared network/disk model.
+
+* **sweep** — the end-to-end dataset-generation grid, run serial with
+  the event backend (the pre-batch baseline), serial with
+  ``--sim-backend batch``, then cold (fresh run cache) and warm through
+  the parallel executor with the batch backend. All four passes must
+  produce bit-identical window banks; the cross-backend identity is the
+  equivalence contract of ``repro.sim.batch`` holding on the full grid.
+
+The end-to-end speedup is Amdahl-bounded: the fluid network, block
+device and page cache perform identical work at identical simulated
+instants on both backends (that *is* the equivalence contract), so only
+the per-request client machinery — measured in isolation by the engine
+request-path bench — shrinks. See DESIGN.md §9.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import tempfile
+import time
+from typing import Any
+
+import numpy as np
+
+__all__ = ["bench_engine", "bench_sweep", "main"]
+
+
+# -- engine microbenchmarks ---------------------------------------------------
+
+
+def _churn(n_processes: int, hops: int):
+    """Timeout-relay workload; returns (events_fired, wall, order)."""
+    from repro.sim.engine import Environment
+
+    env = Environment()
+    order: list[tuple[str, float]] = []
+    rng = np.random.default_rng(11)
+    delays = rng.integers(1, 7, size=(n_processes, hops)) * 0.125
+
+    def proc(pid: int):
+        for h in range(hops):
+            yield env.timeout(float(delays[pid, h]))
+        order.append((f"p{pid}", env.now))
+
+    for pid in range(n_processes):
+        env.process(proc(pid))
+    t0 = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - t0
+    return n_processes * hops, wall, order
+
+
+_RPC_LATENCY = 200e-6
+_SERVICE = 1e-3
+_WINDOW = 8
+_BURST = 64
+
+
+def _requests_via_processes(n_requests: int) -> float:
+    """The event backend's request shape: each op spawns one generator
+    Process per piece (credit window, RPC latency, service), joined by an
+    AllOf — the structure of ``ClientSession._data_op``."""
+    from repro.sim.engine import AllOf, Environment
+    from repro.sim.resources import Semaphore
+
+    env = Environment()
+    window = Semaphore(env, _WINDOW)
+
+    def rpc():
+        yield window.acquire()
+        yield env.timeout(_RPC_LATENCY)
+        yield env.timeout(_SERVICE)
+        window.release()
+
+    def op():
+        yield AllOf(env, [env.process(rpc()) for _ in range(_BURST)])
+
+    ops = [env.process(op()) for _ in range(n_requests // _BURST)]
+    t0 = time.perf_counter()
+    env.run(until=AllOf(env, ops))
+    return time.perf_counter() - t0
+
+
+def _requests_via_batch(n_requests: int) -> float:
+    """The batch backend's request shape: ``try_acquire`` takes window
+    credits inline, every immediately-granted piece of a burst shares a
+    single RPC-latency timeout, queued pieces chain solo off their FIFO
+    grant, and one CountEvent completes the lot — the structure of
+    ``repro.sim.batch._DataBatch``."""
+    from repro.sim.engine import CountEvent, Environment
+    from repro.sim.resources import Semaphore
+
+    env = Environment()
+    window = Semaphore(env, _WINDOW)
+    done = CountEvent(env, n_requests)
+
+    def finish(_ev=None) -> None:
+        window.release()
+        done.complete()
+
+    def serve_group(_ev, k: int) -> None:
+        for _ in range(k):
+            env.after(_SERVICE, finish)
+
+    def solo_serve(_ev) -> None:
+        env.after(_SERVICE, finish)
+
+    def solo(_ev) -> None:
+        env.after(_RPC_LATENCY, solo_serve)
+
+    for _ in range(n_requests // _BURST):
+        immediate = 0
+        for _ in range(_BURST):
+            if window.try_acquire():
+                immediate += 1
+            else:
+                window.acquire().callbacks.append(solo)
+        if immediate:
+            env.after(_RPC_LATENCY,
+                      lambda _ev, k=immediate: serve_group(_ev, k))
+    t0 = time.perf_counter()
+    env.run(until=done)
+    return time.perf_counter() - t0
+
+
+def bench_engine(processes: int = 2000, hops: int = 100,
+                 requests: int = 100_096) -> dict[str, Any]:
+    """Engine kernel + request-path microbenchmarks (see module doc)."""
+    n1, wall1, order1 = _churn(processes, hops)
+    n2, wall2, order2 = _churn(processes, hops)
+    assert order1 == order2, "engine event order is not deterministic"
+    wall = min(wall1, wall2)
+
+    requests = (requests // _BURST) * _BURST  # whole bursts only
+    proc_wall = min(_requests_via_processes(requests) for _ in range(2))
+    batch_wall = min(_requests_via_batch(requests) for _ in range(2))
+
+    return {
+        "processes": processes,
+        "hops": hops,
+        "timeout_events": n1,
+        "wall_seconds": wall,
+        "timeouts_per_second": n1 / wall,
+        "deterministic": True,
+        "request_path": {
+            "requests": requests,
+            "burst": _BURST,
+            "window": _WINDOW,
+            "process_seconds": proc_wall,
+            "batch_seconds": batch_wall,
+            "process_requests_per_second": requests / proc_wall,
+            "batch_requests_per_second": requests / batch_wall,
+            "batch_speedup": proc_wall / batch_wall,
+        },
+    }
+
+
+# -- end-to-end sweep benchmark -----------------------------------------------
+
+
+def bench_grid(sim_backend: str = "event"):
+    """The benchmark's (target, scenario) grid and experiment config."""
+    from repro.experiments.datagen import Scenario
+    from repro.experiments.runner import (ExperimentConfig, InterferenceSpec,
+                                          experiment_cluster)
+    from repro.workloads.io500 import make_io500_task
+
+    cluster = dataclasses.replace(experiment_cluster(), sim_backend=sim_backend)
+    config = ExperimentConfig(cluster=cluster, window_size=0.25,
+                              sample_interval=0.125, warmup=1.0, seed=0)
+    targets = [
+        make_io500_task("ior-easy-write", ranks=4, scale=2.5),
+        make_io500_task("ior-easy-read", ranks=4, scale=2.5),
+        make_io500_task("mdt-hard-write", ranks=4, scale=2.5),
+    ]
+    scenarios = [Scenario("quiet")]
+    for level in (1, 2):
+        scenarios.append(Scenario(
+            f"io500-x{level}",
+            (InterferenceSpec("ior-easy-write", instances=level, ranks=2,
+                              scale=0.2),
+             InterferenceSpec("ior-easy-read", instances=1, ranks=2,
+                              scale=0.2)),
+        ))
+    return targets, scenarios, config
+
+
+def bench_sweep(jobs: int | None = None) -> dict[str, Any]:
+    """Serial event vs serial batch vs cold/warm parallel batch grid."""
+    from repro.experiments.datagen import collect_windows
+    from repro.parallel import RunCache, SweepExecutor
+
+    jobs = jobs or min(4, os.cpu_count() or 1)
+    targets_e, scenarios_e, config_e = bench_grid("event")
+    n_pairs = len(targets_e) * len(scenarios_e)
+
+    t0 = time.perf_counter()
+    event_bank = collect_windows(targets_e, scenarios_e, config_e, n_jobs=1)
+    serial_event_s = time.perf_counter() - t0
+
+    targets_b, scenarios_b, config_b = bench_grid("batch")
+    t0 = time.perf_counter()
+    batch_bank = collect_windows(targets_b, scenarios_b, config_b, n_jobs=1)
+    serial_batch_s = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory(prefix="bench-sweep-") as tmp:
+        cold = SweepExecutor(n_jobs=jobs, cache=RunCache(tmp))
+        t0 = time.perf_counter()
+        cold_bank = collect_windows(targets_b, scenarios_b, config_b,
+                                    executor=cold)
+        cold_s = time.perf_counter() - t0
+
+        warm = SweepExecutor(n_jobs=jobs, cache=RunCache(tmp))
+        t0 = time.perf_counter()
+        warm_bank = collect_windows(targets_b, scenarios_b, config_b,
+                                    executor=warm)
+        warm_s = time.perf_counter() - t0
+
+        identical = (
+            np.array_equal(event_bank.X, batch_bank.X)
+            and np.array_equal(event_bank.levels, batch_bank.levels)
+            and np.array_equal(batch_bank.X, cold_bank.X)
+            and np.array_equal(batch_bank.levels, cold_bank.levels)
+            and np.array_equal(batch_bank.X, warm_bank.X)
+            and np.array_equal(batch_bank.levels, warm_bank.levels)
+        )
+        assert identical, "event/batch/parallel/warm banks differ"
+        assert warm.runs_executed == 0, "warm cache still executed runs"
+
+        return {
+            "grid": {"targets": len(targets_e), "scenarios": len(scenarios_e),
+                     "pairs": n_pairs, "windows": len(event_bank)},
+            "serial_event_seconds": serial_event_s,
+            "serial_batch_seconds": serial_batch_s,
+            "backend_speedup_serial": serial_event_s / serial_batch_s,
+            "cold_batch_seconds": cold_s,
+            "cold_improvement_vs_serial_event": serial_event_s / cold_s,
+            "warm_seconds": warm_s,
+            "speedup_warm": serial_event_s / warm_s if warm_s else None,
+            "n_jobs": cold.n_jobs,
+            "cpu_count": os.cpu_count(),
+            "bit_identical": identical,
+            "cold": cold.stats(),
+            "warm": warm.stats(),
+        }
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def _write(result: dict[str, Any], path: pathlib.Path) -> None:
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro bench`` — regenerate the committed baselines."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Regenerate BENCH_engine.json / BENCH_sweep.json.",
+    )
+    parser.add_argument("which", nargs="?", default="all",
+                        choices=("engine", "sweep", "all"))
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="workers for the sweep's parallel passes "
+                             "(default: min(4, cores))")
+    parser.add_argument("--out-dir", type=pathlib.Path,
+                        default=pathlib.Path("."),
+                        help="directory for the BENCH_*.json files "
+                             "(default: current directory)")
+    args = parser.parse_args(argv)
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+
+    if args.which in ("engine", "all"):
+        result = bench_engine()
+        rp = result["request_path"]
+        print(f"engine: {result['timeouts_per_second']:,.0f} timeouts/s; "
+              f"request path: process {rp['process_requests_per_second']:,.0f}"
+              f" req/s vs batch {rp['batch_requests_per_second']:,.0f} req/s "
+              f"({rp['batch_speedup']:.2f}x)")
+        _write(result, args.out_dir / "BENCH_engine.json")
+    if args.which in ("sweep", "all"):
+        result = bench_sweep(jobs=args.jobs)
+        print(f"sweep: serial event {result['serial_event_seconds']:.2f}s, "
+              f"serial batch {result['serial_batch_seconds']:.2f}s "
+              f"({result['backend_speedup_serial']:.2f}x), cold parallel "
+              f"batch {result['cold_batch_seconds']:.2f}s "
+              f"({result['cold_improvement_vs_serial_event']:.2f}x), warm "
+              f"{result['warm_seconds']:.2f}s")
+        _write(result, args.out_dir / "BENCH_sweep.json")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - thin wrapper
+    raise SystemExit(main())

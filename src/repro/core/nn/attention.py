@@ -155,7 +155,7 @@ class TransformerBlock(Layer):
         self.ln2 = LayerNorm(dim)
         self.ffn = Sequential([
             Dense(dim, ffn_mult * dim, rng=derive_rng(seed, "ffn1", tag)),
-            ReLU(),
+            ReLU(inplace=True),
             Dense(ffn_mult * dim, dim, rng=derive_rng(seed, "ffn2", tag)),
         ])
 
@@ -197,7 +197,7 @@ class SetTransformerClassifier:
                        for i in range(n_blocks)]
         self.head = Sequential([
             Dense(dim, dim, rng=derive_rng(seed, "head", 0)),
-            ReLU(),
+            ReLU(inplace=True),
             Dense(dim, n_classes, rng=derive_rng(seed, "head", 1)),
         ])
         self._pool_servers: int | None = None

@@ -46,7 +46,7 @@ class KernelInterferenceNet:
         prev = n_features
         for i, width in enumerate(kernel_hidden):
             kernel_layers.append(Dense(prev, width, rng=derive_rng(seed, "k", i)))
-            kernel_layers.append(ReLU())
+            kernel_layers.append(ReLU(inplace=True))
             if dropout > 0:
                 kernel_layers.append(Dropout(dropout, rng=derive_rng(seed, "kd", i)))
             prev = width
@@ -57,7 +57,7 @@ class KernelInterferenceNet:
         prev = n_servers
         for i, width in enumerate(head_hidden):
             head_layers.append(Dense(prev, width, rng=derive_rng(seed, "h", i)))
-            head_layers.append(ReLU())
+            head_layers.append(ReLU(inplace=True))
             prev = width
         head_layers.append(Dense(prev, n_classes, rng=derive_rng(seed, "h", "out")))
         self.head = Sequential(head_layers)

@@ -53,6 +53,14 @@ class Dense(Layer):
         self.W = Param.of(rng.normal(0.0, scale, size=(in_dim, out_dim)))
         self.b = Param.of(np.zeros(out_dim))
         self._x: np.ndarray | None = None
+        # Scratch buffers reused across training steps (the hot loop runs
+        # thousands of same-shaped minibatches; fresh allocations per step
+        # dominated small-model training profiles). Only the training path
+        # uses them — inference always returns freshly allocated arrays,
+        # so public predict results are safe to hold across calls.
+        self._out_buf: np.ndarray | None = None
+        self._gw_buf: np.ndarray | None = None
+        self._dx_buf: np.ndarray | None = None
 
     def params(self) -> list[Param]:
         return [self.W, self.b]
@@ -64,35 +72,75 @@ class Dense(Layer):
                 f"{self.W.value.shape[0]}"
             )
         self._x = x
-        return x @ self.W.value + self.b.value
+        W = self.W.value
+        if training:
+            shape = x.shape[:-1] + (W.shape[1],)
+            dtype = np.result_type(x.dtype, W.dtype)
+            buf = self._out_buf
+            if buf is None or buf.shape != shape or buf.dtype != dtype:
+                buf = self._out_buf = np.empty(shape, dtype=dtype)
+            # Same arithmetic as ``x @ W + b``, written into the scratch.
+            np.matmul(x, W, out=buf)
+            buf += self.b.value
+            return buf
+        return x @ W + self.b.value
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._x is None:
             raise RuntimeError("backward before forward")
         x = self._x
         self._x = None  # release the cached batch once consumed
+        W = self.W.value
         xf = x.reshape(-1, x.shape[-1])
         gf = grad.reshape(-1, grad.shape[-1])
-        self.W.grad += xf.T @ gf
+        gw = self._gw_buf
+        if gw is None or gw.dtype != self.W.grad.dtype:
+            gw = self._gw_buf = np.empty_like(self.W.grad)
+        np.matmul(xf.T, gf, out=gw)
+        self.W.grad += gw
         self.b.grad += gf.sum(axis=0)
-        return (gf @ self.W.value.T).reshape(x.shape)
+        dx = self._dx_buf
+        if dx is None or dx.shape != (gf.shape[0], W.shape[0]) or dx.dtype != W.dtype:
+            dx = self._dx_buf = np.empty((gf.shape[0], W.shape[0]), dtype=W.dtype)
+        np.matmul(gf, W.T, out=dx)
+        return dx.reshape(x.shape)
 
 
 class ReLU(Layer):
-    """Rectified linear unit."""
+    """Rectified linear unit.
 
-    def __init__(self) -> None:
+    ``inplace=True`` rectifies by multiplying the input array by its own
+    positivity mask instead of allocating a second output array. Only
+    safe when the input is exclusively this layer's to mutate — e.g. a
+    fresh (or scratch-buffer) :class:`Dense` output, as in the bundled
+    models — never an array the caller still reads. The results are
+    numerically identical to the allocating path (negative entries become
+    zero; only the IEEE sign of those zeros can differ, which no
+    downstream computation observes).
+    """
+
+    def __init__(self, inplace: bool = False) -> None:
+        self.inplace = inplace
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        self._mask = x > 0
-        return np.where(self._mask, x, 0.0)
+        mask = x > 0
+        self._mask = mask
+        if self.inplace:
+            np.multiply(x, mask, out=x)
+            return x
+        return np.where(mask, x, 0.0)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward before forward")
         mask = self._mask
         self._mask = None  # release the cached batch once consumed
+        if self.inplace:
+            # The incoming grad is the downstream layer's freshly computed
+            # (or scratch) array; masking it in place saves an allocation.
+            np.multiply(grad, mask, out=grad)
+            return grad
         return np.where(mask, grad, 0.0)
 
 

@@ -27,7 +27,7 @@ class MLPClassifier:
         prev = in_dim
         for i, width in enumerate(hidden):
             layers.append(Dense(prev, width, rng=derive_rng(seed, "dense", i)))
-            layers.append(ReLU())
+            layers.append(ReLU(inplace=True))
             if dropout > 0:
                 layers.append(Dropout(dropout, rng=derive_rng(seed, "drop", i)))
             prev = width

@@ -144,32 +144,36 @@ class StreamingPredictor:
         client = aggregator.aggregate(self._window_records.get(window, []),
                                       self.job)
         servers = self.cluster.servers
-        n_feats = len(CLIENT_FEATURES) + len(SERVER_FEATURES)
-        X = np.zeros((1, len(servers), n_feats))
+        n_client = len(CLIENT_FEATURES)
+        X = np.zeros((1, len(servers), n_client + len(SERVER_FEATURES)))
         for si, sid in enumerate(servers):
             cf = client.get((window, sid))
             if cf is not None:
-                for fi, name in enumerate(CLIENT_FEATURES):
-                    X[0, si, fi] = cf[name]
+                X[0, si, :n_client] = [cf[name] for name in CLIENT_FEATURES]
             rows = self._window_samples.get((window, sid))
             if rows:
-                sf = self._aggregate_samples(rows)
-                base = len(CLIENT_FEATURES)
-                for fi, name in enumerate(SERVER_FEATURES):
-                    X[0, si, base + fi] = sf[name]
+                X[0, si, n_client:] = self._aggregate_samples(rows)
         return X
 
     @staticmethod
-    def _aggregate_samples(rows: list[dict]) -> dict[str, float]:
-        from repro.monitor.schema import SERVER_METRICS, SERVER_STATS
+    def _aggregate_samples(rows: list[dict]) -> np.ndarray:
+        """Flat server-feature row in ``SERVER_FEATURES`` order.
 
-        feats: dict[str, float] = {}
-        for metric in SERVER_METRICS:
-            values = np.array([row[metric] for row in rows], dtype=float)
-            feats[f"{metric}_sum"] = float(values.sum())
-            feats[f"{metric}_mean"] = float(values.mean())
-            feats[f"{metric}_std"] = float(values.std())
-        return feats
+        One (samples, metrics) matrix and three axis-0 reductions instead
+        of a python loop with a fresh array per metric. Window sample
+        counts are far below numpy's pairwise-summation block (128), so
+        the column statistics are bit-identical to the per-metric arrays
+        the offline aggregator builds.
+        """
+        from repro.monitor.schema import SERVER_METRICS
+
+        M = np.array([[row[m] for m in SERVER_METRICS] for row in rows],
+                     dtype=float)
+        out = np.empty(3 * M.shape[1])
+        out[0::3] = M.sum(axis=0)
+        out[1::3] = M.mean(axis=0)
+        out[2::3] = M.std(axis=0)
+        return out
 
     # -- the loop -----------------------------------------------------------------
 

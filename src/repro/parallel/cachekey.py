@@ -40,7 +40,10 @@ __all__ = [
 ]
 
 #: Bumped whenever the persisted run layout or key material changes.
-CACHE_FORMAT = 1
+#: 2: the cluster config grew ``sim_backend`` (event vs batch request
+#: path) — it participates in the key via ``config_to_dict``, and the
+#: bump retires entries written before the batched fast path existed.
+CACHE_FORMAT = 2
 
 
 def canonical_json(obj: Any) -> str:

@@ -1,0 +1,344 @@
+"""Batched request fast path: the ``batch`` sim backend.
+
+The event backend drives every striped RPC through its own generator
+``Process`` — roughly a dozen engine events and generator resumptions per
+1 MiB write. Profiling shows this Python machinery, not the model
+arithmetic, dominates sweep wall-clock. This module replaces it for whole
+client operations: a :class:`BatchRequest` carries the op's striped
+pieces as parallel numpy arrays, and a :class:`_DataOpDriver` walks them
+through flat callback chains — RPC-window grant, one shared RPC-latency
+timeout per granted group, batched network flows
+(:meth:`FlowNetwork.transfer_batch`), inline OST service
+(:meth:`OST.service_batch` / ``serve_fast``) and MDS service
+(:meth:`MDS.handle_fast`) — firing one completion event per *operation*
+instead of one per request.
+
+Equivalence contract (validated in ``tests/sim/test_batch_backend.py``
+and ``tests/experiments``): every **primitive timing event** — RPC
+latency timeouts, network flow completions, block-device service
+timeouts, cache memcpy timeouts, QoS grants — is issued at the identical
+simulated instant as on the event path; only the same-timestamp
+bookkeeping ticks between them (process inits, semaphore grant events,
+AllOf conjunctions) disappear. State mutations therefore happen at the
+same timestamps in the same relative order, and per-window vectors,
+labels and server samples match the event backend to float precision.
+There is no per-request service noise to draw — the simulator's only RNG
+sits in workload op generation (``derive_rng``), which is backend
+independent; if service noise is ever added it must be drawn in array
+order from a ``derive_rng`` stream to keep this contract (DESIGN.md §9).
+
+The event backend remains authoritative for anything that needs
+per-request observability: per-RPC trace spans, and future fault hooks
+that drop or delay individual requests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.records import OpType, ServerId
+from repro.obs import trace as _trace
+from repro.sim.client import ClientSession
+from repro.sim.engine import Event
+
+__all__ = ["BatchRequest", "BatchSession"]
+
+
+class BatchRequest:
+    """One homogeneous burst of striped RPC pieces from a single client op.
+
+    Pieces appear in the same order the event backend spawns its per-RPC
+    processes (``map_extent`` order, then ``max_rpc_bytes`` splits) as
+    four parallel columns; the public ``ost_idx``/``object_id``/
+    ``obj_off``/``nbytes`` numpy views are materialised on first access
+    (the driver's hot loops walk the raw int columns instead, because the
+    common case is a one- or two-piece burst).
+    """
+
+    __slots__ = ("op", "path", "offset", "size", "_ost", "_oid", "_ooff",
+                 "_nb", "_arrays")
+
+    def __init__(self, op: OpType, path: str, offset: int, size: int,
+                 pieces: list[tuple[int, int, int, int]]) -> None:
+        self.op = op
+        self.path = path
+        self.offset = offset
+        self.size = size
+        # Columns are plain int lists for the driver's hot loops (most ops
+        # are a single ≤1 MiB piece, where per-op array construction costs
+        # more than it saves); the numpy views are materialised lazily.
+        self._ost = [p[0] for p in pieces]
+        self._oid = [p[1] for p in pieces]
+        self._ooff = [p[2] for p in pieces]
+        self._nb = [p[3] for p in pieces]
+        self._arrays = None
+
+    def _materialise(self):
+        n = len(self._ost)
+        self._arrays = (
+            np.fromiter(self._ost, dtype=np.int64, count=n),
+            np.fromiter(self._oid, dtype=np.int64, count=n),
+            np.fromiter(self._ooff, dtype=np.int64, count=n),
+            np.fromiter(self._nb, dtype=np.int64, count=n),
+        )
+        return self._arrays
+
+    @property
+    def ost_idx(self) -> np.ndarray:
+        return (self._arrays or self._materialise())[0]
+
+    @property
+    def object_id(self) -> np.ndarray:
+        return (self._arrays or self._materialise())[1]
+
+    @property
+    def obj_off(self) -> np.ndarray:
+        return (self._arrays or self._materialise())[2]
+
+    @property
+    def nbytes(self) -> np.ndarray:
+        return (self._arrays or self._materialise())[3]
+
+    def __len__(self) -> int:
+        return len(self._ost)
+
+    @classmethod
+    def from_extent(cls, f, op: OpType, path: str, offset: int, size: int,
+                    max_rpc: int) -> "BatchRequest":
+        """Split a logical extent into ≤``max_rpc``-byte striped pieces."""
+        req = cls.__new__(cls)
+        req.op = op
+        req.path = path
+        req.offset = offset
+        req.size = size
+        ost = req._ost = []
+        oid = req._oid = []
+        ooff = req._ooff = []
+        nb = req._nb = []
+        req._arrays = None
+        for ost_idx, object_id, obj_off, nbytes in f.layout.map_extent(offset, size):
+            sent = 0
+            while sent < nbytes:
+                piece = min(max_rpc, nbytes - sent)
+                ost.append(ost_idx)
+                oid.append(object_id)
+                ooff.append(obj_off + sent)
+                nb.append(piece)
+                sent += piece
+        return req
+
+
+class _DataOpDriver:
+    """Walks one data op's pieces through the batched callback chain."""
+
+    __slots__ = ("session", "req", "file", "start", "done", "span",
+                 "is_write", "remaining", "touched", "keep_record")
+
+    def __init__(self, session: "BatchSession", req: BatchRequest, f,
+                 start: float, done: Event, span) -> None:
+        self.session = session
+        self.req = req
+        self.file = f
+        self.start = start
+        self.done = done
+        self.span = span
+        self.is_write = req.op is OpType.WRITE
+        self.remaining = len(req)
+        self.touched: dict[ServerId, int] = {}
+        # Noise jobs write into a NullCollector; building IORecords and
+        # per-server byte tallies for them is pure wall-clock waste.
+        self.keep_record = session.collector.keeps_records or span is not None
+
+    def begin(self) -> None:
+        req = self.req
+        node = self.session.node
+        cluster = node.cluster
+        touched = self.touched
+        keep = self.keep_record
+        n = len(req)
+        if n == 0:
+            self._finish()
+            return
+        ost_idx = req._ost
+        nbytes = req._nb
+        # Group pieces whose RPC-window credit is available right now;
+        # they share one rpc_latency timeout. Queued pieces proceed solo
+        # when their FIFO grant fires (the same instants the event
+        # backend's per-piece acquire events would fire).
+        immediate: list[int] = []
+        for i in range(n):
+            oi = ost_idx[i]
+            if keep:
+                sid = cluster.osts[oi].server_id
+                touched[sid] = touched.get(sid, 0) + nbytes[i]
+            window = node.rpc_window(oi)
+            if window.try_acquire():
+                immediate.append(i)
+            else:
+                # Queued: when the FIFO grant fires (the same instant the
+                # event backend's acquire event would), pay the RPC
+                # latency and dispatch solo.
+                window.acquire().callbacks.append(
+                    lambda _ev, i=i: self.session.env.after(
+                        node.params.rpc_latency,
+                        lambda _ev: self._dispatch((i,)),
+                    )
+                )
+        if immediate:
+            group = tuple(immediate)
+            self.session.env.after(
+                node.params.rpc_latency, lambda _ev: self._dispatch(group)
+            )
+
+    def _dispatch(self, idxs) -> None:
+        """Pieces past the RPC latency: writes enter the network now and
+        hit OST service at each flow's completion; reads hit OST service
+        now and cross the network once served."""
+        session = self.session
+        cluster = session.node.cluster
+        req = self.req
+        if self.is_write:
+            # Payload crosses the network first; OST service starts at
+            # each flow's completion tick.
+            link = session.node.link
+            cluster.net.transfer_batch([
+                (
+                    req._nb[i],
+                    cluster.route(link, cluster.osts[req._ost[i]].oss_link),
+                    (lambda i=i: self._write_arrived(i)),
+                )
+                for i in idxs
+            ])
+            return
+        # Reads: OST service starts now; group by OST in first-appearance
+        # order so each server sees one homogeneous burst.
+        by_ost: dict[int, list[int]] = {}
+        for i in idxs:
+            by_ost.setdefault(req._ost[i], []).append(i)
+        for oi, group in by_ost.items():
+            ost = cluster.osts[oi]
+            ost.service_batch(
+                [req._oid[i] for i in group],
+                [req._ooff[i] for i in group],
+                [req._nb[i] for i in group],
+                session.job,
+                False,
+                lambda k, group=tuple(group): self._read_served(group[k]),
+            )
+
+    def _write_arrived(self, i: int) -> None:
+        req = self.req
+        cluster = self.session.node.cluster
+        ost = cluster.osts[req._ost[i]]
+        ost.serve_fast(
+            req._oid[i], req._ooff[i], req._nb[i],
+            self.session.job, True, lambda: self._piece_done(i),
+        )
+
+    def _read_served(self, i: int) -> None:
+        req = self.req
+        session = self.session
+        cluster = session.node.cluster
+        ost = cluster.osts[req._ost[i]]
+        cluster.net.transfer_batch([
+            (
+                req._nb[i],
+                cluster.route(session.node.link, ost.oss_link),
+                (lambda: self._piece_done(i)),
+            )
+        ])
+
+    def _piece_done(self, i: int) -> None:
+        session = self.session
+        session.node.rpc_window(self.req._ost[i]).release()
+        self.remaining -= 1
+        if self.remaining == 0:
+            self._finish()
+
+    def _finish(self) -> None:
+        session = self.session
+        req = self.req
+        if self.is_write:
+            f = self.file
+            f.size = max(f.size, req.offset + req.size)
+        if self.keep_record:
+            rec = session._record(
+                req.op, req.path, req.offset, req.size, self.start,
+                tuple(sorted(self.touched)),
+            )
+            if self.span is not None:
+                tracer = _trace.TRACER
+                if tracer is not None:
+                    tracer.finish(self.span, session.env.now, op_id=rec.op_id)
+        else:
+            session._op_id += 1
+        self.done.succeed()
+
+
+class BatchSession(ClientSession):
+    """A :class:`ClientSession` whose ops run on the batched fast path.
+
+    The public generator API is inherited unchanged (rank bodies are
+    backend-agnostic); only the internal op drivers differ — each yields
+    a single completion event fed by callback chains instead of an
+    ``AllOf`` over per-RPC processes.
+    """
+
+    def _data_op(self, op: OpType, path: str, offset: int, size: int):
+        yield self._data_fast(op, path, offset, size)
+
+    def _data_fast(self, op: OpType, path: str, offset: int, size: int) -> Event:
+        cluster = self.node.cluster
+        f = cluster.fs.lookup(path)
+        start = self.env.now
+        tracer = _trace.TRACER
+        span = tracer.start(
+            f"client.{op.value}", start, job=self.job, rank=self.rank,
+            path=path, offset=offset, size=size, batched=True,
+        ) if tracer is not None else None
+        req = BatchRequest.from_extent(f, op, path, offset, size,
+                                       self.node.params.max_rpc_bytes)
+        done = Event(self.env)
+        _DataOpDriver(self, req, f, start, done, span).begin()
+        return done
+
+    def _meta_op(self, op: OpType, path: str, parent: str):
+        yield self._meta_fast(op, path, parent)
+
+    def _meta_fast(self, op: OpType, path: str, parent: str) -> Event:
+        node = self.node
+        cluster = node.cluster
+        env = self.env
+        start = env.now
+        tracer = _trace.TRACER
+        span = tracer.start(
+            f"client.{op.value}", start, job=self.job, rank=self.rank,
+            path=path, batched=True,
+        ) if tracer is not None else None
+        done = Event(env)
+
+        keep = self.collector.keeps_records or span is not None
+
+        def _served() -> None:
+            node._mds_slots.release()
+            if keep:
+                rec = self._record(op, path, 0, 0, start, (cluster.mds.server_id,))
+                if span is not None:
+                    t = _trace.TRACER
+                    if t is not None:
+                        t.finish(span, env.now, op_id=rec.op_id)
+            else:
+                self._op_id += 1
+            done.succeed()
+
+        def _granted() -> None:
+            env.after(
+                node.params.rpc_latency,
+                lambda _ev: cluster.mds.handle_fast(op, parent, _served),
+            )
+
+        if node._mds_slots.try_acquire():
+            _granted()
+        else:
+            node._mds_slots.acquire().callbacks.append(lambda _ev: _granted())
+        return done

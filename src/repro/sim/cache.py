@@ -92,6 +92,8 @@ class PageCache:
         self._dirty_chunks: dict[tuple[int, int], None] = {}
         #: Per-object next expected sequential offset (readahead gating).
         self._next_offset: dict[int, int] = {}
+        # Eviction threshold, fixed at construction (params are frozen).
+        self._max_chunks = max(1, params.capacity_bytes // params.chunk_bytes)
         # Counters for tests and monitors.
         self.read_hits = 0
         self.read_misses = 0
@@ -114,28 +116,41 @@ class PageCache:
         return ((object_id, c) for c in range(first, last + 1))
 
     def _touch_chunks(self, object_id: int, offset: int, size: int, dirty: bool) -> None:
-        for key in self._chunk_range(object_id, offset, size):
-            if key in self._dirty_chunks:
+        # The chunk loop is inlined (no _chunk_range generator): this runs
+        # once per cache access and the generator frames were measurable.
+        cb = self.params.chunk_bytes
+        clean = self._clean
+        dirty_chunks = self._dirty_chunks
+        first = offset // cb
+        last = (offset + max(1, size) - 1) // cb
+        for c in range(first, last + 1):
+            key = (object_id, c)
+            if key in dirty_chunks:
                 continue  # dirty dominates; stays until flushed
+            clean.pop(key, None)
             if dirty:
-                self._clean.pop(key, None)
-                self._dirty_chunks[key] = None
+                dirty_chunks[key] = None
             else:
-                self._clean.pop(key, None)
-                self._clean[key] = None  # move to MRU end
+                clean[key] = None  # move to MRU end
         self._evict()
 
     def _mark_clean(self, object_id: int, offset: int, size: int) -> None:
         """Clear the dirty flag after a flush (keeps chunks cached)."""
-        for key in self._chunk_range(object_id, offset, size):
+        cb = self.params.chunk_bytes
+        first = offset // cb
+        last = (offset + max(1, size) - 1) // cb
+        for c in range(first, last + 1):
+            key = (object_id, c)
             if self._dirty_chunks.pop(key, False) is None:
                 self._clean[key] = None
         self._evict()
 
     def _evict(self) -> None:
-        max_chunks = max(1, self.params.capacity_bytes // self.params.chunk_bytes)
-        while self.cached_chunk_count > max_chunks and self._clean:
-            self._clean.popitem(last=False)  # oldest clean chunk
+        max_chunks = self._max_chunks
+        clean = self._clean
+        dirty_count = len(self._dirty_chunks)
+        while clean and dirty_count + len(clean) > max_chunks:
+            clean.popitem(last=False)  # oldest clean chunk
 
     def _cached(self, object_id: int, offset: int, size: int) -> bool:
         return all(
@@ -192,6 +207,46 @@ class PageCache:
         self._touch_chunks(object_id, offset, size, dirty=True)
         self._kick_flusher()
 
+    def write_fast(self, object_id: int, offset: int, size: int, on_done) -> None:
+        """Callback-chain twin of :meth:`write` for the batch backend.
+
+        Performs the identical admission/throttle/commit mutations at the
+        identical simulated instants — the only difference is that the
+        chain runs through plain callbacks instead of a generator
+        Process, so the intermediate events disappear. ``on_done()`` runs
+        at the tick the payload copy completes.
+        """
+        if size <= 0:
+            raise ValueError(f"write size must be positive, got {size}")
+        if size > self.params.dirty_limit_bytes:
+            raise ValueError(
+                f"single write of {size} B exceeds the dirty limit "
+                f"({self.params.dirty_limit_bytes} B); split at the RPC layer"
+            )
+        if self._throttled or self.dirty_bytes + size > self.params.dirty_limit_bytes:
+            self.throttle_events += 1
+            gate = Event(self.env)
+            self._throttled.append((gate, size))
+            self._kick_flusher()
+            gate.callbacks.append(
+                lambda _ev: self.env.after(
+                    self._memcpy_delay(size),
+                    lambda _ev: self._write_commit(object_id, offset, size, on_done),
+                )
+            )
+        else:
+            self.dirty_bytes += size
+            self.env.after(
+                self._memcpy_delay(size),
+                lambda _ev: self._write_commit(object_id, offset, size, on_done),
+            )
+
+    def _write_commit(self, object_id: int, offset: int, size: int, on_done) -> None:
+        self._dirty_extents.append((object_id, offset, size))
+        self._touch_chunks(object_id, offset, size, dirty=True)
+        self._kick_flusher()
+        on_done()
+
     # -- read path --------------------------------------------------------------
 
     def _sequential(self, object_id: int, offset: int) -> bool:
@@ -235,12 +290,41 @@ class PageCache:
         self._touch_chunks(object_id, offset, fetch_size, dirty=False)
         yield self.env.timeout(self._memcpy_delay(size))
 
+    def read_fast(self, object_id: int, offset: int, size: int, on_done) -> None:
+        """Callback-chain twin of :meth:`read` for the batch backend.
+
+        Hit/miss/readahead decisions and all chunk mutations happen at
+        the same simulated instants as the generator path; ``on_done()``
+        runs at the tick the payload copy completes.
+        """
+        if size <= 0:
+            raise ValueError(f"read size must be positive, got {size}")
+        sequential = self._sequential(object_id, offset)
+        self._next_offset[object_id] = offset + size
+        if self._cached(object_id, offset, size):
+            self.read_hits += 1
+            self._touch_chunks(object_id, offset, size, dirty=False)
+            self.env.after(self._memcpy_delay(size), lambda _ev: on_done())
+            return
+        self.read_misses += 1
+        readahead = self.params.readahead_bytes if sequential else 0
+        fetch_size = size + readahead
+        segments = self.resolve(object_id, offset, fetch_size)
+
+        def _fetched() -> None:
+            self._touch_chunks(object_id, offset, fetch_size, dirty=False)
+            self.env.after(self._memcpy_delay(size), lambda _ev: on_done())
+
+        self.device.submit_bytes_batch(segments, False, _fetched)
+
     # -- flusher -----------------------------------------------------------------
 
     def _kick_flusher(self) -> None:
+        # Deferred a tick like the old flush Process's init event, so
+        # every same-instant dirty append is visible to the first gather.
         if not self._flusher_running and (self._dirty_extents or self._throttled):
             self._flusher_running = True
-            self.env.process(self._flush_loop())
+            self.env.defer(self._flush_step)
 
     #: Flush I/Os kept in flight concurrently. Writeback keeps the device
     #: queue populated so contiguous dirty extents can merge at the block
@@ -257,32 +341,39 @@ class PageCache:
             yield (object_id, offset + flushed, nbytes)
             flushed += nbytes
 
-    def _flush_loop(self):
-        from repro.sim.engine import AllOf
+    def _flush_step(self, _ev=None) -> None:
+        """Gather/submit one writeback round; chains itself until clean.
 
-        while self._dirty_extents:
-            # Gather up to FLUSH_INFLIGHT flush units across dirty extents.
-            batch: list[tuple[int, int, int]] = []
-            records: list[tuple[int, int, int]] = []
-            while self._dirty_extents and len(batch) < self.FLUSH_INFLIGHT:
-                record = self._dirty_extents.popleft()
-                records.append(record)
-                batch.extend(self._flush_units(*record))
-            pending = []
-            for object_id, unit_offset, nbytes in batch:
-                for dev_off, seg_bytes in self.resolve(object_id, unit_offset,
-                                                       nbytes):
-                    pending.append(
-                        self.device.submit_bytes(dev_off, seg_bytes,
-                                                 is_write=True)
-                    )
-            yield AllOf(self.env, pending)
-            for object_id, unit_offset, nbytes in batch:
+        Callback twin of the old generator flush loop: the round's
+        bookkeeping runs at the tick its last block I/O completes (the
+        generator resumed via an ``AllOf`` one tick later at the same
+        timestamp), and the next gather happens at that same instant.
+        """
+        if not self._dirty_extents:
+            self._flusher_running = False
+            return
+        # Gather up to FLUSH_INFLIGHT flush units across dirty extents.
+        batch: list[tuple[int, int, int]] = []
+        records: list[tuple[int, int, int]] = []
+        while self._dirty_extents and len(batch) < self.FLUSH_INFLIGHT:
+            record = self._dirty_extents.popleft()
+            records.append(record)
+            batch.extend(self._flush_units(*record))
+        extents = [
+            seg
+            for object_id, unit_offset, nbytes in batch
+            for seg in self.resolve(object_id, unit_offset, nbytes)
+        ]
+
+        def _flushed() -> None:
+            for _object_id, _unit_offset, nbytes in batch:
                 self.dirty_bytes -= nbytes
             for record in records:
                 self._mark_clean(*record)
             self._release_throttled()
-        self._flusher_running = False
+            self._flush_step()
+
+        self.device.submit_bytes_batch(extents, True, _flushed)
 
     def _release_throttled(self) -> None:
         while self._throttled:

@@ -49,6 +49,10 @@ class ClientParams:
 class TraceCollector:
     """Accumulates the DXT-style records of one simulated run."""
 
+    #: Whether added records are retained. The batch backend skips
+    #: building IORecords entirely for collectors that discard them.
+    keeps_records = True
+
     def __init__(self) -> None:
         self.records: list[IORecord] = []
 
@@ -67,6 +71,8 @@ class NullCollector(TraceCollector):
     reads (the monitors only consume the target application's records);
     long noise loops would otherwise accumulate hundreds of thousands of
     dead records per run."""
+
+    keeps_records = False
 
     def add(self, record: IORecord) -> None:
         pass

@@ -24,7 +24,15 @@ from typing import Any, Callable, Generator, Iterable
 
 from repro.obs import trace as _trace
 
-__all__ = ["Environment", "Event", "Timeout", "Process", "AllOf", "SimulationError"]
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "CountEvent",
+    "SimulationError",
+]
 
 
 class SimulationError(RuntimeError):
@@ -94,10 +102,14 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Event.__init__ inlined: timeouts are the single most-allocated
+        # object in a run, and the extra frame showed up in sweep profiles.
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self._fired = False
+        self.delay = delay
         env._schedule(self, delay)
 
 
@@ -201,6 +213,38 @@ class AllOf(Event):
         self.succeed([ev._value for ev in self._children])
 
 
+class CountEvent(Event):
+    """Fires once ``expected`` completions have been reported.
+
+    The batch backend's replacement for :class:`AllOf`: a burst of N
+    striped RPCs needs one completion event, not N child Events plus a
+    conjunction. A zero-length batch succeeds immediately (still via the
+    event loop, so waiters resume on the next tick like any other event).
+    """
+
+    __slots__ = ("_expected",)
+
+    def __init__(self, env: "Environment", expected: int) -> None:
+        super().__init__(env)
+        if expected < 0:
+            raise ValueError(f"negative completion count: {expected}")
+        self._expected = expected
+        if expected == 0:
+            self.succeed([])
+
+    @property
+    def remaining(self) -> int:
+        return self._expected
+
+    def complete(self) -> None:
+        """Report one completion; the event succeeds on the last one."""
+        if self._expected <= 0:
+            raise SimulationError("CountEvent completed more times than expected")
+        self._expected -= 1
+        if self._expected == 0:
+            self.succeed()
+
+
 class Environment:
     """The event loop: a priority queue of (time, sequence, event)."""
 
@@ -220,6 +264,20 @@ class Environment:
 
     def event(self) -> Event:
         return Event(self)
+
+    def after(self, delay: float, fn: Callable[[Event], None]) -> Timeout:
+        """Schedule ``fn(event)`` after ``delay`` — a callback hop without
+        the generator/Process machinery (the batch backend's chain link)."""
+        t = Timeout(self, delay)
+        t.callbacks.append(fn)
+        return t
+
+    def defer(self, fn: Callable[[Event], None]) -> Event:
+        """Run ``fn(event)`` on the next tick at the current time."""
+        ev = Event(self)
+        ev.callbacks.append(fn)
+        ev.succeed()
+        return ev
 
     def process(self, gen: Generator[Event, Any, Any]) -> Process:
         tracer = _trace.TRACER

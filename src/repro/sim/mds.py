@@ -134,5 +134,59 @@ class MDS:
         if span is not None:
             tracer.finish(span, self.env.now)
 
+    def handle_fast(self, op: OpType, parent_dir: str, on_done) -> None:
+        """Callback-chain twin of :meth:`handle` for the batch backend.
+
+        Lock/thread acquisition, service, journal write and commit run at
+        the same simulated instants as the generator path; ``on_done()``
+        runs at the completion tick.
+        """
+        service = self.params.service_time(op)
+        mutating = op in _MUTATING
+        tracer = _trace.TRACER
+        span = tracer.start(
+            "mds.op", self.env.now, server=str(self.server_id),
+            op=op.value, dir=parent_dir,
+        ) if tracer is not None else None
+        lock = self._dir_lock(parent_dir) if mutating else None
+
+        def _locked() -> None:
+            if self._threads.try_acquire():
+                self.env.after(service, _serviced)
+            else:
+                self._threads.acquire().callbacks.append(
+                    lambda _ev: self.env.after(service, _serviced)
+                )
+
+        def _serviced(_ev) -> None:
+            if mutating:
+                self.device.submit_bytes(
+                    self._journal_extent(),
+                    self.params.journal_write_bytes,
+                    is_write=True,
+                ).callbacks.append(
+                    lambda _ev: self.env.after(
+                        self.params.journal_commit_time, lambda _ev: _finish()
+                    )
+                )
+            else:
+                _finish()
+
+        def _finish() -> None:
+            self._threads.release()
+            if lock is not None:
+                lock.release()
+            self.ops_completed += 1
+            if span is not None:
+                t = _trace.TRACER
+                if t is not None:
+                    t.finish(span, self.env.now)
+            on_done()
+
+        if lock is None or lock.try_acquire():
+            _locked()
+        else:
+            lock.acquire().callbacks.append(lambda _ev: _locked())
+
     def queue_depth(self) -> int:
         return self._threads.queued + (self._threads.capacity - self._threads.available)

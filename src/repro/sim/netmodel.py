@@ -38,15 +38,22 @@ class Link:
     #: by FlowNetwork).
     flows: dict["Flow", None] = field(default_factory=dict, repr=False)
 
+    #: Progressive-filling scratch state, stamped by the generation of the
+    #: last :meth:`FlowNetwork._recompute_rates` pass that touched this
+    #: link — avoids building a fresh per-link dict on every recompute
+    #: (the single hottest allocation on large sweeps).
+    _rr_gen = 0
+    _residual = 0.0
+    _live = 0
+
     def __post_init__(self) -> None:
         if self.capacity <= 0:
             raise ValueError(f"link {self.name}: capacity must be positive")
 
-    def __hash__(self) -> int:  # identity hashing; links are unique objects
-        return id(self)
-
-    def __eq__(self, other: object) -> bool:
-        return self is other
+    # Identity semantics at C speed: links are unique objects, and the
+    # flow bookkeeping hashes them on every arrival and departure.
+    __hash__ = object.__hash__
+    __eq__ = object.__eq__
 
     @property
     def utilization(self) -> float:
@@ -55,16 +62,24 @@ class Link:
 
 
 class Flow:
-    """One in-progress bulk transfer across a path of links."""
+    """One in-progress bulk transfer across a path of links.
 
-    __slots__ = ("fid", "links", "remaining", "rate", "done")
+    ``done`` is either an :class:`Event` (succeeded at completion — the
+    event backend) or a plain callable invoked directly at the completion
+    timer's fire time (the batch backend; same timestamp, one event less).
+    """
 
-    def __init__(self, fid: int, links: tuple[Link, ...], size: float, done: Event):
+    __slots__ = ("fid", "links", "remaining", "rate", "done", "_fgen")
+
+    def __init__(self, fid: int, links: tuple[Link, ...], size: float, done):
         self.fid = fid
         self.links = links
         self.remaining = float(size)
         self.rate = 0.0
         self.done = done
+        #: Generation stamp marking this flow frozen during progressive
+        #: filling (cheaper than a per-recompute set).
+        self._fgen = 0
 
 
 class FlowNetwork:
@@ -78,6 +93,7 @@ class FlowNetwork:
         self._fid = itertools.count()
         self._last_update = 0.0
         self._timer_generation = 0
+        self._rr_counter = 0
         #: Total bytes delivered, for conservation checks in tests.
         self.bytes_delivered = 0.0
 
@@ -116,6 +132,34 @@ class FlowNetwork:
         self._reschedule()
         return done
 
+    def transfer_batch(self, requests) -> None:
+        """Start many transfers arriving at the current instant at once.
+
+        ``requests`` is a sequence of ``(size, links, on_done)`` where
+        ``on_done`` is a no-argument callable invoked when the last byte
+        lands. Equivalent to N :meth:`transfer` calls at the same
+        timestamp — rates are recomputed from scratch on every arrival,
+        so only the final recomputation matters — but performs a single
+        advance + progressive-filling pass + timer rearm for the batch.
+        """
+        self._advance()
+        added = False
+        for size, links, on_done in requests:
+            if size < 0:
+                raise ValueError(f"negative transfer size: {size}")
+            if size == 0 or not links:
+                # Completes immediately; deliver on the next tick like the
+                # event path's immediately-succeeded Event.
+                self.env.defer(lambda _ev, cb=on_done: cb())
+                continue
+            flow = Flow(next(self._fid), tuple(links), size, on_done)
+            self._flows[flow] = None
+            for link in flow.links:
+                link.flows[flow] = None
+            added = True
+        if added:
+            self._reschedule()
+
     @property
     def active_flows(self) -> int:
         return len(self._flows)
@@ -138,25 +182,44 @@ class FlowNetwork:
         All iteration happens in flow-arrival / link-discovery order so
         tie-breaking and float accumulation are identical across runs.
         """
-        # Per-link [residual capacity, unfrozen flow count], discovered in
-        # flow-arrival order for determinism.
-        state: dict[Link, list[float]] = {}
-        for flow in self._flows:
+        flows = self._flows
+        if len(flows) == 1:
+            # Degenerate progressive filling: the lone flow gets the
+            # path's minimum capacity — the same value the general loop
+            # assigns, skipping the state build. Common in baseline runs.
+            flow = next(iter(flows))
+            rate = math.inf
+            for link in flow.links:
+                if link.capacity < rate:
+                    rate = link.capacity
+            flow.rate = rate
+            return
+        # Per-link residual capacity / unfrozen flow count live directly on
+        # the Link objects, validity-stamped with a recompute generation —
+        # no per-recompute dict, no hashing. Links are discovered in
+        # flow-arrival order for determinism, exactly as the dict insertion
+        # order used to provide; frozen flows carry the same stamp.
+        self._rr_counter += 1
+        gen = self._rr_counter
+        links: list[Link] = []
+        for flow in flows:
             flow.rate = 0.0
             for link in flow.links:
-                entry = state.get(link)
-                if entry is None:
-                    state[link] = [link.capacity, 1.0]
+                if link._rr_gen != gen:
+                    link._rr_gen = gen
+                    link._residual = link.capacity
+                    link._live = 1
+                    links.append(link)
                 else:
-                    entry[1] += 1.0
-        frozen: set[Flow] = set()
+                    link._live += 1
         while True:
             best_share = math.inf
             best_link: Link | None = None
-            for link, (residual, live) in state.items():
+            for link in links:
+                live = link._live
                 if live <= 0:
                     continue
-                share = residual / live
+                share = link._residual / live
                 if share < best_share:
                     best_share = share
                     best_link = link
@@ -167,14 +230,13 @@ class FlowNetwork:
             # produce negative rates and a zero-delay timer spin.
             best_share = max(0.0, best_share)
             for flow in best_link.flows:  # fid order via dict insertion
-                if flow in frozen:
+                if flow._fgen == gen:
                     continue
                 flow.rate = best_share
-                frozen.add(flow)
+                flow._fgen = gen
                 for link in flow.links:
-                    entry = state[link]
-                    entry[0] = max(0.0, entry[0] - best_share)
-                    entry[1] -= 1.0
+                    link._residual = max(0.0, link._residual - best_share)
+                    link._live -= 1
 
     def _reschedule(self) -> None:
         """Recompute rates and arm a timer for the next flow completion."""
@@ -183,10 +245,15 @@ class FlowNetwork:
         generation = self._timer_generation
         if not self._flows:
             return
-        candidates = [f.remaining / f.rate for f in self._flows if f.rate > 0]
-        if not candidates:  # pragma: no cover - defensive; capacity > 0
+        next_done = math.inf
+        for f in self._flows:
+            rate = f.rate
+            if rate > 0:
+                t = f.remaining / rate
+                if t < next_done:
+                    next_done = t
+        if next_done is math.inf:  # pragma: no cover - defensive; capacity > 0
             raise RuntimeError("active flows but no positive rates")
-        next_done = min(candidates)
         timer = self.env.timeout(max(0.0, next_done))
         timer.callbacks.append(lambda _ev, g=generation: self._on_timer(g))
 
@@ -204,5 +271,12 @@ class FlowNetwork:
             self._flows.pop(flow, None)
             for link in flow.links:
                 link.flows.pop(flow, None)
-            flow.done.succeed()
+        # Deliver completions only after every finished flow is detached,
+        # so a callback that starts new transfers sees consistent state.
+        for flow in finished:
+            done = flow.done
+            if type(done) is Event:
+                done.succeed()
+            else:
+                done()
         self._reschedule()

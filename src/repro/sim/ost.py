@@ -127,5 +127,40 @@ class OST:
         if span is not None:
             tracer.finish(span, self.env.now)
 
+    def serve_fast(self, object_id: int, offset: int, size: int,
+                   job: str | None, is_write: bool, on_done) -> None:
+        """Inline service for the batch backend: the same admission →
+        cache mutations at the same instants as :meth:`_serve`, minus the
+        Process/Event machinery. ``on_done()`` runs at completion."""
+        if is_write:
+            self.qos.admit_fast(
+                job, size,
+                lambda: self.cache.write_fast(object_id, offset, size, on_done),
+            )
+        else:
+            self.qos.admit_fast(
+                job, size,
+                lambda: self.cache.read_fast(object_id, offset, size, on_done),
+            )
+
+    def service_batch(self, object_ids, offsets, sizes, job: str | None,
+                      is_write: bool, on_done) -> None:
+        """Serve a homogeneous burst arriving at one instant.
+
+        Pieces are admitted in array order (QoS grant times via the
+        closed-form cumulative sum when the job is rate-limited) and
+        ``on_done(i)`` fires at piece *i*'s completion tick.
+        """
+        cache = self.cache
+        if is_write:
+            def _admit(i: int) -> None:
+                cache.write_fast(object_ids[i], offsets[i], sizes[i],
+                                 lambda: on_done(i))
+        else:
+            def _admit(i: int) -> None:
+                cache.read_fast(object_ids[i], offsets[i], sizes[i],
+                                lambda: on_done(i))
+        self.qos.admit_batch(job, sizes, _admit)
+
     def queue_depth(self) -> int:
         return self.device.queue_depth

@@ -23,12 +23,17 @@ __all__ = ["BlockRequest", "BlockDevice"]
 
 @dataclass
 class BlockRequest:
-    """One request queued at the block layer."""
+    """One request queued at the block layer.
+
+    ``done`` is an :class:`Event` succeeded at completion, or (batch
+    backend) a no-argument callable invoked directly at the completion
+    tick — same timestamp, no Event allocation.
+    """
 
     lba: int
     sectors: int
     is_write: bool
-    done: Event
+    done: "Event | object"
     enqueue_time: float = field(default=0.0)
 
     @property
@@ -83,16 +88,54 @@ class BlockDevice:
         req = BlockRequest(lba, sectors, is_write, Event(self.env), self.env.now)
         self.stats.on_enqueue(self.env.now)
         self._queue.append(req)
-        if not self._busy:
-            self._busy = True
-            self.env.process(self._dispatch_loop())
+        self._kick()
         return req.done
+
+    def submit_batch(self, extents, is_write: bool, on_all_done) -> int:
+        """Queue many same-direction requests arriving at one instant.
+
+        ``extents`` is an iterable of ``(lba, sectors)``;
+        ``on_all_done()`` runs at the tick the last one completes (the
+        batch backend's replacement for per-request Events + AllOf).
+        Returns the number of requests queued.
+        """
+        now = self.env.now
+        pending = [0]
+
+        def _one_done() -> None:
+            pending[0] -= 1
+            if pending[0] == 0:
+                on_all_done()
+
+        n = 0
+        for lba, sectors in extents:
+            if sectors <= 0:
+                raise ValueError(f"block request needs >= 1 sector, got {sectors}")
+            self._queue.append(BlockRequest(lba, sectors, is_write, _one_done, now))
+            n += 1
+        # Counters and the dispatch kick happen after the whole batch is
+        # queued; dispatch itself is deferred a tick, so no completion can
+        # race the pending count.
+        pending[0] = n
+        if n:
+            self.stats.on_enqueue_batch(now, n)
+            self._kick()
+        return n
 
     def submit_bytes(self, byte_offset: int, nbytes: int, is_write: bool) -> Event:
         """Convenience wrapper converting a byte extent to sectors."""
         lba = byte_offset // SECTOR_SIZE
         end = -(-(byte_offset + max(1, nbytes)) // SECTOR_SIZE)
         return self.submit(lba, end - lba, is_write)
+
+    def submit_bytes_batch(self, extents, is_write: bool, on_all_done) -> int:
+        """Byte-extent counterpart of :meth:`submit_batch`."""
+        def _sectors():
+            for byte_offset, nbytes in extents:
+                lba = byte_offset // SECTOR_SIZE
+                end = -(-(byte_offset + max(1, nbytes)) // SECTOR_SIZE)
+                yield lba, end - lba
+        return self.submit_batch(_sectors(), is_write, on_all_done)
 
     @property
     def queue_depth(self) -> int:
@@ -150,27 +193,53 @@ class BlockDevice:
                 progress = True
         return batch
 
-    def _dispatch_loop(self):
-        while self._queue:
-            first = self._pick_next()
-            batch = self._collect_merges(first)
-            lo = min(r.lba for r in batch)
-            hi = max(r.end_lba for r in batch)
-            sectors = hi - lo
-            service = self.model.service_time(lo, sectors) * self.slowdown_factor
+    def _kick(self) -> None:
+        """Start the dispatcher if idle.
+
+        The first look at the queue is deferred one tick (like the old
+        dispatch Process's init event), so every same-instant submission
+        is visible to the elevator before anything is picked.
+        """
+        if not self._busy:
+            self._busy = True
+            self.env.defer(self._dispatch_step)
+
+    def _dispatch_step(self, _ev=None) -> None:
+        """Pick/merge/serve one extent; chains itself until the queue drains."""
+        if not self._queue:
+            self._busy = False
+            return
+        first = self._pick_next()
+        batch = self._collect_merges(first)
+        lo = min(r.lba for r in batch)
+        hi = max(r.end_lba for r in batch)
+        sectors = hi - lo
+        service = self.model.service_time(lo, sectors) * self.slowdown_factor
+        tracer = _trace.TRACER
+        span = tracer.start(
+            "disk.io", self.env.now, device=self.name, lba=lo,
+            sectors=sectors, write=first.is_write, merged=len(batch),
+        ) if tracer is not None else None
+        self._in_service = len(batch)
+        self.env.after(
+            service,
+            lambda _ev: self._complete(batch, first.is_write, sectors, service, span),
+        )
+
+    def _complete(self, batch, is_write: bool, sectors: int, service: float,
+                  span) -> None:
+        self._in_service = 0
+        if span is not None:
             tracer = _trace.TRACER
-            span = tracer.start(
-                "disk.io", self.env.now, device=self.name, lba=lo,
-                sectors=sectors, write=first.is_write, merged=len(batch),
-            ) if tracer is not None else None
-            self._in_service = len(batch)
-            yield self.env.timeout(service)
-            self._in_service = 0
-            if span is not None:
+            if tracer is not None:
                 tracer.finish(span, self.env.now)
-            self.stats.on_complete(
-                self.env.now, first.is_write, sectors, service, nrequests=len(batch)
-            )
-            for req in batch:
-                req.done.succeed()
-        self._busy = False
+        self.stats.on_complete(
+            self.env.now, is_write, sectors, service, nrequests=len(batch)
+        )
+        for req in batch:
+            done = req.done
+            if type(done) is Event:
+                done.succeed()
+            else:
+                done()
+        self._dispatch_step()

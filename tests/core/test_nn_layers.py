@@ -175,3 +175,69 @@ def test_sequential_composes_backward():
     for p in net.params():
         num = numerical_grad(loss, p.value)
         assert np.allclose(p.grad, num, atol=1e-5)
+
+
+class TestHotLoopOptimisations:
+    def test_relu_inplace_matches_allocating_path(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(6, 5))
+        grad = rng.normal(size=(6, 5))
+        plain = ReLU()
+        out_plain = plain.forward(x.copy(), training=True)
+        gin_plain = plain.backward(grad.copy())
+        inplace = ReLU(inplace=True)
+        out_inplace = inplace.forward(x.copy(), training=True)
+        gin_inplace = inplace.backward(grad.copy())
+        # Values agree everywhere (only the IEEE sign of zeros may differ).
+        np.testing.assert_array_equal(out_plain + 0.0, out_inplace + 0.0)
+        np.testing.assert_array_equal(gin_plain + 0.0, gin_inplace + 0.0)
+
+    def test_dense_training_buffer_matches_inference_math(self):
+        rng = np.random.default_rng(4)
+        layer = Dense(5, 3, rng=np.random.default_rng(0))
+        x = rng.normal(size=(4, 7, 5))
+        train_out = layer.forward(x, training=True)
+        infer_out = layer.forward(x, training=False)
+        np.testing.assert_array_equal(train_out, infer_out)
+        # The scratch buffer is reused on the next same-shaped call...
+        again = layer.forward(x + 1.0, training=True)
+        assert again is train_out
+        # ...and replaced when the batch shape changes.
+        other = layer.forward(rng.normal(size=(2, 5)), training=True)
+        assert other is not train_out and other.shape == (2, 3)
+
+    def test_dense_backward_accumulates_with_buffers(self):
+        """Two backward passes must accumulate grads, not overwrite them
+        (the scratch gw buffer is added into W.grad, never aliased)."""
+        layer = Dense(4, 2, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(3, 4))
+        grad = rng.normal(size=(3, 2))
+        layer.forward(x, training=True)
+        layer.backward(grad)
+        once = layer.W.grad.copy()
+        layer.forward(x, training=True)
+        layer.backward(grad)
+        np.testing.assert_allclose(layer.W.grad, 2 * once, rtol=0, atol=0)
+
+
+class TestFloat32Training:
+    def test_float32_config_trains_and_casts(self):
+        from repro.core.nn.network import MLPClassifier
+        from repro.core.nn.train import TrainConfig, train_classifier
+
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(48, 8))
+        y = rng.integers(0, 3, size=48)
+        model = MLPClassifier(in_dim=8, hidden=(16,), n_classes=3, seed=0)
+        cfg = TrainConfig(epochs=3, batch_size=16, dtype="float32")
+        history = train_classifier(model, X, y, cfg)
+        assert len(history.train_loss) >= 1
+        assert all(p.value.dtype == np.float32 for p in model.params())
+        assert np.isfinite(history.train_loss).all()
+
+    def test_bad_dtype_rejected(self):
+        from repro.core.nn.train import TrainConfig
+
+        with pytest.raises(ValueError, match="dtype"):
+            TrainConfig(dtype="float16")

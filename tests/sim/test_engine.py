@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.sim.engine import AllOf, Environment, Event, SimulationError
+from repro.sim.engine import (
+    AllOf,
+    CountEvent,
+    Environment,
+    Event,
+    SimulationError,
+)
 
 
 def test_timeout_advances_clock():
@@ -218,3 +224,107 @@ def test_is_alive_lifecycle():
     assert p.is_alive
     env.run(until=p)
     assert not p.is_alive
+
+
+def test_run_until_failed_event_reraises():
+    """A failed stop event must surface its exception, not return it."""
+    env = Environment()
+    ev = Event(env)
+
+    def saboteur():
+        yield env.timeout(1.5)
+        ev.fail(RuntimeError("boom"))
+
+    env.process(saboteur())
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run(until=ev)
+    assert env.now == pytest.approx(1.5)
+
+
+def test_allof_with_already_failed_child():
+    """A child that failed before the AllOf was built must fail the
+    conjunction immediately, not leave it waiting forever."""
+    env = Environment()
+    bad = Event(env)
+    bad.fail(RuntimeError("dead on arrival"))
+    env.run()  # deliver the failure; bad is now fired-and-failed
+    assert bad._fired and not bad._ok
+
+    ok = Event(env)
+    ok.succeed("fine")
+    conj = AllOf(env, [ok, bad])
+    with pytest.raises(RuntimeError, match="dead on arrival"):
+        env.run(until=conj)
+
+
+def test_allof_failed_child_among_pending():
+    """First failure wins even while other children are still pending."""
+    env = Environment()
+    slow = Event(env)
+
+    def failer():
+        yield env.timeout(0.5)
+        raise RuntimeError("mid-flight failure")
+
+    conj = AllOf(env, [env.process(failer()), slow])
+    with pytest.raises(RuntimeError, match="mid-flight failure"):
+        env.run(until=conj)
+
+
+def test_count_event_zero_fires_immediately():
+    """A zero-length batch's completion event succeeds on the next tick."""
+    env = Environment()
+    done = CountEvent(env, 0)
+    assert done.remaining == 0
+    assert env.run(until=done) == []
+    assert env.now == 0.0
+
+
+def test_count_event_fires_on_last_completion():
+    env = Environment()
+    done = CountEvent(env, 3)
+
+    def worker(delay):
+        yield env.timeout(delay)
+        done.complete()
+
+    for delay in (1.0, 3.0, 2.0):
+        env.process(worker(delay))
+    env.run(until=done)
+    assert env.now == pytest.approx(3.0)
+    assert done.remaining == 0
+
+
+def test_count_event_over_completion_raises():
+    env = Environment()
+    done = CountEvent(env, 1)
+    done.complete()
+    with pytest.raises(SimulationError):
+        done.complete()
+
+
+def test_count_event_negative_expected_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        CountEvent(env, -1)
+
+
+def test_after_runs_callback_at_delay():
+    env = Environment()
+    seen: list[float] = []
+    env.after(2.0, lambda _ev: seen.append(env.now))
+    env.after(1.0, lambda _ev: seen.append(env.now))
+    env.run()
+    assert seen == [1.0, 2.0]
+
+
+def test_defer_runs_callback_same_instant_fifo():
+    """defer() fires at the current timestamp, after already-queued
+    same-time events (the batch backend's bookkeeping-tick primitive)."""
+    env = Environment()
+    seen: list[str] = []
+    env.after(0.0, lambda _ev: seen.append("after"))
+    env.defer(lambda _ev: seen.append("defer"))
+    env.run()
+    assert env.now == 0.0
+    assert seen == ["after", "defer"]

@@ -130,3 +130,58 @@ def test_ost_qos_throttles_one_job_only():
     lim_noisy, lim_calm = run(limited=True)
     assert lim_noisy > 3 * free_noisy  # throttled hard
     assert lim_calm < 2 * free_calm  # bystander barely affected
+
+
+class TestConsumeBatch:
+    def test_grant_times_match_sequential_consume(self):
+        """The closed form must reproduce per-request FIFO drain times."""
+        sizes = [60.0, 50.0, 10.0, 80.0, 1.0]
+
+        env_a = Environment()
+        seq = TokenBucket(env_a, rate=100.0, burst=100.0)
+        grants: list[float] = []
+
+        def consumer():
+            for s in sizes:
+                yield seq.consume(s)
+                grants.append(env_a.now)
+
+        env_a.run(until=env_a.process(consumer()))
+
+        env_b = Environment()
+        batch = TokenBucket(env_b, rate=100.0, burst=100.0)
+        times = batch.consume_batch(sizes)
+        assert times.shape == (len(sizes),)
+        np.testing.assert_allclose(times, grants, atol=1e-12, rtol=0)
+
+    def test_level_prededuction_queues_later_arrivals_behind_batch(self):
+        """A consume() issued right after a batch must wait for the
+        pre-sold credit to be earned back, exactly as FIFO would."""
+        env = Environment()
+        bucket = TokenBucket(env, rate=100.0, burst=100.0)
+        last_grant = bucket.consume_batch([100.0, 100.0])[-1]
+
+        def straggler():
+            yield bucket.consume(50.0)
+            return env.now
+
+        granted_at = env.run(until=env.process(straggler()))
+        assert granted_at == pytest.approx(last_grant + 0.5)
+
+    def test_empty_batch_returns_empty(self):
+        env = Environment()
+        bucket = TokenBucket(env, rate=100.0, burst=100.0)
+        assert bucket.consume_batch([]).size == 0
+
+    def test_rejects_busy_queue_and_bad_sizes(self):
+        env = Environment()
+        bucket = TokenBucket(env, rate=100.0, burst=100.0)
+        bucket.consume(100.0)
+        bucket.consume(100.0)  # second consumer queues; bucket is busy
+        with pytest.raises(RuntimeError):
+            bucket.consume_batch([10.0])
+        env.run()
+        with pytest.raises(ValueError):
+            bucket.consume_batch([-1.0])
+        with pytest.raises(ValueError):
+            bucket.consume_batch([1000.0])

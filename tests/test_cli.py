@@ -120,3 +120,32 @@ def test_obs_subcommand_reports_bad_files(tmp_path, capsys):
     bogus.write_text("{}")
     assert main(["obs", str(bogus)]) == 1
     assert "error:" in capsys.readouterr().out
+
+
+def test_sim_backend_flag_runs_batch_and_is_recorded(tmp_path, capsys):
+    """--sim-backend batch threads into the experiment config (and hence
+    the manifest and the run-cache key) and completes end to end."""
+    import repro.__main__ as cli
+    from repro.obs.manifest import load_manifest
+
+    assert cli._SIM_BACKEND == "event"
+    try:
+        assert main(["table2", "--fast", "--out", str(tmp_path), "--no-cache",
+                     "--sim-backend", "batch"]) == 0
+    finally:
+        cli._SIM_BACKEND = "event"
+    out = capsys.readouterr().out
+    assert "sectors_read" in out
+    manifest = load_manifest(tmp_path / "table2.manifest.json")
+    assert manifest.config["cluster"]["sim_backend"] == "batch"
+
+
+def test_bad_sim_backend_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["table2", "--sim-backend", "vectorised"])
+
+
+def test_bench_subcommand_dispatches():
+    with pytest.raises(SystemExit) as exc:
+        main(["bench", "--help"])
+    assert exc.value.code == 0
