@@ -1,12 +1,19 @@
 #!/usr/bin/env python
 """Compare fresh benchmark results against the committed baselines.
 
-Reads the committed ``BENCH_engine.json`` / ``BENCH_sweep.json`` from
-one directory and freshly generated ones from another, and flags any
-tracked metric that regressed by more than the threshold (25% by
-default; throughput metrics must not drop, wall-clock metrics must not
-grow). Exits nonzero on regression — the CI job that runs it is
-non-gating, so this marks the job red without blocking the merge.
+Reads the committed ``BENCH_engine.json`` / ``BENCH_sweep.json`` /
+``BENCH_train.json`` from one directory and freshly generated ones from
+another, and flags any tracked metric that regressed by more than the
+threshold (25% by default; throughput metrics must not drop, wall-clock
+metrics must not grow). Exits nonzero on regression — the CI job that
+runs it is non-gating, so this marks the job red without blocking the
+merge.
+
+Wall-clock baselines only transfer between like machines, so when a
+result pair records different ``environment`` blocks (numpy/python
+version, platform, core count) a WARNING is printed — the comparison
+still runs, but a red result on a different machine is expected noise,
+not a regression.
 
 Usage::
 
@@ -32,6 +39,12 @@ METRICS = (
     ("BENCH_sweep.json", ("serial_batch_seconds",), "wall"),
     ("BENCH_sweep.json", ("cold_batch_seconds",), "wall"),
     ("BENCH_sweep.json", ("warm_seconds",), "wall"),
+    ("BENCH_train.json", ("serial_seconds",), "wall"),
+    ("BENCH_train.json", ("warm_seconds",), "wall"),
+    ("BENCH_train.json", ("speedup_warm",), "rate"),
+    ("BENCH_train.json",
+     ("fused_inference", "fused_us_per_window"), "wall"),
+    ("BENCH_train.json", ("fused_inference", "fused_speedup"), "rate"),
 )
 
 
@@ -39,6 +52,37 @@ def _get(obj, path):
     for key in path:
         obj = obj[key]
     return obj
+
+
+def check_environments(docs: dict) -> list[str]:
+    """One warning line per file whose baseline/fresh environments differ.
+
+    Old baselines without an ``environment`` block compare as unknown —
+    that also warns, since nothing ties their numbers to this machine.
+    """
+    by_name: dict[str, dict[str, dict | None]] = {}
+    for (directory, name), doc in docs.items():
+        by_name.setdefault(name, {})[str(directory)] = doc.get("environment")
+    warnings = []
+    for name, envs in sorted(by_name.items()):
+        if len(envs) < 2:
+            continue
+        (d1, e1), (d2, e2) = sorted(envs.items())
+        if e1 is None or e2 is None:
+            missing = d1 if e1 is None else d2
+            warnings.append(
+                f"WARNING: {name}: no environment recorded in {missing}; "
+                "wall-clock comparison may cross machines")
+        elif e1 != e2:
+            diff = ", ".join(
+                f"{key}: {e1.get(key)!r} vs {e2.get(key)!r}"
+                for key in sorted(set(e1) | set(e2))
+                if e1.get(key) != e2.get(key))
+            warnings.append(
+                f"WARNING: {name}: baseline and fresh results come from "
+                f"different environments ({diff}); wall-clock regressions "
+                "are expected noise across machines")
+    return warnings
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -66,6 +110,12 @@ def main(argv: list[str] | None = None) -> int:
               f"({rel:+.1%}) [{'REGRESSED' if worse else 'ok'}]")
         if worse:
             regressions.append(label)
+
+    warnings = check_environments(docs)
+    if warnings:
+        print()
+        for line in warnings:
+            print(line)
 
     if regressions:
         print(f"\n{len(regressions)} metric(s) regressed beyond "

@@ -10,7 +10,9 @@ Usage::
     python -m repro all [--fast]         # everything, in order
     python -m repro robustness [--fast]  # F1 under telemetry faults
     python -m repro obs FILE [FILE ...]  # summarise traces/metrics/manifests
-    python -m repro bench [engine|sweep] # regenerate BENCH_*.json baselines
+    python -m repro bench [engine|sweep|train]  # regenerate BENCH_*.json
+    python -m repro train --model-out M.npz     # train once, save the model
+    python -m repro predict --model M.npz       # predict anywhere
 
 Simulator backend: ``--sim-backend batch`` routes every client burst
 through the vectorised :mod:`repro.sim.batch` request path (one engine
@@ -37,6 +39,14 @@ runs persist in a content-addressed cache (``--cache-dir``, default
 ``results/.runcache``) so e.g. ``fig4`` re-bins ``fig3``'s cached IO500
 sweep and a re-run after a training-side change simulates nothing.
 ``--no-cache`` disables persistence.
+
+Training execution mirrors it: the same ``--jobs`` fans independent
+training restarts and grid cells over worker processes (bit-identical to
+the serial restart loop), and trained models persist in a
+content-addressed model cache (``--model-cache-dir``, default
+``results/.modelcache``) keyed by dataset digest + training recipe, so a
+warm re-run of a model experiment trains nothing. ``--no-model-cache``
+disables it.
 
 Observability: every experiment writes a JSON run manifest (seed, config,
 git SHA, timings, sweep/cache statistics, metric snapshot) next to its
@@ -93,7 +103,7 @@ def _scales(fast: bool) -> dict[str, float]:
     }
 
 
-def run_table1(fast: bool, executor) -> str:
+def run_table1(fast: bool, executor, trainer=None) -> str:
     from repro.experiments.table1 import run_table1, shape_checks
 
     s = _scales(fast)
@@ -108,7 +118,7 @@ def run_table1(fast: bool, executor) -> str:
     return "\n".join(lines)
 
 
-def run_fig1(fast: bool, executor) -> str:
+def run_fig1(fast: bool, executor, trainer=None) -> str:
     from repro.experiments.fig1 import run_fig1a, run_fig1b
     from repro.workloads.apps import EnzoConfig
 
@@ -120,7 +130,7 @@ def run_fig1(fast: bool, executor) -> str:
     return "Figure 1(a)\n" + a.render() + "\n\nFigure 1(b)\n" + b.render()
 
 
-def run_table2(fast: bool, executor) -> str:
+def run_table2(fast: bool, executor, trainer=None) -> str:
     from repro.experiments.table2 import run_table2
 
     return run_table2(_config(fast),
@@ -128,7 +138,7 @@ def run_table2(fast: bool, executor) -> str:
                       executor=executor).render()
 
 
-def run_fig3(fast: bool, executor) -> str:
+def run_fig3(fast: bool, executor, trainer=None) -> str:
     from repro.experiments.fig3 import (
         collect_dlio_bank,
         collect_io500_bank,
@@ -147,30 +157,30 @@ def run_fig3(fast: bool, executor) -> str:
                              noise_scale=s["noise_scale"],
                              steps_per_epoch=8 if fast else 12,
                              executor=executor)
-    a = run_fig3_io500(bank=io500)
-    b = run_fig3_dlio(bank=dlio)
+    a = run_fig3_io500(bank=io500, trainer=trainer)
+    b = run_fig3_dlio(bank=dlio, trainer=trainer)
     return a.render() + "\n\n" + b.render()
 
 
-def run_fig4(fast: bool, executor) -> str:
+def run_fig4(fast: bool, executor, trainer=None) -> str:
     from repro.experiments.fig4 import run_fig4 as _run
 
     s = _scales(fast)
     return _run(_config(fast), target_scale=s["target_scale"],
                 max_level=2 if fast else 3,
                 noise_scale=s["noise_scale"],
-                executor=executor).render()
+                executor=executor, trainer=trainer).render()
 
 
-def run_fig5(fast: bool, executor) -> str:
+def run_fig5(fast: bool, executor, trainer=None) -> str:
     from repro.experiments.fig5 import run_fig5 as _run
 
     return _run(_config(fast), max_level=2 if fast else 3,
                 noise_scale=_scales(fast)["noise_scale"],
-                executor=executor).render()
+                executor=executor, trainer=trainer).render()
 
 
-def run_devices(fast: bool, executor) -> str:
+def run_devices(fast: bool, executor, trainer=None) -> str:
     from repro.experiments.devices import run_device_ablation
 
     return run_device_ablation(
@@ -178,17 +188,18 @@ def run_devices(fast: bool, executor) -> str:
     ).render()
 
 
-def run_crosscluster(fast: bool, executor) -> str:
+def run_crosscluster(fast: bool, executor, trainer=None) -> str:
     from repro.experiments.cross_cluster import run_cross_cluster
 
     kwargs = {}
     if fast:
         kwargs = dict(target_tasks=("ior-easy-write", "ior-easy-read"),
                       target_scale=0.4, max_level=2)
-    return run_cross_cluster(_config(fast), **kwargs).render()
+    return run_cross_cluster(_config(fast), trainer=trainer,
+                             **kwargs).render()
 
 
-def run_robustness(fast: bool, executor) -> str:
+def run_robustness(fast: bool, executor, trainer=None) -> str:
     from repro.experiments.robustness import run_robustness as _run
 
     kwargs = {}
@@ -196,7 +207,8 @@ def run_robustness(fast: bool, executor) -> str:
         kwargs = dict(max_level=1, drop_rates=(0.0, 0.4),
                       blank_rates=(0.0, 0.4), gap_policies=("zero", "mean"),
                       slow_factors=(8.0,), epochs=30)
-    result = _run(_config(fast), executor=executor, **kwargs)
+    result = _run(_config(fast), executor=executor, trainer=trainer,
+                  **kwargs)
     _REPORTS["robustness"] = result.to_report()
     return result.render()
 
@@ -242,6 +254,156 @@ def main_obs(argv: list[str]) -> int:
     return status
 
 
+def main_train(argv: list[str]) -> int:
+    """``python -m repro train`` — train a predictor once, save it to npz."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro train",
+        description="Collect an IO500 interference sweep, train the "
+                    "kernel predictor and save it as a portable "
+                    "npz model file.",
+    )
+    parser.add_argument("--model-out", type=pathlib.Path, required=True,
+                        metavar="MODEL.npz",
+                        help="where to write the trained model")
+    parser.add_argument("--fast", action="store_true",
+                        help="shrink the sweep for a quick smoke pass")
+    parser.add_argument("--multiclass", action="store_true",
+                        help="train the 3-class (<2x, 2-5x, >=5x) model "
+                             "instead of the binary one")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for simulation and "
+                             "training restarts (default: 1)")
+    parser.add_argument("--cache-dir", type=pathlib.Path,
+                        default=pathlib.Path("results/.runcache"),
+                        help="run cache directory (default: %(default)s)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the run cache")
+    parser.add_argument("--model-cache-dir", type=pathlib.Path,
+                        default=pathlib.Path("results/.modelcache"),
+                        help="model cache directory (default: %(default)s)")
+    parser.add_argument("--no-model-cache", action="store_true",
+                        help="do not read or write the model cache")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="-v: INFO logs, -vv: DEBUG logs")
+    args = parser.parse_args(argv)
+    if args.verbose:
+        obs.configure_logging("DEBUG" if args.verbose > 1 else "INFO")
+    if args.jobs <= 0:
+        return _fail(f"--jobs must be a positive integer, got {args.jobs}")
+
+    from repro.core.labeling import BINARY_THRESHOLDS, MULTICLASS_THRESHOLDS
+    from repro.experiments.fig3 import collect_io500_bank, evaluate_bank
+    from repro.parallel import RunCache, SweepExecutor, TrainExecutor
+
+    cache = None if args.no_cache else RunCache(args.cache_dir)
+    executor = SweepExecutor(n_jobs=args.jobs, cache=cache)
+    trainer = TrainExecutor(
+        n_jobs=args.jobs,
+        cache=None if args.no_model_cache else args.model_cache_dir,
+    )
+    thresholds = (MULTICLASS_THRESHOLDS if args.multiclass
+                  else BINARY_THRESHOLDS)
+    s = _scales(args.fast)
+    start = time.time()
+    bank = collect_io500_bank(_config(args.fast),
+                              target_scale=s["target_scale"],
+                              max_level=2 if args.fast else 3,
+                              noise_scale=s["noise_scale"],
+                              executor=executor)
+    result = evaluate_bank(bank, "train-io500", thresholds, trainer=trainer)
+    elapsed = time.time() - start
+    result.predictor.save(args.model_out)
+    print(result.render())
+    stats = trainer.stats()
+    cache_note = "model cache: off"
+    if stats["cache"] is not None:
+        cache_note = (f"model cache: {stats['cache']['hits']} hit(s), "
+                      f"{stats['cache']['misses']} miss(es)")
+    print(f"\ntrained {stats['trainings_executed']} restart(s) "
+          f"in {elapsed:.0f}s ({cache_note})")
+    print(f"wrote {args.model_out}")
+    return 0
+
+
+def main_predict(argv: list[str]) -> int:
+    """``python -m repro predict`` — score a run with a saved model."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro predict",
+        description="Load a model saved by 'repro train' and print "
+                    "per-window interference severities for a persisted "
+                    "run (--run DIR) or a freshly simulated demo run.",
+    )
+    parser.add_argument("--model", type=pathlib.Path, required=True,
+                        metavar="MODEL.npz",
+                        help="model file written by 'repro train'")
+    parser.add_argument("--run", type=pathlib.Path, default=None,
+                        metavar="DIR",
+                        help="a run directory written by "
+                             "repro.monitor.persist.save_run; omitted = "
+                             "simulate a demo run")
+    parser.add_argument("--window-size", type=float, default=0.25,
+                        help="aggregation window seconds "
+                             "(default: %(default)s)")
+    parser.add_argument("--sample-interval", type=float, default=0.125,
+                        help="server sampling interval seconds "
+                             "(default: %(default)s)")
+    parser.add_argument("--fast", action="store_true",
+                        help="shrink the demo simulation")
+    args = parser.parse_args(argv)
+    if args.window_size <= 0:
+        return _fail(f"--window-size must be positive, got "
+                     f"{args.window_size}")
+    if args.sample_interval <= 0:
+        return _fail(f"--sample-interval must be positive, got "
+                     f"{args.sample_interval}")
+
+    from repro.core.predictor import InterferencePredictor
+
+    try:
+        predictor = InterferencePredictor.load(args.model)
+    except (OSError, ValueError, KeyError) as exc:
+        return _fail(f"cannot load model {args.model}: {exc}")
+
+    if args.run is not None:
+        from repro.monitor.persist import load_run
+
+        try:
+            run = load_run(args.run)
+        except (OSError, ValueError, KeyError) as exc:
+            return _fail(f"cannot load run {args.run}: {exc}")
+    else:
+        from repro.experiments.runner import InterferenceSpec, execute_run
+        from repro.workloads.io500 import make_io500_task
+
+        s = _scales(args.fast)
+        target = make_io500_task("ior-easy-write", ranks=2,
+                                 scale=s["target_scale"])
+        noise = [InterferenceSpec("ior-easy-write", instances=2, ranks=2,
+                                  scale=s["noise_scale"])]
+        run = execute_run(target, noise, _config(args.fast),
+                          seed_salt="predict-demo")
+        print("(no --run given: scoring a simulated demo run of "
+              "ior-easy-write under write noise)")
+
+    severities = predictor.predict_run(run, args.window_size,
+                                       args.sample_interval)
+    names = (["<2x", ">=2x"] if predictor.n_classes == 2
+             else ["<2x", "2-5x", ">=5x"])
+    print(f"model: {args.model} ({predictor.n_classes} classes, "
+          f"dtype {predictor.param_dtype})")
+    for window, severity in sorted(severities.items()):
+        t0 = window * args.window_size
+        print(f"  window {window:>4d} [{t0:7.2f}s, "
+              f"{t0 + args.window_size:7.2f}s)  -> {names[severity]}")
+    counts = {name: 0 for name in names}
+    for severity in severities.values():
+        counts[names[severity]] += 1
+    summary = ", ".join(f"{name}: {count}"
+                        for name, count in counts.items())
+    print(f"{len(severities)} windows ({summary})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "obs":
@@ -250,6 +412,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench import main as main_bench
 
         return main_bench(argv[1:])
+    if argv and argv[0] == "train":
+        return main_train(argv[1:])
+    if argv and argv[0] == "predict":
+        return main_predict(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -277,6 +443,12 @@ def main(argv: list[str] | None = None) -> int:
                              "(default: %(default)s)")
     parser.add_argument("--no-cache", action="store_true",
                         help="do not read or write the run cache")
+    parser.add_argument("--model-cache-dir", type=pathlib.Path,
+                        default=pathlib.Path("results/.modelcache"),
+                        help="content-addressed trained-model cache "
+                             "directory (default: %(default)s)")
+    parser.add_argument("--no-model-cache", action="store_true",
+                        help="do not read or write the model cache")
     parser.add_argument("--faults", metavar="SPEC", default=None,
                         help="deterministic fault injection spec, e.g. "
                              "'drop=0.2,blank=0.1,kill=0.05,seed=1' "
@@ -344,6 +516,15 @@ def main(argv: list[str] | None = None) -> int:
                              run_timeout=args.run_timeout,
                              retries=args.retries, fault_plan=fault_plan)
 
+    from repro.parallel import TrainExecutor
+
+    trainer = TrainExecutor(
+        n_jobs=args.jobs,
+        cache=None if args.no_model_cache else args.model_cache_dir,
+        run_timeout=args.run_timeout,
+        retries=args.retries,
+    )
+
     tracer = obs.install_tracer() if args.trace else None
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     if args.out:
@@ -353,7 +534,7 @@ def main(argv: list[str] | None = None) -> int:
         for name in names:
             start = time.time()
             print(f"==== {name} ====")
-            text = _RUNNERS[name](args.fast, executor)
+            text = _RUNNERS[name](args.fast, executor, trainer)
             elapsed = time.time() - start
             print(text)
             print(f"({elapsed:.0f}s)\n")
@@ -366,7 +547,8 @@ def main(argv: list[str] | None = None) -> int:
                         **obs.config_to_dict(_config(args.fast))},
                 timings={"run": elapsed},
                 extra={"scales": _scales(args.fast),
-                       "sweep": executor.stats()},
+                       "sweep": executor.stats(),
+                       "training": trainer.stats()},
             )
             obs.write_manifest(manifest,
                                manifest_dir / f"{name}.manifest.json")
@@ -381,6 +563,9 @@ def main(argv: list[str] | None = None) -> int:
         if executor.quarantined:
             print(f"WARNING: {len(executor.quarantined)} run(s) quarantined; "
                   "see the manifest's sweep.faults section")
+        if trainer.quarantined:
+            print(f"WARNING: {len(trainer.quarantined)} training(s) "
+                  "quarantined; see the manifest's training section")
     finally:
         if tracer is not None:
             obs.uninstall_tracer()

@@ -1,8 +1,8 @@
 """Performance baselines: the ``repro bench`` subcommand.
 
-Two committed baselines (regenerated with ``python -m repro bench``, and
-compared non-gatingly in CI against the checked-in ``BENCH_engine.json``
-/ ``BENCH_sweep.json``):
+Three committed baselines (regenerated with ``python -m repro bench``,
+and compared non-gatingly in CI against the checked-in
+``BENCH_engine.json`` / ``BENCH_sweep.json`` / ``BENCH_train.json``):
 
 * **engine** — microbenchmarks of the discrete-event kernel: raw timeout
   churn through ``Environment.run()``, plus a request-path comparison
@@ -20,11 +20,25 @@ compared non-gatingly in CI against the checked-in ``BENCH_engine.json``
   produce bit-identical window banks; the cross-backend identity is the
   equivalence contract of ``repro.sim.batch`` holding on the full grid.
 
+* **train** — the training stack: a seeds x restarts grid trained by
+  the serial restart loop, then cold (fresh model cache) and warm
+  through :class:`repro.parallel.TrainExecutor` — the warm pass must
+  execute zero trainings — plus the per-window inference latency of the
+  deployed (normalizer-fused, buffer-reusing) fast path against the
+  unfused predictor. Serial, parallel and cached models must be
+  bit-identical; fused predictions class-identical.
+
 The end-to-end speedup is Amdahl-bounded: the fluid network, block
 device and page cache perform identical work at identical simulated
 instants on both backends (that *is* the equivalence contract), so only
 the per-request client machinery — measured in isolation by the engine
 request-path bench — shrinks. See DESIGN.md §9.
+
+Every result embeds an ``environment`` block (numpy/python versions,
+platform, cpu_count); ``benchmarks/check_regression.py`` warns — without
+failing — when a baseline being compared was recorded on a different
+environment, since wall-clock numbers only transfer between like
+machines.
 """
 
 from __future__ import annotations
@@ -39,7 +53,25 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["bench_engine", "bench_sweep", "main"]
+__all__ = ["bench_engine", "bench_environment", "bench_sweep",
+           "bench_train", "main"]
+
+
+def bench_environment() -> dict[str, Any]:
+    """The machine/toolchain a benchmark ran on (embedded in results).
+
+    Wall-clock baselines only transfer between like environments;
+    recording this lets ``check_regression.py`` warn when a comparison
+    crosses machines instead of silently flagging a phantom regression.
+    """
+    import platform
+
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
 
 
 # -- engine microbenchmarks ---------------------------------------------------
@@ -153,6 +185,7 @@ def bench_engine(processes: int = 2000, hops: int = 100,
     batch_wall = min(_requests_via_batch(requests) for _ in range(2))
 
     return {
+        "environment": bench_environment(),
         "processes": processes,
         "hops": hops,
         "timeout_events": n1,
@@ -245,6 +278,7 @@ def bench_sweep(jobs: int | None = None) -> dict[str, Any]:
         assert warm.runs_executed == 0, "warm cache still executed runs"
 
         return {
+            "environment": bench_environment(),
             "grid": {"targets": len(targets_e), "scenarios": len(scenarios_e),
                      "pairs": n_pairs, "windows": len(event_bank)},
             "serial_event_seconds": serial_event_s,
@@ -262,6 +296,124 @@ def bench_sweep(jobs: int | None = None) -> dict[str, Any]:
         }
 
 
+# -- training-stack benchmark -------------------------------------------------
+
+
+def bench_train_dataset(n: int = 240, n_servers: int = 7,
+                        n_features: int = 10):
+    """A deterministic synthetic window set with learnable structure.
+
+    Synthetic rather than simulated so the benchmark isolates the
+    training stack: same class balance and separability every run,
+    no simulator wall time mixed into the numbers.
+    """
+    from repro.common.rng import derive_rng
+    from repro.core.dataset import Dataset
+
+    rng = derive_rng(0, "bench-train-dataset")
+    X = rng.normal(size=(n, n_servers, n_features))
+    y = (X[:, :, :3].mean(axis=(1, 2))
+         + 0.3 * rng.normal(size=n) > 0).astype(int)
+    X[y == 1, :, :3] += 0.5
+    names = tuple(f"f{i}" for i in range(n_features))
+    return Dataset(X, y, feature_names=names)
+
+
+def bench_train(jobs: int | None = None) -> dict[str, Any]:
+    """Serial restart loop vs cold/warm TrainExecutor + fused inference."""
+    from repro.core.labeling import BINARY_THRESHOLDS
+    from repro.core.nn.train import TrainConfig
+    from repro.core.predictor import InterferencePredictor
+    from repro.parallel import ModelCache, TrainExecutor, TrainJob
+
+    jobs = jobs or min(2, os.cpu_count() or 1)
+    seeds = (0, 1, 2, 3)
+    restarts = 3
+    dataset = bench_train_dataset()
+    configs = {s: TrainConfig(epochs=40, patience=12, seed=s)
+               for s in seeds}
+
+    t0 = time.perf_counter()
+    serial = [
+        InterferencePredictor.train(dataset, BINARY_THRESHOLDS,
+                                    config=configs[s], seed=s,
+                                    restarts=restarts)
+        for s in seeds
+    ]
+    serial_s = time.perf_counter() - t0
+
+    job_list = [TrainJob(dataset, thresholds=BINARY_THRESHOLDS,
+                         config=configs[s], seed=s, restarts=restarts)
+                for s in seeds]
+    with tempfile.TemporaryDirectory(prefix="bench-train-") as tmp:
+        cold = TrainExecutor(n_jobs=jobs, cache=ModelCache(tmp))
+        t0 = time.perf_counter()
+        parallel = cold.train_predictors(job_list)
+        cold_s = time.perf_counter() - t0
+
+        warm_ex = TrainExecutor(n_jobs=jobs, cache=ModelCache(tmp))
+        t0 = time.perf_counter()
+        warm = warm_ex.train_predictors(job_list)
+        warm_s = time.perf_counter() - t0
+        assert warm_ex.trainings_executed == 0, \
+            "warm model cache still executed trainings"
+
+        def _same(p, q) -> bool:
+            return (all(np.array_equal(a.value, b.value) for a, b in
+                        zip(p.model.params(), q.model.params()))
+                    and np.array_equal(p.predict_proba(dataset.X),
+                                       q.predict_proba(dataset.X)))
+
+        identical = (all(_same(p, q) for p, q in zip(serial, parallel))
+                     and all(_same(p, q) for p, q in zip(serial, warm)))
+        assert identical, "serial/parallel/cached models differ"
+
+    # Inference fast path: per-window (batch of 1) latency, the online
+    # monitor's request shape, unfused vs deployed (fused + buffers).
+    predictor = serial[0]
+    deployed = predictor.deploy()
+    assert np.array_equal(predictor.predict(dataset.X),
+                          deployed.predict(dataset.X)), \
+        "fused predictions diverge from unfused"
+    n_windows = 2000
+    rows = [dataset.X[i % len(dataset):i % len(dataset) + 1]
+            for i in range(n_windows)]
+    for scorer in (predictor, deployed):  # warm both paths
+        scorer.predict_proba(rows[0])
+    t0 = time.perf_counter()
+    for row in rows:
+        predictor.predict_proba(row)
+    unfused_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for row in rows:
+        deployed.predict_proba(row)
+    fused_s = time.perf_counter() - t0
+
+    return {
+        "environment": bench_environment(),
+        "grid": {"seeds": len(seeds), "restarts": restarts,
+                 "trainings": len(seeds) * restarts,
+                 "windows": len(dataset), "epochs": configs[0].epochs},
+        "serial_seconds": serial_s,
+        "parallel_cold_seconds": cold_s,
+        "speedup_parallel_cold": serial_s / cold_s,
+        "warm_seconds": warm_s,
+        "speedup_warm": serial_s / warm_s if warm_s else None,
+        "fused_inference": {
+            "windows": n_windows,
+            "unfused_seconds": unfused_s,
+            "fused_seconds": fused_s,
+            "unfused_us_per_window": 1e6 * unfused_s / n_windows,
+            "fused_us_per_window": 1e6 * fused_s / n_windows,
+            "fused_speedup": unfused_s / fused_s,
+        },
+        "n_jobs": cold.n_jobs,
+        "bit_identical": identical,
+        "cold": cold.stats(),
+        "warm": warm_ex.stats(),
+    }
+
+
 # -- CLI ----------------------------------------------------------------------
 
 
@@ -276,13 +428,15 @@ def main(argv: list[str] | None = None) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro bench",
-        description="Regenerate BENCH_engine.json / BENCH_sweep.json.",
+        description="Regenerate BENCH_engine.json / BENCH_sweep.json / "
+                    "BENCH_train.json.",
     )
     parser.add_argument("which", nargs="?", default="all",
-                        choices=("engine", "sweep", "all"))
+                        choices=("engine", "sweep", "train", "all"))
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
-                        help="workers for the sweep's parallel passes "
-                             "(default: min(4, cores))")
+                        help="workers for the parallel passes "
+                             "(default: min(4, cores) for sweep, "
+                             "min(2, cores) for train)")
     parser.add_argument("--out-dir", type=pathlib.Path,
                         default=pathlib.Path("."),
                         help="directory for the BENCH_*.json files "
@@ -307,6 +461,18 @@ def main(argv: list[str] | None = None) -> int:
               f"({result['cold_improvement_vs_serial_event']:.2f}x), warm "
               f"{result['warm_seconds']:.2f}s")
         _write(result, args.out_dir / "BENCH_sweep.json")
+    if args.which in ("train", "all"):
+        result = bench_train(jobs=args.jobs)
+        fi = result["fused_inference"]
+        print(f"train: serial {result['serial_seconds']:.2f}s, cold "
+              f"parallel {result['parallel_cold_seconds']:.2f}s "
+              f"({result['speedup_parallel_cold']:.2f}x), warm "
+              f"{result['warm_seconds']:.2f}s "
+              f"({result['speedup_warm']:.0f}x); inference "
+              f"{fi['unfused_us_per_window']:.0f}us -> "
+              f"{fi['fused_us_per_window']:.0f}us/window "
+              f"({fi['fused_speedup']:.2f}x fused)")
+        _write(result, args.out_dir / "BENCH_train.json")
     return 0
 
 

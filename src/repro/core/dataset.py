@@ -10,6 +10,7 @@ train on metrics whose scales span bytes to seconds.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -66,6 +67,23 @@ class Dataset:
 
     def class_counts(self) -> np.ndarray:
         return np.bincount(self.y, minlength=self.n_classes)
+
+    def content_digest(self) -> str:
+        """Content hash of the labelled data itself.
+
+        Primary input to the model-cache key
+        (:mod:`repro.parallel.cachekey`): two datasets with equal bytes
+        hash equally regardless of how they were collected, while any
+        change to a single cell, label or feature name invalidates cached
+        models.  ``source`` is deliberately excluded — it is a
+        provenance annotation, not data.
+        """
+        h = hashlib.blake2b(digest_size=20)
+        h.update(repr((self.X.shape, str(self.X.dtype), str(self.y.dtype),
+                       self.feature_names)).encode())
+        h.update(np.ascontiguousarray(self.X).tobytes())
+        h.update(np.ascontiguousarray(self.y).tobytes())
+        return h.hexdigest()
 
     def subset(self, idx: np.ndarray, source_suffix: str = "") -> "Dataset":
         return Dataset(self.X[idx], self.y[idx], self.feature_names,

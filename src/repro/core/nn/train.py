@@ -14,9 +14,22 @@ from repro.core.nn.optim import Adam
 from repro.obs.log import get_logger
 from repro.obs.metrics import REGISTRY
 
-__all__ = ["TrainConfig", "TrainHistory", "train_classifier", "train_regressor"]
+__all__ = ["TrainConfig", "TrainHistory", "restart_seed", "train_classifier",
+           "train_regressor"]
 
 logger = get_logger("core.nn.train")
+
+#: Seed stride between independent training restarts.  Shared by the
+#: serial restart loop (``InterferencePredictor.train``) and the parallel
+#: ``repro.parallel.TrainExecutor`` so both initialise restart ``r`` of a
+#: run seeded ``s`` identically — the bit-identity contract between them.
+RESTART_SEED_STRIDE = 7919
+
+
+def restart_seed(seed: int, restart: int) -> int:
+    """Model-init seed of independent restart ``restart`` of a training
+    run seeded ``seed``."""
+    return seed + RESTART_SEED_STRIDE * restart
 
 
 @dataclass(frozen=True)

@@ -4,10 +4,31 @@ Bundles everything the paper's training server deploys after training:
 the feature normaliser, the kernel-based model and the severity
 thresholds. At runtime it consumes the same per-server vectors the
 monitors emit and predicts each window's interference severity class.
+
+Three deployment-side capabilities live here alongside training:
+
+* **Persistence** — :meth:`InterferencePredictor.save` /
+  :meth:`InterferencePredictor.load` round-trip the trained parameters,
+  the normaliser statistics, the thresholds and the training history
+  through a single format-versioned ``.npz`` file
+  (``allow_pickle=False``), which is what the content-addressed model
+  cache (:mod:`repro.parallel.modelcache`) and the ``repro train
+  --model-out`` / ``repro predict --model`` CLI build on.
+* **Restart decomposition** — :meth:`InterferencePredictor.train_restart`
+  is one independent initialisation of the restart loop; the serial
+  :meth:`train` iterates it, and :class:`repro.parallel.TrainExecutor`
+  fans the same calls over worker processes with bit-identical results.
+* **Fused inference** — :meth:`InterferencePredictor.deploy` folds the
+  normaliser's z-score affine into the first kernel layer and returns a
+  :class:`DeployedPredictor` whose forward pass runs entirely in
+  preallocated buffers: per-window online scoring does no normalisation
+  pass and no array allocation.
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -16,10 +37,22 @@ from repro.core.dataset import Dataset, Normalizer
 from repro.core.labeling import BINARY_THRESHOLDS
 from repro.core.metrics import ClassificationReport, evaluate
 from repro.core.nn.kernelnet import KernelInterferenceNet
-from repro.core.nn.train import TrainConfig, TrainHistory, train_classifier
+from repro.core.nn.layers import Dense, Dropout, ReLU, Sequential
+from repro.core.nn.losses import softmax_probs
+from repro.core.nn.train import (
+    TrainConfig,
+    TrainHistory,
+    restart_seed,
+    train_classifier,
+)
 from repro.monitor.aggregator import MonitoredRun, assemble_vectors
 
-__all__ = ["InterferencePredictor"]
+__all__ = ["InterferencePredictor", "DeployedPredictor", "PREDICTOR_FORMAT"]
+
+#: Bumped whenever the saved ``.npz`` layout changes incompatibly.
+PREDICTOR_FORMAT = 1
+
+_PREDICTOR_KIND = "repro-interference-predictor"
 
 
 @dataclass
@@ -34,6 +67,65 @@ class InterferencePredictor:
     @property
     def n_classes(self) -> int:
         return self.model.n_classes
+
+    @property
+    def param_dtype(self) -> np.dtype:
+        """Inference dtype — follows the trained parameters, so a
+        float32-trained model scores windows in float32."""
+        return self.model.param_dtype
+
+    @staticmethod
+    def check_train_inputs(train_set: Dataset, thresholds: tuple[float, ...],
+                           restarts: int) -> int:
+        """Validate a training request; returns the class count.
+
+        Shared between the serial :meth:`train` loop and the parallel
+        :class:`repro.parallel.TrainExecutor`, so both reject exactly the
+        same inputs."""
+        if restarts < 1:
+            raise ValueError(f"restarts must be >= 1, got {restarts}")
+        n_classes = len(thresholds) + 1
+        if train_set.n_classes > n_classes:
+            raise ValueError(
+                f"dataset has {train_set.n_classes} classes but thresholds "
+                f"define {n_classes}"
+            )
+        return n_classes
+
+    @classmethod
+    def train_restart(
+        cls,
+        X: np.ndarray,
+        y: np.ndarray,
+        n_servers: int,
+        n_features: int,
+        n_classes: int,
+        config: TrainConfig,
+        kernel_hidden: tuple[int, ...] = (64, 32),
+        head_hidden: tuple[int, ...] = (32,),
+        seed: int = 0,
+        restart: int = 0,
+    ) -> tuple[float, KernelInterferenceNet, TrainHistory]:
+        """One independent initialisation of the restart loop.
+
+        ``X`` is the already-normalised training tensor.  Returns the
+        restart's ``(validation score, trained model, history)``; the
+        caller keeps the restart with the lowest score, ties broken by
+        the lowest restart index.  Every stochastic choice derives from
+        ``(seed, restart)`` alone, so running restarts serially,
+        out of order, or in worker processes yields bit-identical models.
+        """
+        model = KernelInterferenceNet(
+            n_servers=n_servers,
+            n_features=n_features,
+            n_classes=n_classes,
+            kernel_hidden=kernel_hidden,
+            head_hidden=head_hidden,
+            seed=restart_seed(seed, restart),
+        )
+        history = train_classifier(model, X, y, config)
+        score = min(history.val_loss) if history.val_loss else float("inf")
+        return score, model, history
 
     @classmethod
     def train(
@@ -54,45 +146,145 @@ class InterferencePredictor:
         initialisations and keeps the model with the best validation
         loss (deterministic given ``seed``).
         """
-        if restarts < 1:
-            raise ValueError(f"restarts must be >= 1, got {restarts}")
-        n_classes = len(thresholds) + 1
-        if train_set.n_classes > n_classes:
-            raise ValueError(
-                f"dataset has {train_set.n_classes} classes but thresholds "
-                f"define {n_classes}"
-            )
+        n_classes = cls.check_train_inputs(train_set, thresholds, restarts)
         normalizer = Normalizer().fit(train_set.X)
         X = normalizer.transform(train_set.X)
         config = config or TrainConfig(seed=seed)
         best: tuple[float, KernelInterferenceNet, TrainHistory] | None = None
         for restart in range(restarts):
-            model = KernelInterferenceNet(
-                n_servers=train_set.n_servers,
-                n_features=train_set.n_features,
-                n_classes=n_classes,
-                kernel_hidden=kernel_hidden,
-                head_hidden=head_hidden,
-                seed=seed + 7919 * restart,
+            score, model, history = cls.train_restart(
+                X, train_set.y, train_set.n_servers, train_set.n_features,
+                n_classes, config, kernel_hidden=kernel_hidden,
+                head_hidden=head_hidden, seed=seed, restart=restart,
             )
-            history = train_classifier(model, X, train_set.y, config)
-            score = min(history.val_loss) if history.val_loss else float("inf")
             if best is None or score < best[0]:
                 best = (score, model, history)
         assert best is not None
         return cls(model=best[1], normalizer=normalizer, thresholds=thresholds,
                    history=best[2])
 
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Write the predictor to a single ``.npz`` file.
+
+        The file is self-describing (architecture, thresholds, history
+        and a format version travel in an embedded JSON document) and
+        contains no pickled objects, so it can be loaded with
+        ``allow_pickle=False`` from untrusted storage.  Parameter arrays
+        round-trip bit-exactly: a loaded predictor's outputs are
+        identical to the saved one's.
+        """
+        path = pathlib.Path(path)
+        model = self.model
+        params = model.params()
+        meta = {
+            "kind": _PREDICTOR_KIND,
+            "format": PREDICTOR_FORMAT,
+            "arch": {
+                "n_servers": model.n_servers,
+                "n_features": model.n_features,
+                "n_classes": model.n_classes,
+                "kernel_hidden": list(model.kernel_hidden),
+                "head_hidden": list(model.head_hidden),
+                "dropout": model.dropout,
+            },
+            "thresholds": list(self.thresholds),
+            "dtype": str(np.dtype(model.param_dtype)),
+            "n_params": len(params),
+            "history": None if self.history is None else {
+                "train_loss": [float(v) for v in self.history.train_loss],
+                "val_loss": [float(v) for v in self.history.val_loss],
+                "best_epoch": self.history.best_epoch,
+                "stopped_early": self.history.stopped_early,
+            },
+        }
+        if self.normalizer.mean is None or self.normalizer.std is None:
+            raise ValueError("cannot save a predictor with an unfitted "
+                             "normalizer")
+        arrays: dict[str, np.ndarray] = {
+            "meta": np.array(json.dumps(meta)),
+            "norm_mean": np.asarray(self.normalizer.mean),
+            "norm_std": np.asarray(self.normalizer.std),
+        }
+        for i, p in enumerate(params):
+            arrays[f"param_{i}"] = p.value
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "wb") as fp:
+            np.savez_compressed(fp, **arrays)
+        return path
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "InterferencePredictor":
+        """Read a predictor previously written by :meth:`save`.
+
+        Raises ``ValueError`` for anything that is not a well-formed
+        saved predictor (truncated archive, foreign npz, wrong format
+        version, mismatched shapes) and ``OSError`` for unreadable paths.
+        """
+        import zipfile
+
+        try:
+            data = np.load(pathlib.Path(path), allow_pickle=False)
+        except zipfile.BadZipFile as exc:
+            raise ValueError(f"{path}: not a valid npz archive "
+                             f"({exc})") from exc
+        with data:
+            if "meta" not in data:
+                raise ValueError(f"{path}: not a saved predictor (no meta)")
+            meta = json.loads(str(data["meta"][()]))
+            if meta.get("kind") != _PREDICTOR_KIND:
+                raise ValueError(
+                    f"{path}: unexpected kind {meta.get('kind')!r}")
+            if meta.get("format") != PREDICTOR_FORMAT:
+                raise ValueError(
+                    f"{path}: format {meta.get('format')!r} not supported "
+                    f"by this version (expects {PREDICTOR_FORMAT})")
+            arch = meta["arch"]
+            model = KernelInterferenceNet(
+                n_servers=int(arch["n_servers"]),
+                n_features=int(arch["n_features"]),
+                n_classes=int(arch["n_classes"]),
+                kernel_hidden=tuple(int(w) for w in arch["kernel_hidden"]),
+                head_hidden=tuple(int(w) for w in arch["head_hidden"]),
+                dropout=float(arch["dropout"]),
+                seed=0,
+            )
+            params = model.params()
+            if len(params) != int(meta["n_params"]):
+                raise ValueError(
+                    f"{path}: has {meta['n_params']} parameter tensors, "
+                    f"architecture defines {len(params)}")
+            for i, p in enumerate(params):
+                value = data[f"param_{i}"]
+                if value.shape != p.value.shape:
+                    raise ValueError(
+                        f"{path}: param_{i} has shape {value.shape}, "
+                        f"architecture expects {p.value.shape}")
+                p.value = np.array(value)
+                p.grad = np.zeros_like(p.value)
+            normalizer = Normalizer(mean=np.array(data["norm_mean"]),
+                                    std=np.array(data["norm_std"]))
+            history = (TrainHistory(**meta["history"])
+                       if meta.get("history") else None)
+            thresholds = tuple(float(t) for t in meta["thresholds"])
+        return cls(model=model, normalizer=normalizer, thresholds=thresholds,
+                   history=history)
+
     # -- inference -----------------------------------------------------------
+
+    def _normalized(self, X: np.ndarray) -> np.ndarray:
+        """Z-scored input in the model's parameter dtype."""
+        dtype = self.model.param_dtype
+        Xn = self.normalizer.transform(np.asarray(X, dtype=dtype))
+        return Xn if Xn.dtype == dtype else Xn.astype(dtype)
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Severity classes for raw (unnormalised) per-server vectors."""
-        return self.model.predict(self.normalizer.transform(np.asarray(X, float)))
+        return self.model.predict(self._normalized(X))
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
-        return self.model.predict_proba(
-            self.normalizer.transform(np.asarray(X, float))
-        )
+        return self.model.predict_proba(self._normalized(X))
 
     def predict_run(self, run: MonitoredRun, window_size: float = 1.0,
                     sample_interval: float = 0.25) -> dict[int, int]:
@@ -105,3 +297,154 @@ class InterferencePredictor:
         """Confusion matrix + P/R/F1 on a held-out set."""
         preds = self.predict(test_set.X)
         return evaluate(test_set.y, preds, n_classes=self.n_classes)
+
+    def deploy(self) -> "DeployedPredictor":
+        """An allocation-free fused-inference view of this predictor.
+
+        See :class:`DeployedPredictor`; the underlying parameters are
+        copied, so later training of this predictor does not corrupt the
+        deployed scorer (and vice versa).
+        """
+        return DeployedPredictor(self)
+
+
+def _affine_stack(net: Sequential) -> list[list]:
+    """Flatten a Dense/ReLU/Dropout Sequential into ``[W, b, relu]`` rows.
+
+    Dropout is identity at inference time and is dropped; a trailing
+    ReLU flag marks rows whose output is rectified in place.
+    """
+    rows: list[list] = []
+    for layer in net.layers:
+        if isinstance(layer, Dense):
+            rows.append([layer.W.value.copy(), layer.b.value.copy(), False])
+        elif isinstance(layer, ReLU):
+            if not rows:
+                raise ValueError("ReLU before any Dense layer")
+            rows[-1][2] = True
+        elif isinstance(layer, Dropout):
+            continue
+        else:
+            raise ValueError(
+                f"cannot deploy layer type {type(layer).__name__}")
+    return rows
+
+
+class DeployedPredictor:
+    """Fused, allocation-free inference for a trained predictor.
+
+    Two transformations make the per-window hot path cheap:
+
+    * **Normaliser fusion** — the z-score ``(x - mean) / std`` is an
+      affine map, and so is the first kernel layer ``x' @ W + b``.
+      Composing them gives ``x @ (W / std[:, None]) + (b - (mean / std)
+      @ W)``: one matmul replaces the normalisation pass entirely, with
+      results equal to the unfused path up to float rounding (the
+      reassociation of the same affine arithmetic).
+    * **Buffer reuse** — every layer's output is written into a
+      preallocated scratch buffer via ``np.matmul(..., out=...)``; the
+      softmax runs in preallocated scratch as well.  Buffers are keyed
+      to the batch size, so steady-state online scoring (batch of one
+      window per prediction) allocates nothing.
+
+    Consequently the arrays returned by :meth:`predict_proba` and
+    :meth:`scores` are views into internal buffers, **valid only until
+    the next call**; copy them to keep them.  :meth:`predict` returns a
+    fresh (argmax) array and is always safe to hold.
+    """
+
+    def __init__(self, predictor: InterferencePredictor) -> None:
+        norm = predictor.normalizer
+        if norm.mean is None or norm.std is None:
+            raise ValueError("cannot deploy a predictor with an unfitted "
+                             "normalizer")
+        model = predictor.model
+        self.n_servers = model.n_servers
+        self.n_features = model.n_features
+        self.n_classes = model.n_classes
+        self.thresholds = predictor.thresholds
+        self._dtype = np.dtype(model.param_dtype)
+
+        kernel = _affine_stack(model.kernel)
+        head = _affine_stack(model.head)
+        # Fold the z-score affine into the first kernel layer.
+        W0, b0, relu0 = kernel[0]
+        inv_std = 1.0 / np.asarray(norm.std)
+        Wf = (W0 * inv_std[:, None]).astype(self._dtype, copy=False)
+        bf = (b0 - (np.asarray(norm.mean) * inv_std) @ W0).astype(
+            self._dtype, copy=False)
+        kernel[0] = [Wf, bf, relu0]
+        self._kernel = [(W.astype(self._dtype, copy=False),
+                         b.astype(self._dtype, copy=False), relu)
+                        for W, b, relu in kernel]
+        self._head = [(W.astype(self._dtype, copy=False),
+                       b.astype(self._dtype, copy=False), relu)
+                      for W, b, relu in head]
+        self._buf_n: int | None = None
+        self._kernel_bufs: list[np.ndarray] = []
+        self._head_bufs: list[np.ndarray] = []
+        self._max_buf: np.ndarray | None = None
+        self._sum_buf: np.ndarray | None = None
+
+    def _ensure_buffers(self, n: int) -> None:
+        if self._buf_n == n:
+            return
+        self._kernel_bufs = [
+            np.empty((n, self.n_servers, W.shape[1]), dtype=self._dtype)
+            for W, _, _ in self._kernel
+        ]
+        self._head_bufs = [
+            np.empty((n, W.shape[1]), dtype=self._dtype)
+            for W, _, _ in self._head
+        ]
+        self._max_buf = np.empty((n, 1), dtype=self._dtype)
+        self._sum_buf = np.empty((n, 1), dtype=self._dtype)
+        self._buf_n = n
+
+    @staticmethod
+    def _forward(x: np.ndarray, stack, bufs) -> np.ndarray:
+        for (W, b, relu), out in zip(stack, bufs):
+            np.matmul(x, W, out=out)
+            out += b
+            if relu:
+                np.maximum(out, 0.0, out=out)
+            x = out
+        return x
+
+    def logits(self, X: np.ndarray) -> np.ndarray:
+        """Head logits for a raw ``(n, servers, features)`` batch.
+
+        The returned array is an internal buffer, valid until the next
+        call.
+        """
+        X = np.asarray(X, dtype=self._dtype)
+        if X.ndim != 3 or X.shape[1] != self.n_servers \
+                or X.shape[2] != self.n_features:
+            raise ValueError(
+                f"expected (n, {self.n_servers}, {self.n_features}), "
+                f"got {X.shape}"
+            )
+        self._ensure_buffers(len(X))
+        per_server = self._forward(X, self._kernel, self._kernel_bufs)
+        return self._forward(per_server[..., 0], self._head, self._head_bufs)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class probabilities; returned array is an internal buffer."""
+        logits = self.logits(X)
+        np.amax(logits, axis=-1, keepdims=True, out=self._max_buf)
+        logits -= self._max_buf
+        np.exp(logits, out=logits)
+        np.sum(logits, axis=-1, keepdims=True, out=self._sum_buf)
+        logits /= self._sum_buf
+        return logits
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Severity classes (fresh array, safe to keep)."""
+        # argmax of the probabilities equals argmax of the logits, but
+        # running the softmax keeps the numerics identical to
+        # ``predict_proba(...).argmax`` for near-tied windows.
+        return self.predict_proba(X).argmax(axis=-1)
+
+    def scores(self, X: np.ndarray) -> np.ndarray:
+        """Unfused reference probabilities (allocating; for verification)."""
+        return softmax_probs(np.array(self.logits(X)))

@@ -17,6 +17,7 @@ module measures each:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -37,6 +38,9 @@ from repro.experiments.datagen import (
 from repro.experiments.runner import ExperimentConfig
 from repro.monitor.schema import CLIENT_FEATURES
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # imported lazily at run time (circular with repro.parallel)
+    from repro.parallel import TrainExecutor
 
 __all__ = [
     "AblationResult",
@@ -72,10 +76,24 @@ def _permute_servers(X: np.ndarray, seed: int) -> np.ndarray:
     return out
 
 
+def _train_kernel(train_set: Dataset, thresholds: tuple[float, ...],
+                  seed: int, trainer: "TrainExecutor | None",
+                  restarts: int = 3) -> InterferencePredictor:
+    """The kernel-net arm: through the training executor when given."""
+    if trainer is not None:
+        return trainer.train_predictor(train_set, thresholds=thresholds,
+                                       config=TrainConfig(seed=seed),
+                                       seed=seed, restarts=restarts)
+    return InterferencePredictor.train(train_set, thresholds,
+                                       config=TrainConfig(seed=seed),
+                                       seed=seed, restarts=restarts)
+
+
 def run_model_ablation(
     bank: WindowBank,
     thresholds: tuple[float, ...] = BINARY_THRESHOLDS,
     seed: int = 0,
+    trainer: "TrainExecutor | None" = None,
 ) -> AblationResult:
     """A1: kernel net vs flat MLP vs logistic regression vs random forest,
     each also scored on server-permuted test data."""
@@ -88,9 +106,7 @@ def run_model_ablation(
     Xte_perm = _permute_servers(Xte, seed)
     result = AblationResult(name="model-architecture")
 
-    predictor = InterferencePredictor.train(train_set, thresholds,
-                                            config=TrainConfig(seed=seed),
-                                            seed=seed)
+    predictor = _train_kernel(train_set, thresholds, seed, trainer)
     kernel_model = predictor.model
 
     flat = MLPClassifier(train_set.n_servers * train_set.n_features,
@@ -129,8 +145,13 @@ def run_feature_ablation(
     bank: WindowBank,
     thresholds: tuple[float, ...] = BINARY_THRESHOLDS,
     seed: int = 0,
+    trainer: "TrainExecutor | None" = None,
 ) -> AblationResult:
-    """A2: client-only vs server-only vs full per-server vectors."""
+    """A2: client-only vs server-only vs full per-server vectors.
+
+    The three arms are independent trainings on different feature
+    slices; with a ``trainer`` they submit as one grid batch.
+    """
     n_client = len(CLIENT_FEATURES)
     masks = {
         "client+server": slice(None),
@@ -138,15 +159,31 @@ def run_feature_ablation(
         "server-only": slice(n_client, None),
     }
     result = AblationResult(name="feature-families")
+    splits = {}
     for arm, sl in masks.items():
         X = bank.X[:, :, sl]
         dataset = Dataset(X, bank_to_dataset(bank, thresholds).y,
                           feature_names=tuple(
                               f"f{i}" for i in range(X.shape[2])))
-        train_set, test_set = train_test_split(dataset, 0.2, seed=seed)
-        predictor = InterferencePredictor.train(train_set, thresholds,
-                                                config=TrainConfig(seed=seed),
-                                                seed=seed)
+        splits[arm] = train_test_split(dataset, 0.2, seed=seed)
+    if trainer is not None:
+        from repro.parallel import TrainJob
+
+        predictors = trainer.train_predictors([
+            TrainJob(train_set, thresholds=thresholds,
+                     config=TrainConfig(seed=seed), seed=seed)
+            for train_set, _ in splits.values()
+        ])
+        if any(p is None for p in predictors):
+            raise RuntimeError("feature-ablation training quarantined")
+    else:
+        predictors = [
+            InterferencePredictor.train(train_set, thresholds,
+                                        config=TrainConfig(seed=seed),
+                                        seed=seed)
+            for train_set, _ in splits.values()
+        ]
+    for (arm, (_, test_set)), predictor in zip(splits.items(), predictors):
         report = predictor.evaluate(test_set)
         result.scores[arm] = report.macro_f1
         result.reports[arm] = report
@@ -157,6 +194,7 @@ def run_regression_extension(
     bank: WindowBank,
     thresholds: tuple[float, ...] = BINARY_THRESHOLDS,
     seed: int = 0,
+    trainer: "TrainExecutor | None" = None,
 ):
     """A6: exact-level regression vs classification on the same windows.
 
@@ -183,9 +221,7 @@ def run_regression_extension(
     reg_report = evaluate(dataset.y[test_idx], reg_classes,
                           n_classes=len(thresholds) + 1)
 
-    classifier = InterferencePredictor.train(train_set, thresholds,
-                                             config=TrainConfig(seed=seed),
-                                             seed=seed)
+    classifier = _train_kernel(train_set, thresholds, seed, trainer)
     cls_report = classifier.evaluate(test_set)
 
     result = AblationResult(name="regression-extension")
@@ -206,13 +242,15 @@ def run_window_size_ablation(
     n_jobs: int = 1,
     cache=None,
     executor=None,
+    trainer: "TrainExecutor | None" = None,
 ) -> AblationResult:
     """A3: re-collect and re-train at several aggregation window sizes.
 
     ``window_size`` is excluded from the run-cache key (it only shapes
     post-processing), so with a cache attached every arm whose
     ``sample_interval`` is unchanged re-bins the first arm's simulation
-    sweep instead of re-running it.
+    sweep instead of re-running it.  All arms' models then train as one
+    batch: with a ``trainer`` the grid's restarts share the worker pool.
     """
     from dataclasses import replace
 
@@ -220,17 +258,33 @@ def run_window_size_ablation(
 
     executor = executor or SweepExecutor(n_jobs=n_jobs, cache=cache)
     result = AblationResult(name="window-size")
+    splits = {}
     for ws in window_sizes:
         cfg = replace(config, window_size=ws,
                       sample_interval=min(config.sample_interval, ws / 2))
         bank = collect_windows(targets, scenarios, cfg, executor=executor)
         dataset = bank_to_dataset(bank, thresholds)
-        train_set, test_set = train_test_split(dataset, 0.2, seed=seed)
-        predictor = InterferencePredictor.train(train_set, thresholds,
-                                                config=TrainConfig(seed=seed),
-                                                seed=seed)
-        report = predictor.evaluate(test_set)
         arm = f"window={ws:g}s (n={len(dataset)})"
+        splits[arm] = train_test_split(dataset, 0.2, seed=seed)
+    if trainer is not None:
+        from repro.parallel import TrainJob
+
+        predictors = trainer.train_predictors([
+            TrainJob(train_set, thresholds=thresholds,
+                     config=TrainConfig(seed=seed), seed=seed)
+            for train_set, _ in splits.values()
+        ])
+        if any(p is None for p in predictors):
+            raise RuntimeError("window-size ablation training quarantined")
+    else:
+        predictors = [
+            InterferencePredictor.train(train_set, thresholds,
+                                        config=TrainConfig(seed=seed),
+                                        seed=seed)
+            for train_set, _ in splits.values()
+        ]
+    for (arm, (_, test_set)), predictor in zip(splits.items(), predictors):
+        report = predictor.evaluate(test_set)
         result.scores[arm] = report.macro_f1
         result.reports[arm] = report
     return result

@@ -19,6 +19,7 @@ Scores are macro-F1 on B's held-out windows.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.core.dataset import Dataset, Normalizer, train_test_split
 from repro.core.labeling import BINARY_THRESHOLDS
@@ -32,6 +33,9 @@ from repro.experiments.datagen import standard_scenarios
 from repro.experiments.runner import ExperimentConfig
 from repro.sim.cluster import ClusterConfig
 from repro.workloads.io500 import make_io500_task
+
+if TYPE_CHECKING:
+    from repro.parallel import TrainExecutor
 
 __all__ = ["CrossClusterResult", "run_cross_cluster"]
 
@@ -81,6 +85,7 @@ def run_cross_cluster(
     max_level: int = 3,
     noise_scale: float = 0.25,
     seed: int = 0,
+    trainer: "TrainExecutor | None" = None,
 ) -> CrossClusterResult:
     """Collect data on clusters A and B; score the three adaptation arms."""
     config = config or ExperimentConfig()
@@ -102,8 +107,13 @@ def run_cross_cluster(
     train_cfg = TrainConfig(seed=seed)
 
     # Arm 1: the paper's adaptation path — retrain the kernel net on B.
-    kernel_b = InterferencePredictor.train(train_b, BINARY_THRESHOLDS,
+    if trainer is not None:
+        kernel_b = trainer.train_predictor(train_b,
+                                           thresholds=BINARY_THRESHOLDS,
                                            config=train_cfg, seed=seed)
+    else:
+        kernel_b = InterferencePredictor.train(train_b, BINARY_THRESHOLDS,
+                                               config=train_cfg, seed=seed)
     report = kernel_b.evaluate(test_b)
     result.scores["kernel-retrained-on-B"] = report.macro_f1
     result.reports["kernel-retrained-on-B"] = report

@@ -10,6 +10,7 @@ returns the full report (matrix, P/R/F1, class balance).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.dataset import Dataset, train_test_split
 from repro.core.labeling import BINARY_THRESHOLDS
@@ -28,7 +29,11 @@ from repro.experiments.runner import ExperimentConfig
 from repro.workloads.dlio import DLIOConfig, DLIOWorkload
 from repro.workloads.io500 import IO500_TASKS, make_io500_task
 
-__all__ = ["ModelEvalResult", "evaluate_bank", "run_fig3_io500", "run_fig3_dlio",
+if TYPE_CHECKING:  # imported lazily at run time (circular with repro.parallel)
+    from repro.parallel import TrainExecutor
+
+__all__ = ["ModelEvalResult", "evaluate_bank", "evaluate_banks",
+           "run_fig3_io500", "run_fig3_dlio",
            "collect_io500_bank", "collect_dlio_bank"]
 
 
@@ -56,21 +61,10 @@ class ModelEvalResult:
         )
 
 
-def evaluate_bank(
-    bank: WindowBank,
-    name: str,
-    thresholds: tuple[float, ...] = BINARY_THRESHOLDS,
-    test_fraction: float = 0.2,
-    train_config: TrainConfig | None = None,
-    seed: int = 0,
-) -> ModelEvalResult:
-    """The paper's per-benchmark protocol: 80/20 split, train, evaluate."""
-    dataset = bank_to_dataset(bank, thresholds, source=name)
-    train_set, test_set = train_test_split(dataset, test_fraction, seed=seed)
-    predictor = InterferencePredictor.train(
-        train_set, thresholds=thresholds,
-        config=train_config or TrainConfig(seed=seed), seed=seed,
-    )
+def _bank_result(name: str, predictor: InterferencePredictor,
+                 dataset: Dataset, train_set: Dataset, test_set: Dataset,
+                 thresholds: tuple[float, ...]) -> ModelEvalResult:
+    """Evaluate a trained predictor on its held-out split."""
     report = predictor.evaluate(test_set)
     n_classes = len(thresholds) + 1
     pad = lambda ds: [
@@ -85,6 +79,75 @@ def evaluate_bank(
         n_windows=len(dataset),
         predictor=predictor,
     )
+
+
+def evaluate_bank(
+    bank: WindowBank,
+    name: str,
+    thresholds: tuple[float, ...] = BINARY_THRESHOLDS,
+    test_fraction: float = 0.2,
+    train_config: TrainConfig | None = None,
+    seed: int = 0,
+    trainer: "TrainExecutor | None" = None,
+) -> ModelEvalResult:
+    """The paper's per-benchmark protocol: 80/20 split, train, evaluate.
+
+    With a ``trainer`` attached, training goes through the
+    :class:`~repro.parallel.TrainExecutor` — restarts fan out over its
+    worker pool and the trained model lands in (or comes from) its model
+    cache — with results bit-identical to the serial loop.
+    """
+    return evaluate_banks([(name, bank)], thresholds=thresholds,
+                          test_fraction=test_fraction,
+                          train_config=train_config, seed=seed,
+                          trainer=trainer)[0]
+
+
+def evaluate_banks(
+    named_banks: list[tuple[str, WindowBank]],
+    thresholds: tuple[float, ...] = BINARY_THRESHOLDS,
+    test_fraction: float = 0.2,
+    train_config: TrainConfig | None = None,
+    seed: int = 0,
+    trainer: "TrainExecutor | None" = None,
+) -> list[ModelEvalResult]:
+    """:func:`evaluate_bank` over a grid of banks, trained as one batch.
+
+    With a ``trainer``, all banks' models are submitted together, so the
+    worker pool sees every restart of every cell at once instead of
+    draining one training before starting the next.
+    """
+    prepared = []
+    for name, bank in named_banks:
+        dataset = bank_to_dataset(bank, thresholds, source=name)
+        train_set, test_set = train_test_split(dataset, test_fraction,
+                                               seed=seed)
+        prepared.append((name, dataset, train_set, test_set))
+    config = train_config or TrainConfig(seed=seed)
+    if trainer is not None:
+        from repro.parallel import TrainJob
+
+        predictors = trainer.train_predictors([
+            TrainJob(train_set, thresholds=thresholds, config=config,
+                     seed=seed)
+            for _, _, train_set, _ in prepared
+        ])
+        missing = [prepared[i][0] for i, p in enumerate(predictors)
+                   if p is None]
+        if missing:
+            raise RuntimeError(f"training quarantined for bank(s) {missing}")
+    else:
+        predictors = [
+            InterferencePredictor.train(train_set, thresholds=thresholds,
+                                        config=config, seed=seed)
+            for _, _, train_set, _ in prepared
+        ]
+    return [
+        _bank_result(name, predictor, dataset, train_set, test_set,
+                     thresholds)
+        for (name, dataset, train_set, test_set), predictor
+        in zip(prepared, predictors)
+    ]
 
 
 #: Default noise mix: one task per access family (bulk write, bulk read,
@@ -181,14 +244,20 @@ def collect_dlio_bank(
 
 
 def run_fig3_io500(config: ExperimentConfig | None = None,
-                   bank: WindowBank | None = None, **bank_kwargs) -> ModelEvalResult:
+                   bank: WindowBank | None = None,
+                   trainer: "TrainExecutor | None" = None,
+                   **bank_kwargs) -> ModelEvalResult:
     """Figure 3(a): binary classification on IO500 windows."""
     bank = bank or collect_io500_bank(config, **bank_kwargs)
-    return evaluate_bank(bank, "fig3a-io500", BINARY_THRESHOLDS)
+    return evaluate_bank(bank, "fig3a-io500", BINARY_THRESHOLDS,
+                         trainer=trainer)
 
 
 def run_fig3_dlio(config: ExperimentConfig | None = None,
-                  bank: WindowBank | None = None, **bank_kwargs) -> ModelEvalResult:
+                  bank: WindowBank | None = None,
+                  trainer: "TrainExecutor | None" = None,
+                  **bank_kwargs) -> ModelEvalResult:
     """Figure 3(b): binary classification on DLIO windows."""
     bank = bank or collect_dlio_bank(config, **bank_kwargs)
-    return evaluate_bank(bank, "fig3b-dlio", BINARY_THRESHOLDS)
+    return evaluate_bank(bank, "fig3b-dlio", BINARY_THRESHOLDS,
+                         trainer=trainer)

@@ -7,22 +7,32 @@ on the IO500 data. Reuses the IO500 window bank from Figure 3 when given.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.labeling import MULTICLASS_THRESHOLDS
 from repro.experiments.datagen import WindowBank
 from repro.experiments.fig3 import ModelEvalResult, collect_io500_bank, evaluate_bank
 from repro.experiments.runner import ExperimentConfig
 
+if TYPE_CHECKING:
+    from repro.parallel import TrainExecutor
+
 __all__ = ["run_fig4"]
 
 
 def run_fig4(config: ExperimentConfig | None = None,
-             bank: WindowBank | None = None, **bank_kwargs) -> ModelEvalResult:
+             bank: WindowBank | None = None,
+             trainer: "TrainExecutor | None" = None,
+             **bank_kwargs) -> ModelEvalResult:
     """3-class classification on the IO500 window bank.
 
     ``bank_kwargs`` pass through to :func:`collect_io500_bank`, including
     the sweep knobs ``n_jobs``/``cache``/``executor`` — with the same
     cache directory as Figure 3, the 3-class dataset re-bins Figure 3's
-    cached simulation sweep instead of re-running it.
+    cached simulation sweep instead of re-running it.  ``trainer``
+    likewise shares the model cache: the 3-class thresholds key a
+    distinct model, so Figures 3 and 4 coexist in one cache.
     """
     bank = bank or collect_io500_bank(config, **bank_kwargs)
-    return evaluate_bank(bank, "fig4-io500-3class", MULTICLASS_THRESHOLDS)
+    return evaluate_bank(bank, "fig4-io500-3class", MULTICLASS_THRESHOLDS,
+                         trainer=trainer)

@@ -12,9 +12,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
 from repro.core.labeling import BINARY_THRESHOLDS
 from repro.experiments.datagen import Scenario, collect_windows
-from repro.experiments.fig3 import ModelEvalResult, evaluate_bank
+from repro.experiments.fig3 import ModelEvalResult, evaluate_banks
 from repro.experiments.runner import ExperimentConfig, InterferenceSpec
 from repro.workloads.apps import (
     AmrexConfig,
@@ -25,6 +27,9 @@ from repro.workloads.apps import (
     OpenPMDWorkload,
 )
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:
+    from repro.parallel import TrainExecutor
 
 __all__ = ["Fig5Result", "run_fig5", "app_scenarios", "default_app_targets"]
 
@@ -103,11 +108,14 @@ def run_fig5(
     n_jobs: int = 1,
     cache=None,
     executor=None,
+    trainer: "TrainExecutor | None" = None,
 ) -> Fig5Result:
     """Train and evaluate one model per application.
 
     One :class:`repro.parallel.SweepExecutor` is shared across the three
-    applications so the worker pool and run cache see the whole grid.
+    applications so the worker pool and run cache see the whole grid;
+    the per-application models then train as one batch, so with a
+    ``trainer`` every restart of every application is in flight at once.
     """
     from repro.parallel import SweepExecutor
 
@@ -115,9 +123,11 @@ def run_fig5(
     targets = targets or default_app_targets()
     scenarios = app_scenarios(max_level=max_level, noise_scale=noise_scale)
     executor = executor or SweepExecutor(n_jobs=n_jobs, cache=cache)
-    results = {}
-    for app, workload in targets.items():
-        bank = collect_windows([workload], scenarios, config,
-                               executor=executor)
-        results[app] = evaluate_bank(bank, f"fig5-{app}", BINARY_THRESHOLDS)
-    return Fig5Result(results=results)
+    banks = {
+        app: collect_windows([workload], scenarios, config,
+                             executor=executor)
+        for app, workload in targets.items()
+    }
+    evals = evaluate_banks([(f"fig5-{app}", banks[app]) for app in targets],
+                           BINARY_THRESHOLDS, trainer=trainer)
+    return Fig5Result(results=dict(zip(targets, evals)))

@@ -106,6 +106,7 @@ def _train_predictor(
     max_level: int,
     executor,
     epochs: int,
+    trainer=None,
 ) -> InterferencePredictor:
     """A small interference-trained binary predictor (the A7 recipe)."""
     target = make_io500_task("ior-easy-write", ranks=2, scale=target_scale)
@@ -116,10 +117,13 @@ def _train_predictor(
     )
     bank = collect_windows([target], scenarios, config, executor=executor)
     dataset = bank_to_dataset(bank, BINARY_THRESHOLDS, source="robustness")
+    train_cfg = TrainConfig(epochs=epochs, seed=config.seed)
+    if trainer is not None:
+        return trainer.train_predictor(dataset,
+                                       thresholds=BINARY_THRESHOLDS,
+                                       config=train_cfg, restarts=2)
     return InterferencePredictor.train(
-        dataset, BINARY_THRESHOLDS,
-        config=TrainConfig(epochs=epochs, seed=config.seed),
-        restarts=2,
+        dataset, BINARY_THRESHOLDS, config=train_cfg, restarts=2,
     )
 
 
@@ -172,6 +176,7 @@ def run_robustness(
     fault_seed: int = 1,
     epochs: int = 60,
     executor=None,
+    trainer=None,
 ) -> RobustnessResult:
     """Measure prediction F1 vs telemetry sample loss and window blanking.
 
@@ -187,7 +192,8 @@ def run_robustness(
         if policy not in GAP_POLICIES:
             raise ValueError(f"unknown gap policy {policy!r}")
     predictor = _train_predictor(config, target_scale, noise_scale,
-                                 max_level, executor, epochs)
+                                 max_level, executor, epochs,
+                                 trainer=trainer)
 
     # Eval runs: the fail-slow harness (quiet cluster, sick OSTs), whose
     # labels come from client records and survive telemetry faults.

@@ -37,6 +37,8 @@ __all__ = [
     "workload_spec",
     "run_key_material",
     "run_key",
+    "train_key_material",
+    "train_key",
 ]
 
 #: Bumped whenever the persisted run layout or key material changes.
@@ -123,3 +125,52 @@ def run_key(
     return stable_hash(run_key_material(target, interference, config,
                                         seed_salt=seed_salt, salt=salt,
                                         faults=faults))
+
+
+def train_key_material(
+    dataset_digest: str,
+    thresholds: tuple[float, ...],
+    config: Any,
+    kernel_hidden: tuple[int, ...],
+    head_hidden: tuple[int, ...],
+    seed: int,
+    restarts: int,
+    salt: str = "",
+) -> dict[str, Any]:
+    """The model-cache key's raw material (persisted next to entries).
+
+    A cached model is reusable only when every input that shapes the
+    trained parameters is part of its key: the training data's content
+    digest (:meth:`repro.core.dataset.Dataset.content_digest`), the
+    severity thresholds, the full :class:`~repro.core.nn.train.
+    TrainConfig`, the architecture, and the seed/restart schedule.  The
+    same code-version salt as the run cache invalidates entries across
+    behaviour-changing releases.
+    """
+    return {
+        "kind": "trained-predictor",
+        "salt": _code_salt(salt),
+        "dataset": dataset_digest,
+        "thresholds": list(thresholds),
+        "config": config_to_dict(config),
+        "kernel_hidden": list(kernel_hidden),
+        "head_hidden": list(head_hidden),
+        "seed": seed,
+        "restarts": restarts,
+    }
+
+
+def train_key(
+    dataset_digest: str,
+    thresholds: tuple[float, ...],
+    config: Any,
+    kernel_hidden: tuple[int, ...],
+    head_hidden: tuple[int, ...],
+    seed: int,
+    restarts: int,
+    salt: str = "",
+) -> str:
+    """Content-addressed key of one training run (dataset + recipe)."""
+    return stable_hash(train_key_material(
+        dataset_digest, thresholds, config, kernel_hidden, head_hidden,
+        seed, restarts, salt=salt))

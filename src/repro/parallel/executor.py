@@ -60,15 +60,13 @@ from repro.obs.log import get_logger
 from repro.obs.metrics import REGISTRY
 from repro.parallel.cache import RunCache
 from repro.parallel.cachekey import run_key, run_key_material
+from repro.parallel.supervise import run_supervised
 from repro.workloads.base import Workload
 
 __all__ = ["RunJob", "PairJob", "SweepExecutor", "resolve_n_jobs",
            "InjectedWorkerFault"]
 
 logger = get_logger("parallel.executor")
-
-#: Seconds between supervision polls (watchdog granularity).
-_POLL_INTERVAL = 0.005
 
 
 class InjectedWorkerFault(RuntimeError):
@@ -139,21 +137,6 @@ def _execute_job(item: tuple[str, RunJob, int],
                       seed_salt=job.seed_salt, abort_at=abort_at)
     wall = time.perf_counter() - start
     return key, run, wall, REGISTRY.snapshot()
-
-
-def _supervised_entry(conn, item, plan) -> None:
-    """Child-process wrapper: ship the result or the failure over a pipe."""
-    try:
-        result = _execute_job(item, plan)
-    except BaseException as exc:  # noqa: BLE001 — everything must be reported
-        try:
-            conn.send(("err", f"{type(exc).__name__}: {exc}"))
-        except Exception:
-            pass
-    else:
-        conn.send(("ok", result))
-    finally:
-        conn.close()
 
 
 def _default_start_method() -> str:
@@ -314,118 +297,37 @@ class SweepExecutor:
     def _run_supervised(self, items: list[tuple[str, RunJob]],
                         results: dict[str, MonitoredRun],
                         wall_hist) -> None:
-        """Watchdogged execution: child process per run, retry, quarantine.
+        """Watchdogged execution via :func:`repro.parallel.supervise`.
 
         Every pending run gets its own supervised child so a crash or a
-        wedge never takes the sweep down: crashes are reported over the
-        result pipe, silent deaths are detected by exit code, and runs
-        that exceed ``run_timeout`` are terminated.  Failed attempts are
-        retried with exponential backoff up to ``retries`` times, then
-        the run is quarantined and the sweep moves on.
+        wedge never takes the sweep down; runs that keep failing land in
+        :attr:`quarantined` and the sweep moves on.
         """
-        ctx = multiprocessing.get_context(self.start_method)
-        workers = max(1, min(self.n_jobs, len(items)))
-        retry_counter = REGISTRY.counter("parallel.retries")
-        timeout_counter = REGISTRY.counter("parallel.timeouts")
-        quarantine_counter = REGISTRY.counter("parallel.quarantined")
         jobs = dict(items)
-        #: (key, attempt, ready_at) — ready_at implements retry backoff.
-        queue: list[tuple[str, int, float]] = [
-            (key, 0, 0.0) for key, _ in items
-        ]
-        #: key -> (proc, conn, deadline, attempt, started_at)
-        active: dict[str, tuple] = {}
-        errors: dict[str, list[str]] = {}
 
-        def fail(key: str, attempt: int, message: str) -> None:
-            errors.setdefault(key, []).append(message)
-            if attempt < self.retries:
-                self.retries_used += 1
-                retry_counter.inc()
-                backoff = self.retry_backoff * (2 ** attempt)
-                logger.warning(
-                    "run %s attempt %d failed (%s); retrying in %.2fs",
-                    key[:12], attempt, message, backoff,
-                )
-                queue.append((key, attempt + 1,
-                              time.monotonic() + backoff))
-            else:
-                quarantine_counter.inc()
-                self.quarantined[key] = {
-                    "target": jobs[key].target.name,
-                    "seed_salt": jobs[key].seed_salt,
-                    "attempts": attempt + 1,
-                    "errors": list(errors[key]),
-                }
-                logger.error(
-                    "run %s quarantined after %d attempt(s): %s",
-                    key[:12], attempt + 1, message,
-                )
+        def on_success(key: str, payload) -> None:
+            _, run, wall, snapshot = payload
+            REGISTRY.merge_snapshot(snapshot)
+            wall_hist.observe(wall)
+            self._store(key, jobs[key], run)
+            results[key] = run
 
-        while queue or active:
-            now = time.monotonic()
-            progressed = False
-            # Launch any ready job into a free slot.
-            while len(active) < workers:
-                ready_idx = next(
-                    (i for i, (_, _, ready_at) in enumerate(queue)
-                     if ready_at <= now), None,
-                )
-                if ready_idx is None:
-                    break
-                key, attempt, _ = queue.pop(ready_idx)
-                parent_conn, child_conn = ctx.Pipe(duplex=False)
-                proc = ctx.Process(
-                    target=_supervised_entry,
-                    args=(child_conn, (key, jobs[key], attempt),
-                          self.fault_plan),
-                )
-                proc.start()
-                child_conn.close()
-                deadline = (now + self.run_timeout
-                            if self.run_timeout is not None else None)
-                active[key] = (proc, parent_conn, deadline, attempt, now)
-                progressed = True
-            # Harvest finished / dead / overdue children.
-            for key in list(active):
-                proc, conn, deadline, attempt, started = active[key]
-                if conn.poll():
-                    try:
-                        kind, payload = conn.recv()
-                    except EOFError:
-                        kind, payload = "err", "worker died (pipe closed)"
-                    proc.join()
-                    conn.close()
-                    del active[key]
-                    progressed = True
-                    if kind == "ok":
-                        _, run, wall, snapshot = payload
-                        REGISTRY.merge_snapshot(snapshot)
-                        wall_hist.observe(wall)
-                        self._store(key, jobs[key], run)
-                        results[key] = run
-                    else:
-                        fail(key, attempt, str(payload))
-                elif not proc.is_alive():
-                    proc.join()
-                    conn.close()
-                    del active[key]
-                    progressed = True
-                    fail(key, attempt,
-                         f"worker died silently (exitcode {proc.exitcode})")
-                elif deadline is not None and now > deadline:
-                    proc.terminate()
-                    proc.join()
-                    conn.close()
-                    del active[key]
-                    progressed = True
-                    self.timeouts += 1
-                    timeout_counter.inc()
-                    fail(key, attempt,
-                         f"timeout after {now - started:.2f}s "
-                         f"(limit {self.run_timeout}s)")
-            if not progressed:
-                time.sleep(_POLL_INTERVAL)
+        stats = run_supervised(
+            items,
+            functools.partial(_execute_job, plan=self.fault_plan),
+            ctx=multiprocessing.get_context(self.start_method),
+            workers=self.n_jobs,
+            on_success=on_success,
+            run_timeout=self.run_timeout,
+            retries=self.retries,
+            retry_backoff=self.retry_backoff,
+            describe=lambda key, job: {"target": job.target.name,
+                                       "seed_salt": job.seed_salt},
+            metric_prefix="parallel",
+        )
+        self.retries_used += stats.retries_used
+        self.timeouts += stats.timeouts
+        self.quarantined.update(stats.quarantined)
 
     def run_one(self, job: RunJob) -> MonitoredRun | None:
         """Convenience wrapper: a one-job sweep."""

@@ -1,0 +1,186 @@
+"""Generic supervised child-process execution.
+
+The resilience machinery that :class:`repro.parallel.SweepExecutor` grew
+for simulation sweeps — one watched child process per unit of work, a
+wall-clock watchdog, bounded retry with exponential backoff, quarantine
+of work that keeps failing — is not simulation-specific.  This module is
+that machinery extracted behind a payload-agnostic interface so the
+training executor (:class:`repro.parallel.TrainExecutor`) runs restarts
+under exactly the same supervision, not a reimplementation of it.
+
+The contract: the caller supplies keyed payloads and a picklable
+``worker(item)`` callable; :func:`run_supervised` runs each payload in
+its own child process and reports every success through ``on_success``.
+Work that still fails after every retry is quarantined — recorded in the
+returned :class:`SupervisionStats` and *not* reported as a result, so a
+batch with poisoned items completes instead of crashing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.obs.log import get_logger
+from repro.obs.metrics import REGISTRY
+
+__all__ = ["SupervisionStats", "run_supervised", "supervised_entry"]
+
+logger = get_logger("parallel.supervise")
+
+#: Seconds between supervision polls (watchdog granularity).
+POLL_INTERVAL = 0.005
+
+
+def supervised_entry(conn, worker, item) -> None:
+    """Child-process wrapper: ship the result or the failure over a pipe."""
+    try:
+        result = worker(item)
+    except BaseException as exc:  # noqa: BLE001 — everything must be reported
+        try:
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    else:
+        conn.send(("ok", result))
+    finally:
+        conn.close()
+
+
+@dataclass
+class SupervisionStats:
+    """What one supervised batch saw: retries, timeouts, quarantine."""
+
+    retries_used: int = 0
+    timeouts: int = 0
+    #: key -> {**describe(key, payload), "attempts", "errors"}.
+    quarantined: dict[str, dict] = field(default_factory=dict)
+
+
+def run_supervised(
+    items: list[tuple[str, Any]],
+    worker: Callable[[tuple[str, Any, int]], Any],
+    *,
+    ctx,
+    workers: int,
+    on_success: Callable[[str, Any], None],
+    run_timeout: float | None = None,
+    retries: int = 0,
+    retry_backoff: float = 0.05,
+    describe: Callable[[str, Any], dict] | None = None,
+    metric_prefix: str = "parallel",
+) -> SupervisionStats:
+    """Watchdogged execution: child process per item, retry, quarantine.
+
+    Every item ``(key, payload)`` gets its own supervised child running
+    ``worker((key, payload, attempt))`` so a crash or a wedge never takes
+    the batch down: exceptions are reported over the result pipe, silent
+    deaths are detected by exit code, and children exceeding
+    ``run_timeout`` are terminated.  Failed attempts are retried with
+    exponential backoff up to ``retries`` times, then the item is
+    quarantined (``describe`` contributes the quarantine record's
+    context fields) and the batch moves on.
+
+    ``on_success(key, result)`` fires in the parent, in completion
+    order.  ``worker`` must be picklable when ``ctx`` uses the spawn
+    start method.  Retry/timeout/quarantine counters are published under
+    ``{metric_prefix}.retries`` etc., so the sweep and training
+    executors keep distinguishable telemetry from shared machinery.
+    """
+    retry_counter = REGISTRY.counter(f"{metric_prefix}.retries")
+    timeout_counter = REGISTRY.counter(f"{metric_prefix}.timeouts")
+    quarantine_counter = REGISTRY.counter(f"{metric_prefix}.quarantined")
+    stats = SupervisionStats()
+    payloads = dict(items)
+    workers = max(1, min(workers, len(items))) if items else 0
+    #: (key, attempt, ready_at) — ready_at implements retry backoff.
+    queue: list[tuple[str, int, float]] = [(key, 0, 0.0) for key, _ in items]
+    #: key -> (proc, conn, deadline, attempt, started_at)
+    active: dict[str, tuple] = {}
+    errors: dict[str, list[str]] = {}
+
+    def fail(key: str, attempt: int, message: str) -> None:
+        errors.setdefault(key, []).append(message)
+        if attempt < retries:
+            stats.retries_used += 1
+            retry_counter.inc()
+            backoff = retry_backoff * (2 ** attempt)
+            logger.warning(
+                "%s attempt %d failed (%s); retrying in %.2fs",
+                key[:12], attempt, message, backoff,
+            )
+            queue.append((key, attempt + 1, time.monotonic() + backoff))
+        else:
+            quarantine_counter.inc()
+            info = describe(key, payloads[key]) if describe else {}
+            stats.quarantined[key] = {
+                **info,
+                "attempts": attempt + 1,
+                "errors": list(errors[key]),
+            }
+            logger.error(
+                "%s quarantined after %d attempt(s): %s",
+                key[:12], attempt + 1, message,
+            )
+
+    while queue or active:
+        now = time.monotonic()
+        progressed = False
+        # Launch any ready item into a free slot.
+        while len(active) < workers:
+            ready_idx = next(
+                (i for i, (_, _, ready_at) in enumerate(queue)
+                 if ready_at <= now), None,
+            )
+            if ready_idx is None:
+                break
+            key, attempt, _ = queue.pop(ready_idx)
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=supervised_entry,
+                args=(child_conn, worker, (key, payloads[key], attempt)),
+            )
+            proc.start()
+            child_conn.close()
+            deadline = now + run_timeout if run_timeout is not None else None
+            active[key] = (proc, parent_conn, deadline, attempt, now)
+            progressed = True
+        # Harvest finished / dead / overdue children.
+        for key in list(active):
+            proc, conn, deadline, attempt, started = active[key]
+            if conn.poll():
+                try:
+                    kind, payload = conn.recv()
+                except EOFError:
+                    kind, payload = "err", "worker died (pipe closed)"
+                proc.join()
+                conn.close()
+                del active[key]
+                progressed = True
+                if kind == "ok":
+                    on_success(key, payload)
+                else:
+                    fail(key, attempt, str(payload))
+            elif not proc.is_alive():
+                proc.join()
+                conn.close()
+                del active[key]
+                progressed = True
+                fail(key, attempt,
+                     f"worker died silently (exitcode {proc.exitcode})")
+            elif deadline is not None and now > deadline:
+                proc.terminate()
+                proc.join()
+                conn.close()
+                del active[key]
+                progressed = True
+                stats.timeouts += 1
+                timeout_counter.inc()
+                fail(key, attempt,
+                     f"timeout after {now - started:.2f}s "
+                     f"(limit {run_timeout}s)")
+        if not progressed:
+            time.sleep(POLL_INTERVAL)
+
+    return stats

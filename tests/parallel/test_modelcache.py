@@ -1,0 +1,79 @@
+"""Tests for the on-disk content-addressed model cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.core.labeling import BINARY_THRESHOLDS
+from repro.core.nn.train import TrainConfig
+from repro.core.predictor import InterferencePredictor
+from repro.parallel.modelcache import ModelCache
+
+KEY = "cd" + "1" * 38
+
+
+def small_dataset(seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0, 0.3, size=(80, 3, 5))
+    hot = rng.integers(0, 3, size=80)
+    intensity = rng.uniform(0, 6, size=80)
+    X[np.arange(80), hot, 0] += intensity
+    y = (intensity > 3).astype(int)
+    return Dataset(X, y, feature_names=("a", "b", "c", "d", "e"))
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    return InterferencePredictor.train(
+        small_dataset(), BINARY_THRESHOLDS,
+        config=TrainConfig(epochs=4, seed=0), restarts=1)
+
+
+def test_miss_then_hit_round_trip(tmp_path, predictor):
+    cache = ModelCache(tmp_path / "cache")
+    assert cache.get(KEY) is None
+    cache.put(KEY, predictor, material={"why": "test"})
+    assert KEY in cache
+    back = cache.get(KEY)
+    assert back is not None
+    X = small_dataset().X
+    assert np.array_equal(back.predict_proba(X), predictor.predict_proba(X))
+    assert cache.stats()["hits"] == 1
+    assert cache.stats()["misses"] == 1
+    assert cache.stats()["stores"] == 1
+    assert len(cache) == 1
+
+
+def test_put_is_idempotent(tmp_path, predictor):
+    cache = ModelCache(tmp_path / "cache")
+    cache.put(KEY, predictor)
+    cache.put(KEY, predictor)
+    assert cache.stats()["stores"] == 1
+    assert len(cache) == 1
+
+
+def test_spec_file_written(tmp_path, predictor):
+    cache = ModelCache(tmp_path / "cache")
+    cache.put(KEY, predictor, material={"kind": "trained-predictor"})
+    spec = cache.path_for(KEY) / "spec.json"
+    assert spec.exists()
+    assert "trained-predictor" in spec.read_text()
+
+
+def test_corrupt_entry_is_a_miss_and_removed(tmp_path, predictor):
+    """A garbled model file reads as a miss, the entry is dropped, and a
+    retrain can store the slot again — never a crashed experiment."""
+    cache = ModelCache(tmp_path / "cache")
+    cache.put(KEY, predictor)
+    (cache.path_for(KEY) / "model.npz").write_bytes(b"garbage")
+    assert cache.get(KEY) is None
+    assert cache.stats()["errors"] == 1
+    assert not cache.path_for(KEY).exists()
+    cache.put(KEY, predictor)
+    assert cache.get(KEY) is not None
+
+
+def test_short_key_rejected(tmp_path):
+    cache = ModelCache(tmp_path / "cache")
+    with pytest.raises(ValueError):
+        cache.path_for("ab")

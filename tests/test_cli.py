@@ -149,3 +149,64 @@ def test_bench_subcommand_dispatches():
     with pytest.raises(SystemExit) as exc:
         main(["bench", "--help"])
     assert exc.value.code == 0
+
+
+def test_train_requires_model_out():
+    with pytest.raises(SystemExit):
+        main(["train"])
+
+
+def test_train_bad_jobs_rejected(tmp_path, capsys):
+    assert main(["train", "--model-out", str(tmp_path / "m.npz"),
+                 "--jobs", "0"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_predict_requires_model():
+    with pytest.raises(SystemExit):
+        main(["predict"])
+
+
+def test_predict_rejects_bad_model_and_run(tmp_path, capsys):
+    bogus = tmp_path / "bogus.npz"
+    bogus.write_bytes(b"not a model")
+    assert main(["predict", "--model", str(bogus)]) == 2
+    assert "cannot load model" in capsys.readouterr().err
+    assert main(["predict", "--model", str(tmp_path / "missing.npz")]) == 2
+    assert "cannot load model" in capsys.readouterr().err
+
+
+def test_predict_bad_window_args_rejected(tmp_path, capsys):
+    assert main(["predict", "--model", str(tmp_path / "m.npz"),
+                 "--window-size", "0"]) == 2
+    assert main(["predict", "--model", str(tmp_path / "m.npz"),
+                 "--sample-interval", "-1"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_train_then_predict_end_to_end(tmp_path, capsys):
+    """The tentpole's CLI story: train once (model cached and saved to
+    npz), rerun warm (zero trainings, identical model file), then score
+    a run with the saved model in a fresh process-level entry point."""
+    import numpy as np
+
+    model_a = tmp_path / "a.npz"
+    model_b = tmp_path / "b.npz"
+    common = ["--fast", "--cache-dir", str(tmp_path / "runs"),
+              "--model-cache-dir", str(tmp_path / "models")]
+    assert main(["train", "--model-out", str(model_a), *common]) == 0
+    cold_out = capsys.readouterr().out
+    assert "wrote" in cold_out
+    assert model_a.exists()
+
+    assert main(["train", "--model-out", str(model_b), *common]) == 0
+    warm_out = capsys.readouterr().out
+    assert "trained 0 restart(s)" in warm_out  # pure cache recall
+    with np.load(model_a) as a, np.load(model_b) as b:
+        assert a.files == b.files
+        assert all(np.array_equal(a[k], b[k]) for k in a.files)
+
+    assert main(["predict", "--model", str(model_a), "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "window" in out
+    assert "2 classes" in out
