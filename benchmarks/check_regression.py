@@ -78,10 +78,17 @@ def check_environments(docs: dict) -> list[str]:
                 f"{key}: {e1.get(key)!r} vs {e2.get(key)!r}"
                 for key in sorted(set(e1) | set(e2))
                 if e1.get(key) != e2.get(key))
+            note = ("wall-clock regressions are expected noise across "
+                    "machines")
+            if (e1.get("git_sha") != e2.get("git_sha")
+                    and e1.get("git_sha") and e2.get("git_sha")):
+                note = (f"results span commits "
+                        f"{str(e1['git_sha'])[:12]} -> "
+                        f"{str(e2['git_sha'])[:12]}; regenerate the "
+                        "baseline if the code change was intentional")
             warnings.append(
                 f"WARNING: {name}: baseline and fresh results come from "
-                f"different environments ({diff}); wall-clock regressions "
-                "are expected noise across machines")
+                f"different environments ({diff}); {note}")
     return warnings
 
 

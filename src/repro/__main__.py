@@ -10,6 +10,8 @@ Usage::
     python -m repro all [--fast]         # everything, in order
     python -m repro robustness [--fast]  # F1 under telemetry faults
     python -m repro obs FILE [FILE ...]  # summarise traces/metrics/manifests
+    python -m repro obs report FILE ... [--chrome-trace OUT.json]
+                                         # merged report + Perfetto trace
     python -m repro bench [engine|sweep|train]  # regenerate BENCH_*.json
     python -m repro train --model-out M.npz     # train once, save the model
     python -m repro predict --model M.npz       # predict anywhere
@@ -49,12 +51,17 @@ warm re-run of a model experiment trains nothing. ``--no-model-cache``
 disables it.
 
 Observability: every experiment writes a JSON run manifest (seed, config,
-git SHA, timings, sweep/cache statistics, metric snapshot) next to its
-results. ``--trace PATH`` records a span trace of all simulated I/O to a
-JSONL file (parent-process runs only: spans do not cross worker process
-boundaries), ``--metrics-out PATH`` dumps the metrics registry, ``-v``/
-``-vv`` turn on INFO/DEBUG logging, and ``python -m repro obs`` renders
-any of the exported files.
+git SHA, timings, sweep/cache statistics, a wall-clock phase profile and
+a metric snapshot) next to its results. ``--trace PATH`` records a span
+trace of all simulated I/O to a JSONL file — including runs executed in
+worker processes: workers attach a tracer seeded with the parent's trace
+context and ship their spans back, and the parent merges everything
+(plus wall-clock queue-wait/execute/retry/cache-probe job spans) into
+one multi-process timeline. ``--metrics-out PATH`` dumps the metrics
+registry, ``-v``/``-vv`` turn on INFO/DEBUG logging, ``python -m repro
+obs`` renders any exported file, and ``python -m repro obs report``
+renders manifest + trace + metrics together — with ``--chrome-trace
+OUT.json`` producing a Perfetto-loadable timeline.
 """
 
 from __future__ import annotations
@@ -232,16 +239,73 @@ def _fail(message: str) -> int:
     return 2
 
 
+def main_obs_report(argv: list[str]) -> int:
+    """``python -m repro obs report`` — one merged report over artefacts."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs report",
+        description="Render a run manifest, a (multi-process) trace and "
+                    "a metrics snapshot into one report: per-phase and "
+                    "per-worker breakdowns, executor/cache health, and "
+                    "optionally a Chrome trace-event JSON for Perfetto.",
+    )
+    parser.add_argument("files", nargs="+", type=pathlib.Path,
+                        help="any mix of manifest.json, *.trace.jsonl "
+                             "and *.metrics.json from one run")
+    parser.add_argument("--chrome-trace", type=pathlib.Path, default=None,
+                        metavar="OUT.json",
+                        help="also write the trace as Chrome trace-event "
+                             "JSON (load in Perfetto / about:tracing)")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="-v: INFO logs, -vv: DEBUG logs")
+    args = parser.parse_args(argv)
+    if args.verbose:
+        obs.configure_logging("DEBUG" if args.verbose > 1 else "INFO")
+
+    from repro.obs.summary import sniff_kind
+
+    manifest = None
+    spans = None
+    metrics = None
+    for path in args.files:
+        try:
+            kind = sniff_kind(path)
+            if kind == "manifest":
+                manifest = obs.load_manifest(path)
+            elif kind == "trace":
+                spans = (spans or []) + obs.load_trace(path)
+            else:
+                metrics = {**(metrics or {}), **obs.load_metrics(path)}
+        except (OSError, ValueError) as exc:
+            return _fail(str(exc))
+    print(obs.render_report(manifest=manifest, spans=spans, metrics=metrics))
+    if args.chrome_trace is not None:
+        if spans is None:
+            return _fail("--chrome-trace needs a *.trace.jsonl input")
+        trace_id = manifest.trace_id if manifest is not None else None
+        trace_id = trace_id or next(
+            (s.trace_id for s in spans if s.trace_id), None)
+        obs.save_chrome_trace(spans, args.chrome_trace, trace_id=trace_id)
+        print(f"wrote {args.chrome_trace}")
+    return 0
+
+
 def main_obs(argv: list[str]) -> int:
     """``python -m repro obs`` — summarise exported observability files."""
+    if argv and argv[0] == "report":
+        return main_obs_report(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro obs",
         description="Summarise exported traces, metric snapshots and "
-                    "run manifests from their files alone.",
+                    "run manifests from their files alone ('obs report' "
+                    "renders them together, with a Chrome trace export).",
     )
     parser.add_argument("files", nargs="+", type=pathlib.Path,
                         help="*.trace.jsonl, *.metrics.json or manifest.json")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="-v: INFO logs, -vv: DEBUG logs")
     args = parser.parse_args(argv)
+    if args.verbose:
+        obs.configure_logging("DEBUG" if args.verbose > 1 else "INFO")
     status = 0
     for path in args.files:
         print(f"==== {path} ====")
@@ -525,19 +589,37 @@ def main(argv: list[str] | None = None) -> int:
         retries=args.retries,
     )
 
-    tracer = obs.install_tracer() if args.trace else None
+    tracer = None
+    if args.trace:
+        # Deterministic trace id: a digest of what is being run, never
+        # wall-clock or pid derived, so same-command traces share an id.
+        import hashlib
+
+        material = (f"{args.experiment}:{_config(args.fast).seed}:"
+                    f"{args.sim_backend}:{int(args.fast)}")
+        trace_id = hashlib.sha256(material.encode()).hexdigest()[:16]
+        tracer = obs.install_tracer(obs.Tracer(trace_id=trace_id))
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
     manifest_dir = args.out if args.out else pathlib.Path("results")
     try:
         for name in names:
+            from repro.obs import profile as _profile
+
+            profiler = _profile.install(tracer=tracer)
             start = time.time()
             print(f"==== {name} ====")
-            text = _RUNNERS[name](args.fast, executor, trainer)
+            try:
+                text = _RUNNERS[name](args.fast, executor, trainer)
+            finally:
+                _profile.uninstall()
             elapsed = time.time() - start
             print(text)
             print(f"({elapsed:.0f}s)\n")
+            if args.verbose:
+                print(profiler.render())
+                print()
             if args.out:
                 (args.out / f"{name}.txt").write_text(text + "\n")
             manifest = obs.build_manifest(
@@ -548,7 +630,8 @@ def main(argv: list[str] | None = None) -> int:
                 timings={"run": elapsed},
                 extra={"scales": _scales(args.fast),
                        "sweep": executor.stats(),
-                       "training": trainer.stats()},
+                       "training": trainer.stats(),
+                       "profile": profiler.summary()},
             )
             obs.write_manifest(manifest,
                                manifest_dir / f"{name}.manifest.json")

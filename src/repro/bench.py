@@ -66,11 +66,16 @@ def bench_environment() -> dict[str, Any]:
     """
     import platform
 
+    from repro.obs.manifest import git_revision
+
     return {
         "python": platform.python_version(),
         "numpy": np.__version__,
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
+        # Commit provenance: lets check_regression.py distinguish "code
+        # changed" from "machine changed" when wall numbers drift.
+        "git_sha": git_revision(),
     }
 
 

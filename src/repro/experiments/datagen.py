@@ -125,6 +125,7 @@ def collect_windows(
     serial: per-run seeds derive from the config seed and stable string
     paths, and results are consumed in submission order.
     """
+    from repro.obs import profile as _profile
     from repro.parallel import PairJob, SweepExecutor
 
     labeller = DegradationLabeller(window_size=config.window_size)
@@ -135,44 +136,46 @@ def collect_windows(
         if not (scenario.is_baseline and not include_quiet_windows)
     ]
     executor = executor or SweepExecutor(n_jobs=n_jobs, cache=cache)
-    paired = executor.run_pairs([
-        PairJob(target, tuple(scenario.interference), config,
-                seed_salt=scenario.name)
-        for target, scenario in sweep
-    ])
-    parts: list[WindowBank] = []
-    for (target, scenario), pair in zip(sweep, paired):
-        if pair is None:
-            # One of the pair's runs was quarantined by the executor's
-            # resilience layer; the sweep degrades instead of crashing.
-            from repro.obs.log import get_logger
-            from repro.obs.metrics import REGISTRY
+    with _profile.phase("dataset-sweep", pairs=len(sweep)):
+        paired = executor.run_pairs([
+            PairJob(target, tuple(scenario.interference), config,
+                    seed_salt=scenario.name)
+            for target, scenario in sweep
+        ])
+    with _profile.phase("dataset-label"):
+        parts: list[WindowBank] = []
+        for (target, scenario), pair in zip(sweep, paired):
+            if pair is None:
+                # One of the pair's runs was quarantined by the executor's
+                # resilience layer; the sweep degrades instead of crashing.
+                from repro.obs.log import get_logger
+                from repro.obs.metrics import REGISTRY
 
-            REGISTRY.counter("datagen.pairs_skipped").inc()
-            get_logger("experiments.datagen").warning(
-                "skipping pair %s:%s (run quarantined)",
-                target.name, scenario.name,
+                REGISTRY.counter("datagen.pairs_skipped").inc()
+                get_logger("experiments.datagen").warning(
+                    "skipping pair %s:%s (run quarantined)",
+                    target.name, scenario.name,
+                )
+                continue
+            run = pair.interfered
+            levels = labeller.window_levels(
+                pair.baseline.records, run.records, target.name
             )
-            continue
-        run = pair.interfered
-        levels = labeller.window_levels(
-            pair.baseline.records, run.records, target.name
-        )
-        if not levels:
-            continue
-        X, windows = assemble_vectors(run, config.window_size,
-                                      config.sample_interval)
-        keep = [w for w in windows if w in levels]
-        if not keep:
-            continue
-        parts.append(
-            WindowBank(
-                X[keep],
-                np.array([levels[w] for w in keep]),
-                sources=[f"{target.name}:{scenario.name}"] * len(keep),
+            if not levels:
+                continue
+            X, windows = assemble_vectors(run, config.window_size,
+                                          config.sample_interval)
+            keep = [w for w in windows if w in levels]
+            if not keep:
+                continue
+            parts.append(
+                WindowBank(
+                    X[keep],
+                    np.array([levels[w] for w in keep]),
+                    sources=[f"{target.name}:{scenario.name}"] * len(keep),
+                )
             )
-        )
-    return WindowBank.concatenate(parts)
+        return WindowBank.concatenate(parts)
 
 
 def bank_to_dataset(
@@ -182,12 +185,14 @@ def bank_to_dataset(
 ) -> Dataset:
     """Bin a window bank's levels into severity classes."""
     from repro.monitor.schema import VECTOR_FEATURES
+    from repro.obs import profile as _profile
 
-    y = np.array([bin_level(lv, thresholds) for lv in bank.levels])
-    n_feats = bank.X.shape[2]
-    names = (VECTOR_FEATURES if n_feats == len(VECTOR_FEATURES)
-             else tuple(f"f{i}" for i in range(n_feats)))
-    return Dataset(bank.X, y, feature_names=names, source=source)
+    with _profile.phase("dataset-assemble", windows=len(bank)):
+        y = np.array([bin_level(lv, thresholds) for lv in bank.levels])
+        n_feats = bank.X.shape[2]
+        names = (VECTOR_FEATURES if n_feats == len(VECTOR_FEATURES)
+                 else tuple(f"f{i}" for i in range(n_feats)))
+        return Dataset(bank.X, y, feature_names=names, source=source)
 
 
 def generate_dataset(

@@ -256,6 +256,11 @@ def run_pair(
         return executor.run_pairs(
             [PairJob(target, tuple(interference), config, seed_salt=seed_salt)]
         )[0]
-    baseline = execute_run(target, [], config, seed_salt=seed_salt)
-    interfered = execute_run(target, interference, config, seed_salt=seed_salt)
+    from repro.obs import profile as _profile
+
+    with _profile.phase("sim-run", target=target.name, kind="baseline"):
+        baseline = execute_run(target, [], config, seed_salt=seed_salt)
+    with _profile.phase("sim-run", target=target.name, kind="interfered"):
+        interfered = execute_run(target, interference, config,
+                                 seed_salt=seed_salt)
     return PairedRuns(baseline=baseline, interfered=interfered)

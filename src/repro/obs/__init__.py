@@ -11,8 +11,15 @@ The observability layer threaded through every tier of the stack:
 * :mod:`repro.obs.log` — ``repro``-namespaced stdlib logging;
 * :mod:`repro.obs.manifest` — JSON run manifests (seed, config, git SHA,
   timings, metric snapshot) stamped by every experiment entry point;
-* :mod:`repro.obs.export` / :mod:`repro.obs.summary` — JSONL/JSON
-  exporters and the renderers behind ``python -m repro obs``.
+* :mod:`repro.obs.distributed` — cross-process trace propagation: the
+  serializable :class:`TraceContext` handed to worker processes and the
+  deterministic merge of their span shipments into one timeline;
+* :mod:`repro.obs.profile` — lightweight wall-clock phase profiler with
+  hierarchical attribution and a critical-path summary;
+* :mod:`repro.obs.export` / :mod:`repro.obs.summary` /
+  :mod:`repro.obs.report` — JSONL/JSON exporters, the renderers behind
+  ``python -m repro obs``, and the ``repro obs report`` surface
+  (terminal report + Chrome trace-event JSON for Perfetto).
 
 Quickstart::
 
@@ -26,6 +33,14 @@ Quickstart::
     print(obs.render_span_summary(tracer.spans))
 """
 
+from repro.obs.distributed import (
+    WALL_CLOCK,
+    TraceContext,
+    attach,
+    current_context,
+    merge_shipment,
+    ship,
+)
 from repro.obs.export import (
     load_metrics,
     load_trace,
@@ -50,6 +65,18 @@ from repro.obs.metrics import (
     MetricsRegistry,
     registry,
 )
+from repro.obs.profile import PhaseProfiler, PhaseRecord, phase, profiling
+from repro.obs.profile import get as current_profiler
+from repro.obs.profile import install as install_profiler
+from repro.obs.profile import uninstall as uninstall_profiler
+from repro.obs.report import (
+    chrome_trace_doc,
+    executor_health,
+    render_report,
+    save_chrome_trace,
+    split_spans,
+    worker_breakdown,
+)
 from repro.obs.summary import (
     render_manifest,
     render_metrics_table,
@@ -73,8 +100,17 @@ __all__ = [
     # manifests
     "RunManifest", "build_manifest", "config_to_dict", "git_revision",
     "load_manifest", "write_manifest",
+    # distributed tracing
+    "TraceContext", "WALL_CLOCK", "current_context", "attach", "ship",
+    "merge_shipment",
+    # profiling
+    "PhaseProfiler", "PhaseRecord", "phase", "profiling",
+    "current_profiler", "install_profiler", "uninstall_profiler",
     # export + rendering
     "save_trace", "load_trace", "save_metrics", "load_metrics",
     "render_span_summary", "render_metrics_table", "render_manifest",
     "summarise_file",
+    # reporting
+    "render_report", "chrome_trace_doc", "save_chrome_trace",
+    "split_spans", "worker_breakdown", "executor_health",
 ]

@@ -10,8 +10,10 @@ producing process.  Formats:
 * ``*.metrics.json`` — a single object wrapping a
   :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`.
 
-Both are pure ``json`` text: greppable, diffable, and — because spans
-carry only simulated time — byte-identical across same-seed runs.
+Both are pure ``json`` text: greppable and diffable.  Traces whose spans
+are clocked on simulated time are byte-identical across same-seed runs;
+wall-clock spans (``attrs["clock"] == "wall"``, emitted around parallel
+jobs and profiled phases) carry real timings and naturally vary.
 """
 
 from __future__ import annotations
@@ -47,6 +49,8 @@ def save_trace(source: Tracer | Iterable[Span],
     if isinstance(source, Tracer):
         header["events_fired"] = source.events_fired
         header["processes_spawned"] = source.processes_spawned
+        if source.trace_id:
+            header["trace_id"] = source.trace_id
     with open(path, "w") as fp:
         fp.write(json.dumps(header, sort_keys=True) + "\n")
         for span in spans:

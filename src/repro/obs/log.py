@@ -38,7 +38,11 @@ def configure_logging(level: int | str = "INFO",
     """Enable ``repro.*`` log output at ``level``; returns the root logger.
 
     Idempotent: calling again adjusts the level (and stream, if given)
-    of the handler installed earlier instead of stacking duplicates.
+    of the handler installed earlier instead of stacking duplicates —
+    repeated CLI invocations in one process (``main(...)`` called twice,
+    ``repro obs -v`` after ``repro table1 -v``) emit each record once.
+    Should duplicates exist anyway (e.g. a pickled/forked logger tree),
+    the extras are removed before reuse.
     """
     if isinstance(level, str):
         resolved = logging.getLevelName(level.upper())
@@ -47,10 +51,11 @@ def configure_logging(level: int | str = "INFO",
         level = resolved
     root = logging.getLogger(_ROOT)
     root.setLevel(level)
-    handler = next(
-        (h for h in root.handlers if getattr(h, "_repro_obs_handler", False)),
-        None,
-    )
+    ours = [h for h in root.handlers
+            if getattr(h, "_repro_obs_handler", False)]
+    for extra in ours[1:]:
+        root.removeHandler(extra)
+    handler = ours[0] if ours else None
     if handler is None:
         handler = logging.StreamHandler(stream or sys.stderr)
         handler._repro_obs_handler = True  # type: ignore[attr-defined]

@@ -89,6 +89,10 @@ class RunManifest:
     #: Metrics-registry snapshot taken when the manifest was built.
     metrics: dict[str, dict] = dataclasses.field(default_factory=dict)
     extra: dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: Distributed trace id of the execution (when tracing was on).
+    #: Optional with a default so manifests written before trace
+    #: propagation existed still load.
+    trace_id: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
         doc = dataclasses.asdict(self)
@@ -111,10 +115,19 @@ def build_manifest(
     timings: Mapping[str, float] | None = None,
     extra: Mapping[str, Any] | None = None,
     registry: MetricsRegistry | None = None,
+    trace_id: str | None = None,
 ) -> RunManifest:
-    """Assemble a manifest for ``name`` from the current process state."""
-    from repro import __version__
+    """Assemble a manifest for ``name`` from the current process state.
 
+    ``trace_id`` defaults to the installed tracer's id (when a tracer is
+    recording), tying the manifest to the trace file it was written
+    alongside.
+    """
+    from repro import __version__
+    from repro.obs import trace as _trace
+
+    if trace_id is None and _trace.TRACER is not None:
+        trace_id = _trace.TRACER.trace_id
     reg = REGISTRY if registry is None else registry
     return RunManifest(
         name=name,
@@ -128,6 +141,7 @@ def build_manifest(
         timings={k: float(v) for k, v in (timings or {}).items()},
         metrics=reg.snapshot(),
         extra=dict(extra or {}),
+        trace_id=trace_id,
     )
 
 

@@ -194,15 +194,26 @@ class MetricsRegistry:
         return {name: self._metrics[name].to_dict()
                 for name in sorted(self._metrics)}
 
-    def merge_snapshot(self, snapshot: dict[str, dict]) -> None:
+    def merge_snapshot(self, snapshot: dict[str, dict],
+                       worker: str | None = None) -> None:
         """Fold another registry's :meth:`snapshot` into this one.
 
-        Used by the parallel sweep executor: worker processes return
-        their registry snapshot with each finished run, and merging
-        keeps the parent's counters equal to what a serial sweep would
-        have recorded.  Counters and histogram contents add; gauges are
-        instantaneous, so the merged value simply overwrites (last
-        delivery wins — meaningful gauges are re-set by later work).
+        Used by the parallel executors: worker processes return their
+        registry snapshot with each finished unit of work, and merging
+        keeps the parent's counters equal to what a serial execution
+        would have recorded.  The merge is **type-aware**:
+
+        * **counters** sum;
+        * **histograms** merge bucket-wise (plus sum/count/min/max);
+        * **gauges** are instantaneous, so there is no meaningful sum.
+          Without a ``worker`` label the merged value overwrites (last
+          delivery wins — an explicit, documented reduce, only safe when
+          snapshots arrive in a meaningful order).  With a ``worker``
+          label each origin keeps its own value as a labeled series
+          ``name{worker=<label>}`` — nothing is silently clobbered, and
+          because executors label by stable work identity (run-key
+          prefix, restart tag — never a pid) the merged registry is
+          deterministic whatever order snapshots complete in.
         """
         for name in sorted(snapshot):
             doc = snapshot[name]
@@ -210,7 +221,10 @@ class MetricsRegistry:
             if kind == Counter.kind:
                 self.counter(name).inc(doc["value"])
             elif kind == Gauge.kind:
-                self.gauge(name).set(doc["value"])
+                if worker is not None:
+                    self.gauge(f"{name}{{worker={worker}}}").set(doc["value"])
+                else:
+                    self.gauge(name).set(doc["value"])
             elif kind == Histogram.kind:
                 hist = self.histogram(name, doc["boundaries"])
                 counts = doc["counts"]

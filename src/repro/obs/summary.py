@@ -38,7 +38,14 @@ def _table(headers: list[str], rows: list[list[str]]) -> str:
 
 
 def render_span_summary(spans: Iterable[Span]) -> str:
-    """Per-name span aggregates, busiest first (by total simulated time)."""
+    """Per-name span aggregates, busiest first (by total span time).
+
+    The headline names the clock: "simulated span-seconds" for pure
+    sim-clock traces, "wall span-seconds" when every span is wall-clock
+    (``attrs["clock"] == "wall"``), and plain "span-seconds" for mixed
+    traces (pre-split them with :func:`repro.obs.report.split_spans` for
+    per-domain tables).
+    """
     tracer = Tracer()
     tracer.spans = list(spans)
     summary = tracer.summary()
@@ -51,9 +58,12 @@ def render_span_summary(spans: Iterable[Span]) -> str:
                                 key=lambda kv: -kv[1]["total"])
     ]
     total = sum(agg["total"] for agg in summary.values())
+    clocks = {s.attrs.get("clock") for s in tracer.spans}
+    unit = ("wall span-seconds" if clocks == {"wall"}
+            else "simulated span-seconds" if "wall" not in clocks
+            else "span-seconds")
     table = _table(["span", "count", "total_s", "mean_s", "max_s"], rows)
-    return (f"{len(tracer.spans)} spans, {total:.6f} simulated span-seconds\n"
-            + table)
+    return f"{len(tracer.spans)} spans, {total:.6f} {unit}\n" + table
 
 
 def _metric_row(name: str, data: dict) -> list[str]:
@@ -85,6 +95,8 @@ def render_manifest(manifest: RunManifest) -> str:
         f"version:    repro {manifest.version} / python {manifest.python}",
         f"platform:   {manifest.platform}",
     ]
+    if manifest.trace_id:
+        lines.insert(4, f"trace id:   {manifest.trace_id}")
     if manifest.timings:
         timing = ", ".join(f"{k}={v:.2f}s"
                            for k, v in sorted(manifest.timings.items()))

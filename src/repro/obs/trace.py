@@ -47,19 +47,26 @@ class Span:
     ``end`` is ``None`` while the span is open; :meth:`Tracer.finish`
     closes it.  ``parent_id`` links child spans (an RPC inside a client
     operation, a network transfer inside an RPC) into a tree that a
-    flame-graph renderer can reconstruct from ids alone.
+    flame-graph renderer can reconstruct from ids alone.  ``trace_id``
+    names the distributed trace this span belongs to — every span of one
+    (possibly multi-process) execution shares it, so merged timelines
+    stay attributable after worker spans are folded into the parent's
+    tracer (:mod:`repro.obs.distributed`).
     """
 
-    __slots__ = ("span_id", "parent_id", "name", "start", "end", "attrs")
+    __slots__ = ("span_id", "parent_id", "name", "start", "end", "attrs",
+                 "trace_id")
 
     def __init__(self, span_id: int, parent_id: int | None, name: str,
-                 start: float, attrs: dict[str, Any]) -> None:
+                 start: float, attrs: dict[str, Any],
+                 trace_id: str | None = None) -> None:
         self.span_id = span_id
         self.parent_id = parent_id
         self.name = name
         self.start = start
         self.end: float | None = None
         self.attrs = attrs
+        self.trace_id = trace_id
 
     @property
     def duration(self) -> float:
@@ -68,8 +75,12 @@ class Span:
         return self.end - self.start
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-ready representation with a stable key order."""
-        return {
+        """JSON-ready representation with a stable key order.
+
+        ``trace_id`` is only emitted when set, so traces recorded by
+        pre-distributed tracers stay byte-identical to what they wrote.
+        """
+        doc = {
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "name": self.name,
@@ -77,12 +88,16 @@ class Span:
             "end": self.end,
             "attrs": self.attrs,
         }
+        if self.trace_id is not None:
+            doc["trace_id"] = self.trace_id
+        return doc
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "Span":
         span = cls(int(data["span_id"]),
                    None if data.get("parent_id") is None else int(data["parent_id"]),
-                   str(data["name"]), float(data["start"]), dict(data.get("attrs", {})))
+                   str(data["name"]), float(data["start"]), dict(data.get("attrs", {})),
+                   trace_id=data.get("trace_id"))
         if data.get("end") is not None:
             span.end = float(data["end"])
         return span
@@ -93,10 +108,18 @@ class Span:
 
 
 class Tracer:
-    """Collects spans plus a few kernel-level counters for one run."""
+    """Collects spans plus a few kernel-level counters for one run.
 
-    def __init__(self) -> None:
+    ``trace_id`` (optional) names the distributed trace this tracer
+    records into; every span it starts is stamped with it.  Ids stay
+    plain sequence numbers — deterministic, never wall-clock derived —
+    and :mod:`repro.obs.distributed` remaps worker-local ids when spans
+    from several processes merge into one timeline.
+    """
+
+    def __init__(self, trace_id: str | None = None) -> None:
         self.spans: list[Span] = []
+        self.trace_id = trace_id
         self._next_id = 1
         #: Events delivered by the discrete-event kernel while recording.
         self.events_fired = 0
@@ -107,7 +130,8 @@ class Tracer:
               **attrs: Any) -> Span:
         """Open a span at simulated time ``now``; returns the handle."""
         parent_id = parent.span_id if isinstance(parent, Span) else parent
-        span = Span(self._next_id, parent_id, name, now, attrs)
+        span = Span(self._next_id, parent_id, name, now, attrs,
+                    trace_id=self.trace_id)
         self._next_id += 1
         self.spans.append(span)
         return span

@@ -34,10 +34,21 @@ fault-ridden sweep resumes from the cache: re-running it re-executes
 only the runs that never completed.
 
 Worker processes reset the metrics registry, execute, and ship their
-registry snapshot back with the run; the parent merges the snapshots so
-``monitor.*``/``sim.*`` counters match what a serial sweep would have
-recorded.  Per-run wall time lands in the ``parallel.run_seconds``
-histogram either way.
+registry snapshot back with the run; the parent merges the snapshots
+(type-aware: counters sum, histograms merge bucket-wise, gauges become
+per-worker labeled series) so ``monitor.*``/``sim.*`` counters match
+what a serial sweep would have recorded.  Per-run wall time lands in the
+``parallel.run_seconds`` histogram either way.
+
+With a tracer installed, parallel workers additionally attach a fresh
+tracer seeded with the parent's :class:`~repro.obs.distributed.
+TraceContext`, ship their finished spans back with each result, and the
+parent merges every shipment into one coherent multi-process timeline:
+wall-clock ``job.*`` spans (queue-wait, execute, retry) and
+``cache.probe`` spans wrap each job, with the worker's simulated-time
+spans nested under its ``job.execute``.  Merged span ids are allocated
+in *submission* order, so the timeline's shape is deterministic whatever
+order workers finish in.
 """
 
 from __future__ import annotations
@@ -56,6 +67,10 @@ from repro.experiments.runner import (
 )
 from repro.faults.plan import FaultPlan
 from repro.monitor.aggregator import MonitoredRun
+from repro.obs import distributed as _dist
+from repro.obs import profile as _profile
+from repro.obs import trace as _trace
+from repro.obs.distributed import WALL_CLOCK, TraceContext
 from repro.obs.log import get_logger
 from repro.obs.metrics import REGISTRY
 from repro.parallel.cache import RunCache
@@ -101,21 +116,25 @@ class PairJob:
 
 
 def _execute_job(item: tuple[str, RunJob, int],
-                 plan: FaultPlan | None = None):
-    """Worker body: run one job and return (key, run, wall, metrics).
+                 plan: FaultPlan | None = None,
+                 trace_ctx: TraceContext | None = None):
+    """Worker body: run one job and return (key, run, wall, metrics, aux).
 
     Runs in a separate process (pool worker or supervised child).  The
     metrics registry is reset first so the returned snapshot is exactly
-    this job's delta (fork-started workers inherit the parent's state);
-    the span tracer is detached because spans cannot cross the process
-    boundary.  When a fault plan is supplied, injected worker faults
+    this job's delta (fork-started workers inherit the parent's state).
+    When the parent is tracing it passes a ``trace_ctx``: the worker
+    attaches a fresh tracer seeded with it and ships the finished spans
+    back in ``aux["trace"]``; otherwise any inherited tracer is detached
+    so fork-started workers never record into the parent's span list.
+    ``aux`` also carries the worker pid and its ``time.monotonic()``
+    start stamp, from which the parent derives queue-wait and execute
+    wall spans.  When a fault plan is supplied, injected worker faults
     fire *before* the simulation (a killed worker never produces partial
     results) and simulated-run aborts are threaded into ``execute_run``.
     """
     key, job, attempt = item
-    from repro.obs import trace as _trace
-
-    _trace.TRACER = None
+    worker_tracer = _dist.attach(trace_ctx)
     REGISTRY.reset()
     abort_at = None
     if plan is not None:
@@ -132,16 +151,102 @@ def _execute_job(item: tuple[str, RunJob, int],
         if stall > 0:
             time.sleep(stall)
         abort_at = plan.run_abort_time(job.target.name, job.seed_salt)
+    started = time.monotonic()
     start = time.perf_counter()
     run = execute_run(job.target, list(job.interference), job.config,
                       seed_salt=job.seed_salt, abort_at=abort_at)
     wall = time.perf_counter() - start
-    return key, run, wall, REGISTRY.snapshot()
+    aux = {"pid": os.getpid(), "started": started,
+           "trace": _dist.ship(worker_tracer)}
+    return key, run, wall, REGISTRY.snapshot(), aux
 
 
 def _default_start_method() -> str:
     methods = multiprocessing.get_all_start_methods()
     return "fork" if "fork" in methods else "spawn"
+
+
+def emit_job_spans(tracer, ordered_keys: list[str], traced: dict[str, dict],
+                   attempts: dict[str, list[dict]] | None = None,
+                   span_prefix: str = "job") -> None:
+    """Emit wall-clock job spans into ``tracer`` in submission order.
+
+    ``traced`` maps job key -> {"submit", "started", "wall", "trace"}
+    (monotonic stamps from the parent and the worker, the run's wall
+    seconds, and the worker's span shipment).  Iterating ``ordered_keys``
+    — submission order — rather than completion order is what keeps
+    merged span ids deterministic across runs.  ``attempts`` (from
+    :class:`~repro.parallel.supervise.SupervisionStats`) contributes
+    ``retry`` child spans for attempts that failed before the success.
+    """
+    for key in ordered_keys:
+        info = traced.get(key)
+        if info is None:
+            continue
+        label = info.get("worker") or key[:12]
+        submit = _dist.monotonic_to_wall(tracer, info["submit"])
+        started = _dist.monotonic_to_wall(tracer, info["started"])
+        end = started + info["wall"]
+        tries = (attempts or {}).get(key) or []
+        if tries:
+            first = _dist.monotonic_to_wall(tracer, tries[0]["started"])
+            started = max(started, first)
+            end = max(end, started + info["wall"])
+        else:
+            first = started
+        first = max(first, submit)
+        job_span = tracer.start(f"{span_prefix}.run", submit,
+                                clock=WALL_CLOCK, worker=label)
+        wait = tracer.start(f"{span_prefix}.queue-wait", submit,
+                            parent=job_span, clock=WALL_CLOCK, worker=label)
+        tracer.finish(wait, first)
+        for t in tries:
+            if t.get("outcome") == "ok":
+                continue
+            t_start = max(submit, _dist.monotonic_to_wall(tracer, t["started"]))
+            retry = tracer.start(f"{span_prefix}.retry", t_start,
+                                 parent=job_span, clock=WALL_CLOCK,
+                                 worker=label, attempt=t.get("attempt", 0),
+                                 outcome=t.get("outcome", "err"))
+            tracer.finish(retry,
+                          max(t_start,
+                              _dist.monotonic_to_wall(tracer, t["ended"])))
+        execute = tracer.start(f"{span_prefix}.execute", max(started, submit),
+                               parent=job_span, clock=WALL_CLOCK, worker=label)
+        _dist.merge_shipment(tracer, info.get("trace"), parent_span=execute,
+                             worker=label)
+        tracer.finish(execute, max(end, started, submit))
+        tracer.finish(job_span, max(end, started, submit))
+
+
+def record_batch_telemetry(traced: dict[str, dict],
+                           prefix: str = "parallel") -> None:
+    """Publish batch-level executor health gauges from worker telemetry.
+
+    * ``{prefix}.workers_used`` — distinct worker processes that ran jobs;
+    * ``{prefix}.worker_busy_seconds{{worker=wN}}`` — busy wall seconds
+      per worker slot, indexed by pid order (slots, not pids: labels stay
+      stable run to run even though pids do not);
+    * ``{prefix}.straggler_skew`` — slowest run / mean run wall time, the
+      load-balance number an operator checks first.
+    """
+    walls = [info["wall"] for info in traced.values() if "wall" in info]
+    if not walls:
+        return
+    mean = sum(walls) / len(walls)
+    REGISTRY.gauge(f"{prefix}.straggler_skew").set(
+        max(walls) / mean if mean > 0 else 1.0)
+    busy: dict[int, float] = {}
+    for info in traced.values():
+        pid = info.get("pid")
+        if pid is not None:
+            busy[pid] = busy.get(pid, 0.0) + info.get("wall", 0.0)
+    if busy:
+        REGISTRY.gauge(f"{prefix}.workers_used").set(len(busy))
+        for slot, pid in enumerate(sorted(busy)):
+            REGISTRY.gauge(
+                f"{prefix}.worker_busy_seconds{{worker=w{slot}}}"
+            ).set(busy[pid])
 
 
 class SweepExecutor:
@@ -236,85 +341,135 @@ class SweepExecutor:
         hold ``None``; without failures no slot is ever ``None``.
         """
         wall_hist = REGISTRY.histogram("parallel.run_seconds")
+        wait_hist = REGISTRY.histogram("parallel.queue_wait_seconds")
         total_counter = REGISTRY.counter("parallel.runs_requested")
         exec_counter = REGISTRY.counter("parallel.runs_executed")
         dedup_counter = REGISTRY.counter("parallel.runs_deduplicated")
         total_counter.inc(len(jobs))
+        tracer = _trace.get()
 
-        keys = [self.key_for(job) for job in jobs]
-        results: dict[str, MonitoredRun] = {}
-        pending: dict[str, RunJob] = {}
-        for job, key in zip(jobs, keys):
-            if key in results or key in pending:
-                self.runs_deduplicated += 1
-                dedup_counter.inc()
-                continue
-            cached = self.cache.get(key) if self.cache is not None else None
-            if cached is not None:
-                results[key] = cached
-            else:
-                pending[key] = job
+        with _profile.phase("sweep", jobs=len(jobs)):
+            with _profile.phase("plan"):
+                keys = [self.key_for(job) for job in jobs]
+            results: dict[str, MonitoredRun] = {}
+            pending: dict[str, RunJob] = {}
+            with _profile.phase("cache-probe"):
+                for job, key in zip(jobs, keys):
+                    if key in results or key in pending:
+                        self.runs_deduplicated += 1
+                        dedup_counter.inc()
+                        continue
+                    cached = None
+                    if self.cache is not None:
+                        probe = (tracer.start("cache.probe",
+                                              _dist.wall_now(tracer),
+                                              clock=WALL_CLOCK, key=key[:12])
+                                 if tracer is not None else None)
+                        cached = self.cache.get(key)
+                        if probe is not None:
+                            tracer.finish(probe, _dist.wall_now(tracer),
+                                          hit=cached is not None)
+                    if cached is not None:
+                        results[key] = cached
+                    else:
+                        pending[key] = job
 
-        items = list(pending.items())
-        self.runs_executed += len(items)
-        exec_counter.inc(len(items))
-        logger.info(
-            "sweep: %d jobs -> %d unique, %d cache hits, %d to run "
-            "(n_jobs=%d)", len(jobs), len(jobs) - self.runs_deduplicated,
-            len(jobs) - len(pending) - self.runs_deduplicated, len(items),
-            self.n_jobs,
-        )
+            items = list(pending.items())
+            self.runs_executed += len(items)
+            exec_counter.inc(len(items))
+            REGISTRY.gauge("parallel.queue_depth").set(len(items))
+            logger.info(
+                "sweep: %d jobs -> %d unique, %d cache hits, %d to run "
+                "(n_jobs=%d)", len(jobs), len(jobs) - self.runs_deduplicated,
+                len(jobs) - len(pending) - self.runs_deduplicated, len(items),
+                self.n_jobs,
+            )
 
-        if items and self._needs_supervision():
-            self._run_supervised(items, results, wall_hist)
-        elif items and self.n_jobs > 1 and len(items) > 1:
-            ctx = multiprocessing.get_context(self.start_method)
-            workers = min(self.n_jobs, len(items))
-            worker_fn = functools.partial(_execute_job, plan=self.fault_plan)
-            with ctx.Pool(processes=workers) as pool:
-                for key, run, wall, snapshot in pool.imap_unordered(
-                        worker_fn, [(k, j, 0) for k, j in items],
-                        chunksize=1):
-                    REGISTRY.merge_snapshot(snapshot)
-                    wall_hist.observe(wall)
-                    self._store(key, pending[key], run)
-                    results[key] = run
-        else:
-            plan = self.fault_plan
-            for key, job in items:
-                abort_at = (plan.run_abort_time(job.target.name, job.seed_salt)
-                            if plan is not None else None)
-                start = time.perf_counter()
-                run = execute_run(job.target, list(job.interference),
-                                  job.config, seed_salt=job.seed_salt,
-                                  abort_at=abort_at)
-                wall_hist.observe(time.perf_counter() - start)
-                self._store(key, job, run)
-                results[key] = run
+            trace_ctx = (_dist.current_context()
+                         if tracer is not None else None)
+            #: key -> {"submit", "started", "wall", "pid", "trace"} for
+            #: the post-execution span merge (submission-order pass).
+            traced: dict[str, dict] = {}
+            with _profile.phase("execute", runs=len(items)):
+                if items and self._needs_supervision():
+                    attempts = self._run_supervised(
+                        items, results, wall_hist, trace_ctx, traced)
+                    if tracer is not None:
+                        emit_job_spans(tracer, [k for k, _ in items],
+                                       traced, attempts)
+                elif items and self.n_jobs > 1 and len(items) > 1:
+                    ctx = multiprocessing.get_context(self.start_method)
+                    workers = min(self.n_jobs, len(items))
+                    worker_fn = functools.partial(
+                        _execute_job, plan=self.fault_plan,
+                        trace_ctx=trace_ctx)
+                    submit = time.monotonic()
+                    with ctx.Pool(processes=workers) as pool:
+                        for key, run, wall, snapshot, aux in \
+                                pool.imap_unordered(
+                                    worker_fn, [(k, j, 0) for k, j in items],
+                                    chunksize=1):
+                            REGISTRY.merge_snapshot(snapshot,
+                                                    worker=key[:12])
+                            wall_hist.observe(wall)
+                            wait_hist.observe(
+                                max(0.0, aux["started"] - submit))
+                            traced[key] = {"submit": submit, "wall": wall,
+                                           **aux}
+                            self._store(key, pending[key], run)
+                            results[key] = run
+                    if tracer is not None:
+                        emit_job_spans(tracer, [k for k, _ in items], traced)
+                else:
+                    plan = self.fault_plan
+                    for key, job in items:
+                        abort_at = (plan.run_abort_time(job.target.name,
+                                                        job.seed_salt)
+                                    if plan is not None else None)
+                        start = time.perf_counter()
+                        with _profile.phase("run", target=job.target.name):
+                            run = execute_run(job.target,
+                                              list(job.interference),
+                                              job.config,
+                                              seed_salt=job.seed_salt,
+                                              abort_at=abort_at)
+                        wall_hist.observe(time.perf_counter() - start)
+                        self._store(key, job, run)
+                        results[key] = run
+            record_batch_telemetry(traced)
 
         return [results.get(key) for key in keys]
 
     def _run_supervised(self, items: list[tuple[str, RunJob]],
                         results: dict[str, MonitoredRun],
-                        wall_hist) -> None:
+                        wall_hist, trace_ctx=None,
+                        traced: dict[str, dict] | None = None
+                        ) -> dict[str, list[dict]]:
         """Watchdogged execution via :func:`repro.parallel.supervise`.
 
         Every pending run gets its own supervised child so a crash or a
         wedge never takes the sweep down; runs that keep failing land in
-        :attr:`quarantined` and the sweep moves on.
+        :attr:`quarantined` and the sweep moves on.  Returns the per-key
+        attempt records so the caller can render retry spans.
         """
         jobs = dict(items)
+        wait_hist = REGISTRY.histogram("parallel.queue_wait_seconds")
+        submit = time.monotonic()
 
         def on_success(key: str, payload) -> None:
-            _, run, wall, snapshot = payload
-            REGISTRY.merge_snapshot(snapshot)
+            _, run, wall, snapshot, aux = payload
+            REGISTRY.merge_snapshot(snapshot, worker=key[:12])
             wall_hist.observe(wall)
+            wait_hist.observe(max(0.0, aux["started"] - submit))
+            if traced is not None:
+                traced[key] = {"submit": submit, "wall": wall, **aux}
             self._store(key, jobs[key], run)
             results[key] = run
 
         stats = run_supervised(
             items,
-            functools.partial(_execute_job, plan=self.fault_plan),
+            functools.partial(_execute_job, plan=self.fault_plan,
+                              trace_ctx=trace_ctx),
             ctx=multiprocessing.get_context(self.start_method),
             workers=self.n_jobs,
             on_success=on_success,
@@ -328,6 +483,7 @@ class SweepExecutor:
         self.retries_used += stats.retries_used
         self.timeouts += stats.timeouts
         self.quarantined.update(stats.quarantined)
+        return stats.attempts
 
     def run_one(self, job: RunJob) -> MonitoredRun | None:
         """Convenience wrapper: a one-job sweep."""

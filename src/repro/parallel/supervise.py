@@ -56,6 +56,19 @@ class SupervisionStats:
     timeouts: int = 0
     #: key -> {**describe(key, payload), "attempts", "errors"}.
     quarantined: dict[str, dict] = field(default_factory=dict)
+    #: key -> per-attempt records, in attempt order: {"attempt",
+    #: "started", "ended" (``time.monotonic()`` stamps), "outcome"
+    #: ("ok" | "err" | "timeout"), "error" (failed attempts only)}.
+    #: Callers render these as retry/execute spans on a trace timeline.
+    attempts: dict[str, list[dict]] = field(default_factory=dict)
+
+    def record_attempt(self, key: str, attempt: int, started: float,
+                       outcome: str, error: str | None = None) -> None:
+        record: dict = {"attempt": attempt, "started": started,
+                        "ended": time.monotonic(), "outcome": outcome}
+        if error is not None:
+            record["error"] = error
+        self.attempts.setdefault(key, []).append(record)
 
 
 def run_supervised(
@@ -159,16 +172,21 @@ def run_supervised(
                 del active[key]
                 progressed = True
                 if kind == "ok":
+                    stats.record_attempt(key, attempt, started, "ok")
                     on_success(key, payload)
                 else:
+                    stats.record_attempt(key, attempt, started, "err",
+                                         error=str(payload))
                     fail(key, attempt, str(payload))
             elif not proc.is_alive():
                 proc.join()
                 conn.close()
                 del active[key]
                 progressed = True
-                fail(key, attempt,
-                     f"worker died silently (exitcode {proc.exitcode})")
+                message = f"worker died silently (exitcode {proc.exitcode})"
+                stats.record_attempt(key, attempt, started, "err",
+                                     error=message)
+                fail(key, attempt, message)
             elif deadline is not None and now > deadline:
                 proc.terminate()
                 proc.join()
@@ -177,9 +195,11 @@ def run_supervised(
                 progressed = True
                 stats.timeouts += 1
                 timeout_counter.inc()
-                fail(key, attempt,
-                     f"timeout after {now - started:.2f}s "
-                     f"(limit {run_timeout}s)")
+                message = (f"timeout after {now - started:.2f}s "
+                           f"(limit {run_timeout}s)")
+                stats.record_attempt(key, attempt, started, "timeout",
+                                     error=message)
+                fail(key, attempt, message)
         if not progressed:
             time.sleep(POLL_INTERVAL)
 

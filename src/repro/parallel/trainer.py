@@ -32,6 +32,7 @@ crashing the experiment.
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import os
 import time
@@ -41,10 +42,19 @@ from repro.core.dataset import Dataset, Normalizer
 from repro.core.labeling import BINARY_THRESHOLDS
 from repro.core.nn.train import TrainConfig
 from repro.core.predictor import InterferencePredictor
+from repro.obs import distributed as _dist
+from repro.obs import profile as _profile
+from repro.obs import trace as _trace
+from repro.obs.distributed import WALL_CLOCK, TraceContext
 from repro.obs.log import get_logger
 from repro.obs.metrics import REGISTRY
 from repro.parallel.cachekey import train_key, train_key_material
-from repro.parallel.executor import _default_start_method, resolve_n_jobs
+from repro.parallel.executor import (
+    _default_start_method,
+    emit_job_spans,
+    record_batch_telemetry,
+    resolve_n_jobs,
+)
 from repro.parallel.modelcache import ModelCache
 from repro.parallel.supervise import run_supervised
 
@@ -71,21 +81,21 @@ class TrainJob:
         return self.config or TrainConfig(seed=self.seed)
 
 
-def _train_restart_task(item):
+def _train_restart_task(item, trace_ctx: TraceContext | None = None):
     """Worker body: train one restart, return it with its telemetry.
 
     Runs in a pool worker or supervised child.  The metrics registry is
-    reset first so the returned snapshot is exactly this restart's delta,
-    and the span tracer is detached (spans cannot cross the process
-    boundary) — same protocol as the sweep executor's workers.
+    reset first so the returned snapshot is exactly this restart's delta.
+    With a ``trace_ctx`` the worker attaches a fresh tracer and ships its
+    finished spans back in ``aux["trace"]``; without one any inherited
+    tracer is detached — same protocol as the sweep executor's workers.
     """
     task_key, payload, _attempt = item
     (X, y, n_servers, n_features, n_classes, config,
      kernel_hidden, head_hidden, seed, restart) = payload
-    from repro.obs import trace as _trace
-
-    _trace.TRACER = None
+    worker_tracer = _dist.attach(trace_ctx)
     REGISTRY.reset()
+    started = time.monotonic()
     start = time.perf_counter()
     score, model, history = InterferencePredictor.train_restart(
         X, y, n_servers, n_features, n_classes, config,
@@ -93,7 +103,9 @@ def _train_restart_task(item):
         seed=seed, restart=restart,
     )
     wall = time.perf_counter() - start
-    return task_key, score, model, history, wall, REGISTRY.snapshot()
+    aux = {"pid": os.getpid(), "started": started,
+           "trace": _dist.ship(worker_tracer)}
+    return task_key, score, model, history, wall, REGISTRY.snapshot(), aux
 
 
 class TrainExecutor:
@@ -196,42 +208,57 @@ class TrainExecutor:
         exec_counter = REGISTRY.counter("parallel.train.executed")
         dedup_counter = REGISTRY.counter("parallel.train.deduplicated")
         total_counter.inc(len(jobs))
+        tracer = _trace.get()
 
-        keys = []
-        for job in jobs:
-            InterferencePredictor.check_train_inputs(
-                job.dataset, job.thresholds, job.restarts)
-            keys.append(self.key_for(job))
-        results: dict[str, InterferencePredictor] = {}
-        pending: dict[str, TrainJob] = {}
-        for job, key in zip(jobs, keys):
-            if key in results or key in pending:
-                self.jobs_deduplicated += 1
-                dedup_counter.inc()
-                continue
-            cached = self.cache.get(key) if self.cache is not None else None
-            if cached is not None:
-                results[key] = cached
-            else:
-                pending[key] = job
+        with _profile.phase("train", jobs=len(jobs)):
+            with _profile.phase("plan"):
+                keys = []
+                for job in jobs:
+                    InterferencePredictor.check_train_inputs(
+                        job.dataset, job.thresholds, job.restarts)
+                    keys.append(self.key_for(job))
+            results: dict[str, InterferencePredictor] = {}
+            pending: dict[str, TrainJob] = {}
+            with _profile.phase("cache-probe"):
+                for job, key in zip(jobs, keys):
+                    if key in results or key in pending:
+                        self.jobs_deduplicated += 1
+                        dedup_counter.inc()
+                        continue
+                    cached = None
+                    if self.cache is not None:
+                        probe = (tracer.start("cache.probe",
+                                              _dist.wall_now(tracer),
+                                              clock=WALL_CLOCK, key=key[:12],
+                                              cache="model")
+                                 if tracer is not None else None)
+                        cached = self.cache.get(key)
+                        if probe is not None:
+                            tracer.finish(probe, _dist.wall_now(tracer),
+                                          hit=cached is not None)
+                    if cached is not None:
+                        results[key] = cached
+                    else:
+                        pending[key] = job
 
-        n_restarts = sum(job.restarts for job in pending.values())
-        logger.info(
-            "training batch: %d jobs -> %d unique, %d cache hits, "
-            "%d to train (%d restarts, n_jobs=%d)",
-            len(jobs), len(jobs) - self.jobs_deduplicated,
-            len(jobs) - len(pending) - self.jobs_deduplicated,
-            len(pending), n_restarts, self.n_jobs,
-        )
+            n_restarts = sum(job.restarts for job in pending.values())
+            logger.info(
+                "training batch: %d jobs -> %d unique, %d cache hits, "
+                "%d to train (%d restarts, n_jobs=%d)",
+                len(jobs), len(jobs) - self.jobs_deduplicated,
+                len(jobs) - len(pending) - self.jobs_deduplicated,
+                len(pending), n_restarts, self.n_jobs,
+            )
 
-        if pending:
-            self.trainings_executed += n_restarts
-            exec_counter.inc(n_restarts)
-            if not self._needs_supervision() and (
-                    self.n_jobs == 1 or n_restarts == 1):
-                self._train_serial(pending, results)
-            else:
-                self._train_parallel(pending, results)
+            if pending:
+                self.trainings_executed += n_restarts
+                exec_counter.inc(n_restarts)
+                with _profile.phase("execute", restarts=n_restarts):
+                    if not self._needs_supervision() and (
+                            self.n_jobs == 1 or n_restarts == 1):
+                        self._train_serial(pending, results)
+                    else:
+                        self._train_parallel(pending, results)
 
         return [results.get(key) for key in keys]
 
@@ -260,34 +287,51 @@ class TrainExecutor:
         is shipped to every restart, so workers train on the same bits.
         """
         wall_hist = REGISTRY.histogram("parallel.train.seconds")
+        wait_hist = REGISTRY.histogram("parallel.train.queue_wait_seconds")
         normalizers: dict[str, Normalizer] = {}
         tasks: list[tuple[str, tuple]] = []
-        for key, job in pending.items():
-            norm = Normalizer().fit(job.dataset.X)
-            normalizers[key] = norm
-            X = norm.transform(job.dataset.X)
-            config = job.effective_config()
-            n_classes = len(job.thresholds) + 1
-            for restart in range(job.restarts):
-                payload = (X, job.dataset.y, job.dataset.n_servers,
-                           job.dataset.n_features, n_classes, config,
-                           job.kernel_hidden, job.head_hidden,
-                           job.seed, restart)
-                tasks.append((f"{key}/r{restart}", payload))
+        with _profile.phase("prepare"):
+            for key, job in pending.items():
+                norm = Normalizer().fit(job.dataset.X)
+                normalizers[key] = norm
+                X = norm.transform(job.dataset.X)
+                config = job.effective_config()
+                n_classes = len(job.thresholds) + 1
+                for restart in range(job.restarts):
+                    payload = (X, job.dataset.y, job.dataset.n_servers,
+                               job.dataset.n_features, n_classes, config,
+                               job.kernel_hidden, job.head_hidden,
+                               job.seed, restart)
+                    tasks.append((f"{key}/r{restart}", payload))
 
+        tracer = _trace.get()
+        trace_ctx = _dist.current_context() if tracer is not None else None
+        worker_fn = functools.partial(_train_restart_task,
+                                      trace_ctx=trace_ctx)
         #: job key -> restart index -> (score, model, history)
         trained: dict[str, dict[int, tuple]] = {key: {} for key in pending}
+        #: task key -> shipment info for the submission-order span merge.
+        traced: dict[str, dict] = {}
+        submit = time.monotonic()
+
+        def worker_label(task_key: str) -> str:
+            key, _, rtag = task_key.rpartition("/r")
+            return f"{key[:12]}/r{rtag}"
 
         def harvest(payload) -> None:
-            task_key, score, model, history, wall, snapshot = payload
-            REGISTRY.merge_snapshot(snapshot)
+            task_key, score, model, history, wall, snapshot, aux = payload
+            REGISTRY.merge_snapshot(snapshot, worker=worker_label(task_key))
             wall_hist.observe(wall)
+            wait_hist.observe(max(0.0, aux["started"] - submit))
+            traced[task_key] = {"submit": submit, "wall": wall,
+                                "worker": worker_label(task_key), **aux}
             key, _, rtag = task_key.rpartition("/r")
             trained[key][int(rtag)] = (score, model, history)
 
+        attempts: dict[str, list[dict]] = {}
         if self._needs_supervision():
             stats = run_supervised(
-                tasks, _train_restart_task,
+                tasks, worker_fn,
                 ctx=multiprocessing.get_context(self.start_method),
                 workers=self.n_jobs,
                 on_success=lambda _key, payload: harvest(payload),
@@ -302,6 +346,7 @@ class TrainExecutor:
             )
             self.retries_used += stats.retries_used
             self.timeouts += stats.timeouts
+            attempts = stats.attempts
             for task_key, info in stats.quarantined.items():
                 key = task_key.rpartition("/r")[0]
                 self.quarantined.setdefault(key, info)
@@ -310,9 +355,13 @@ class TrainExecutor:
             workers = min(self.n_jobs, len(tasks))
             with ctx.Pool(processes=workers) as pool:
                 for payload in pool.imap_unordered(
-                        _train_restart_task,
+                        worker_fn,
                         [(k, p, 0) for k, p in tasks], chunksize=1):
                     harvest(payload)
+        if tracer is not None:
+            emit_job_spans(tracer, [k for k, _ in tasks], traced,
+                           attempts, span_prefix="train")
+        record_batch_telemetry(traced, prefix="parallel.train")
 
         for key, job in pending.items():
             restarts = trained[key]

@@ -3,16 +3,20 @@
 import pytest
 
 from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
 from repro.obs import trace as obs_trace
 
 
 @pytest.fixture(autouse=True)
 def _isolate_global_obs_state():
-    """Every test starts with no tracer installed and restores it after."""
+    """Every test starts with no tracer/profiler installed; restored after."""
     previous = obs_trace.TRACER
+    previous_profiler = obs_profile.PROFILER
     obs_trace.TRACER = None
+    obs_profile.PROFILER = None
     yield
     obs_trace.TRACER = previous
+    obs_profile.PROFILER = previous_profiler
 
 
 @pytest.fixture()

@@ -51,6 +51,29 @@ def test_configure_logging_is_idempotent():
         _cleanup()
 
 
+def test_configure_logging_collapses_preexisting_duplicates():
+    """Repeated CLI invocations in one process must never stack handlers.
+
+    Even if duplicate marked handlers somehow exist (older versions could
+    leave them), one configure_logging call prunes down to exactly one
+    and messages are emitted once."""
+    stream = io.StringIO()
+    root = logging.getLogger("repro")
+    try:
+        for _ in range(2):
+            handler = logging.StreamHandler(stream)
+            handler._repro_obs_handler = True
+            root.addHandler(handler)
+        configure_logging("INFO", stream=stream)
+        ours = [h for h in root.handlers
+                if getattr(h, "_repro_obs_handler", False)]
+        assert len(ours) == 1
+        get_logger("dup").info("exactly-once")
+        assert stream.getvalue().count("exactly-once") == 1
+    finally:
+        _cleanup()
+
+
 def test_level_changes_apply():
     stream = io.StringIO()
     try:

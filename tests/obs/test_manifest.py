@@ -63,6 +63,37 @@ def test_manifest_json_round_trip(tmp_path):
     assert dataclasses.asdict(back) == dataclasses.asdict(m)
 
 
+def test_manifest_trace_id_round_trip(tmp_path):
+    m = build_manifest("traced", seed=1, config={}, trace_id="abcd1234",
+                       registry=MetricsRegistry())
+    assert m.trace_id == "abcd1234"
+    path = write_manifest(m, tmp_path / "manifest.json")
+    assert load_manifest(path).trace_id == "abcd1234"
+
+
+def test_build_manifest_defaults_trace_id_from_installed_tracer():
+    from repro.obs import trace
+
+    with trace.tracing(trace.Tracer(trace_id="feedbeef")):
+        m = build_manifest("traced", seed=1, config={},
+                           registry=MetricsRegistry())
+    assert m.trace_id == "feedbeef"
+
+
+def test_old_manifest_without_trace_id_still_loads(tmp_path):
+    # Manifests written before trace propagation existed have no
+    # ``trace_id`` key; they must keep loading with the default.
+    m = build_manifest("legacy", seed=4, config={},
+                       registry=MetricsRegistry())
+    doc = m.to_dict()
+    del doc["trace_id"]
+    path = tmp_path / "manifest.json"
+    path.write_text(json.dumps(doc))
+    back = load_manifest(path)
+    assert back.trace_id is None
+    assert back.name == "legacy"
+
+
 def test_load_rejects_foreign_json(tmp_path):
     path = tmp_path / "other.json"
     path.write_text(json.dumps({"kind": "something-else", "name": "x"}))

@@ -1,0 +1,119 @@
+"""Tests for the hierarchical wall-clock phase profiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import profile
+from repro.obs.distributed import WALL_CLOCK
+from repro.obs.profile import PhaseProfiler, PhaseRecord, profiling
+from repro.obs.trace import Tracer
+
+
+class TestPhasePaths:
+    def test_nested_phases_encode_paths(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("sweep"):
+            with profiler.phase("plan"):
+                pass
+            with profiler.phase("execute"):
+                with profiler.phase("run"):
+                    pass
+        assert [r.path for r in profiler.records] == [
+            "sweep/plan", "sweep/execute/run", "sweep/execute", "sweep",
+        ]
+
+    def test_phase_name_may_not_contain_separator(self):
+        profiler = PhaseProfiler()
+        with pytest.raises(ValueError, match="may not contain"):
+            with profiler.phase("a/b"):
+                pass
+
+    def test_attrs_are_recorded(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("train", jobs=4):
+            pass
+        assert profiler.records[0].attrs == {"jobs": 4}
+
+    def test_record_depth(self):
+        rec = PhaseRecord("a/b/c", 0.0, 1.0, {})
+        assert rec.depth == 3
+        assert rec.duration == 1.0
+
+
+class TestSummary:
+    def _profiler(self) -> PhaseProfiler:
+        profiler = PhaseProfiler()
+        with profiler.phase("sweep"):
+            for _ in range(2):
+                with profiler.phase("run"):
+                    pass
+        return profiler
+
+    def test_summary_counts_and_totals(self):
+        summary = self._profiler().summary()
+        assert set(summary) == {"sweep", "sweep/run"}
+        assert summary["sweep/run"]["count"] == 2
+        assert summary["sweep"]["count"] == 1
+        assert summary["sweep"]["total"] >= summary["sweep/run"]["total"]
+
+    def test_self_time_excludes_direct_children(self):
+        summary = self._profiler().summary()
+        expected = summary["sweep"]["total"] - summary["sweep/run"]["total"]
+        assert summary["sweep"]["self"] == pytest.approx(max(0.0, expected))
+        # Leaves have no children: self == total.
+        assert (summary["sweep/run"]["self"]
+                == pytest.approx(summary["sweep/run"]["total"]))
+
+    def test_critical_path_follows_heaviest_children(self):
+        profiler = self._profiler()
+        crit = profiler.critical_path()
+        assert [p for p, _ in crit] == ["sweep", "sweep/run"]
+
+    def test_render_mentions_phases_and_critical_path(self):
+        text = self._profiler().render()
+        assert "sweep" in text
+        assert "critical path:" in text
+        assert PhaseProfiler().render() == "(no phases recorded)"
+
+
+class TestModuleGate:
+    def test_phase_is_noop_without_installed_profiler(self):
+        assert profile.get() is None
+        with profile.phase("anything"):
+            pass  # must not raise, must not record anywhere
+        assert profile.get() is None
+
+    def test_profiling_context_installs_and_restores(self):
+        with profiling() as profiler:
+            assert profile.get() is profiler
+            with profile.phase("inside"):
+                pass
+        assert profile.get() is None
+        assert [r.path for r in profiler.records] == ["inside"]
+
+    def test_profiling_restores_previous_profiler(self):
+        outer = profile.install()
+        try:
+            with profiling():
+                assert profile.get() is not outer
+            assert profile.get() is outer
+        finally:
+            profile.uninstall()
+
+
+class TestTracerMirroring:
+    def test_phases_mirror_into_tracer_as_wall_spans(self):
+        tracer = Tracer(trace_id="t")
+        profiler = PhaseProfiler(tracer=tracer)
+        with profiler.phase("sweep", jobs=2):
+            with profiler.phase("execute"):
+                pass
+        names = [s.name for s in tracer.spans]
+        assert names == ["phase.sweep", "phase.execute"]
+        outer, inner = tracer.spans
+        assert inner.parent_id == outer.span_id
+        assert all(s.attrs["clock"] == WALL_CLOCK for s in tracer.spans)
+        assert outer.attrs["jobs"] == 2
+        assert all(s.end is not None and s.end >= s.start
+                   for s in tracer.spans)

@@ -1,0 +1,127 @@
+"""Tests for the offline artefact summaries behind ``repro obs``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.distributed import WALL_CLOCK
+from repro.obs.export import save_metrics, save_trace
+from repro.obs.manifest import RunManifest, build_manifest, write_manifest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.summary import (
+    render_manifest,
+    render_metrics_table,
+    render_span_summary,
+    sniff_kind,
+    summarise_file,
+)
+from repro.obs.trace import Tracer
+
+
+def _sim_tracer() -> Tracer:
+    tracer = Tracer()
+    for start in (0.0, 1.0):
+        span = tracer.start("client.write", start)
+        tracer.finish(span, start + 0.5)
+    return tracer
+
+
+class TestRenderSpanSummary:
+    def test_empty_gives_placeholder(self):
+        assert render_span_summary([]) == "(no finished spans)"
+
+    def test_aggregates_by_name(self):
+        text = render_span_summary(_sim_tracer().spans)
+        assert "2 spans" in text
+        assert "client.write" in text
+        assert "1.000000 simulated span-seconds" in text
+
+    def test_pure_wall_traces_say_wall(self):
+        tracer = Tracer()
+        span = tracer.start("job.run", 0.0, clock=WALL_CLOCK)
+        tracer.finish(span, 2.0)
+        assert "wall span-seconds" in render_span_summary(tracer.spans)
+
+    def test_mixed_traces_use_neutral_unit(self):
+        tracer = _sim_tracer()
+        span = tracer.start("job.run", 0.0, clock=WALL_CLOCK)
+        tracer.finish(span, 2.0)
+        text = render_span_summary(tracer.spans)
+        assert "simulated span-seconds" not in text
+        assert "wall span-seconds" not in text
+        assert "span-seconds" in text
+
+
+class TestRenderMetricsTable:
+    def test_empty(self):
+        assert render_metrics_table({}) == "(no metrics recorded)"
+
+    def test_counter_histogram_and_labeled_gauge_rows(self):
+        reg = MetricsRegistry()
+        reg.counter("runs").inc(3)
+        reg.histogram("wall", boundaries=[1.0]).observe(0.5)
+        reg.gauge("parallel.worker_busy_seconds{worker=w0}").set(1.5)
+        text = render_metrics_table(reg.snapshot())
+        assert "runs" in text and "counter" in text
+        assert "count=1" in text
+        assert "parallel.worker_busy_seconds{worker=w0}" in text
+
+
+class TestRenderManifest:
+    def _manifest(self, **overrides) -> RunManifest:
+        base = dict(
+            name="exp", seed=7, config={"fast": True},
+            created_at="2026-01-01T00:00:00+00:00", git_sha="b" * 40,
+            version="1.0.0", python="3.11", platform="Linux",
+        )
+        base.update(overrides)
+        return RunManifest(**base)
+
+    def test_trace_id_line_present_when_set(self):
+        text = render_manifest(self._manifest(trace_id="cafef00d"))
+        lines = text.splitlines()
+        assert lines[4] == "trace id:   cafef00d"
+
+    def test_trace_id_line_absent_by_default(self):
+        assert "trace id:" not in render_manifest(self._manifest())
+
+
+class TestSniffAndSummarise:
+    def test_sniff_all_three_kinds(self, tmp_path):
+        trace_path = save_trace(_sim_tracer(), tmp_path / "a.trace.jsonl")
+        metrics_path = save_metrics(MetricsRegistry(),
+                                    tmp_path / "a.metrics.json")
+        manifest_path = write_manifest(
+            build_manifest("exp", seed=1, config={}),
+            tmp_path / "manifest.json")
+        assert sniff_kind(trace_path) == "trace"
+        assert sniff_kind(metrics_path) == "metrics"
+        assert sniff_kind(manifest_path) == "manifest"
+
+    def test_sniff_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text(json.dumps({"kind": "nope"}))
+        with pytest.raises(ValueError, match="not a recognised"):
+            sniff_kind(path)
+
+    def test_summarise_file_round_trip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("runs").inc()
+        trace_path = save_trace(_sim_tracer(), tmp_path / "a.trace.jsonl")
+        metrics_path = save_metrics(reg, tmp_path / "a.metrics.json")
+        manifest_path = write_manifest(
+            build_manifest("summarised", seed=2, config={}, registry=reg),
+            tmp_path / "manifest.json")
+        assert "client.write" in summarise_file(trace_path)
+        assert "runs" in summarise_file(metrics_path)
+        assert "summarised" in summarise_file(manifest_path)
+
+    def test_summarised_trace_keeps_trace_id_in_header(self, tmp_path):
+        tracer = Tracer(trace_id="feed1234")
+        span = tracer.start("x", 0.0)
+        tracer.finish(span, 1.0)
+        path = save_trace(tracer, tmp_path / "t.trace.jsonl")
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["trace_id"] == "feed1234"

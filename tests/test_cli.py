@@ -115,6 +115,73 @@ def test_observability_flags_and_obs_summary(tmp_path, capsys):
     assert "table2" in out              # manifest rendering
 
 
+def test_obs_report_renders_and_exports_chrome_trace(tmp_path, capsys):
+    """`obs report` merges all artefacts of one traced run and writes a
+    loadable Chrome trace-event JSON."""
+    import json
+
+    trace_path = tmp_path / "run.trace.jsonl"
+    metrics_path = tmp_path / "run.metrics.json"
+    assert main(["table2", "--fast", "--out", str(tmp_path), "--no-cache",
+                 "--trace", str(trace_path),
+                 "--metrics-out", str(metrics_path)]) == 0
+    capsys.readouterr()
+
+    chrome = tmp_path / "trace.chrome.json"
+    assert main(["obs", "report", str(trace_path), str(metrics_path),
+                 str(tmp_path / "table2.manifest.json"),
+                 "--chrome-trace", str(chrome)]) == 0
+    out = capsys.readouterr().out
+    assert "table2" in out
+    assert "trace id:" in out               # manifest ties to the trace
+    assert "-- wall-clock phases --" in out  # profiler summary travelled
+    assert "critical path:" in out
+    assert "-- simulated-time spans --" in out
+    assert "-- metrics --" in out
+    assert f"wrote {chrome}" in out
+
+    doc = json.loads(chrome.read_text())
+    events = doc["traceEvents"]
+    assert any(e["ph"] == "X" for e in events)
+    assert any(e["ph"] == "M" and e["args"]["name"] == "simulated time"
+               for e in events)
+    assert doc["otherData"]["trace_id"]
+
+
+def test_obs_report_chrome_trace_requires_spans(tmp_path, capsys):
+    from repro.obs.export import save_metrics
+    from repro.obs.metrics import MetricsRegistry
+
+    metrics_path = save_metrics(MetricsRegistry(),
+                                tmp_path / "m.metrics.json")
+    assert main(["obs", "report", str(metrics_path),
+                 "--chrome-trace", str(tmp_path / "o.json")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_obs_verbose_flag_configures_logging_once(tmp_path, capsys):
+    """`-v` on repeated obs invocations must not stack log handlers."""
+    import logging
+
+    from repro.obs.export import save_metrics
+    from repro.obs.metrics import MetricsRegistry
+
+    metrics_path = save_metrics(MetricsRegistry(),
+                                tmp_path / "m.metrics.json")
+    root = logging.getLogger("repro")
+    try:
+        assert main(["obs", "-v", str(metrics_path)]) == 0
+        assert main(["obs", "report", "-v", str(metrics_path)]) == 0
+        ours = [h for h in root.handlers
+                if getattr(h, "_repro_obs_handler", False)]
+        assert len(ours) == 1
+    finally:
+        for handler in list(root.handlers):
+            if getattr(handler, "_repro_obs_handler", False):
+                root.removeHandler(handler)
+        root.setLevel(logging.NOTSET)
+
+
 def test_obs_subcommand_reports_bad_files(tmp_path, capsys):
     bogus = tmp_path / "bogus.json"
     bogus.write_text("{}")
