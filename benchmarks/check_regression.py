@@ -13,7 +13,11 @@ Wall-clock baselines only transfer between like machines, so when a
 result pair records different ``environment`` blocks (numpy/python
 version, platform, core count) a WARNING is printed — the comparison
 still runs, but a red result on a different machine is expected noise,
-not a regression.
+not a regression.  Stronger: a wall-clock metric recorded on a machine
+with a *different core count* than the one running the check is
+SKIPPED outright (with a printed notice) — parallel-pass timings
+simply don't compare across core counts, so flagging them would only
+train people to ignore the job.
 
 Usage::
 
@@ -24,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 
@@ -52,6 +57,18 @@ def _get(obj, path):
     for key in path:
         obj = obj[key]
     return obj
+
+
+def _foreign_cpu_count(doc: dict) -> int | None:
+    """The doc's recorded cpu_count iff it differs from this machine's.
+
+    ``None`` means the numbers are comparable here (same core count, or
+    none recorded — the environment warning covers the latter).
+    """
+    recorded = (doc.get("environment") or {}).get("cpu_count")
+    if recorded is not None and recorded != os.cpu_count():
+        return recorded
+    return None
 
 
 def check_environments(docs: dict) -> list[str]:
@@ -102,13 +119,23 @@ def main(argv: list[str] | None = None) -> int:
 
     docs: dict[tuple[pathlib.Path, str], dict] = {}
     regressions = []
+    skipped = []
     for name, path, kind in METRICS:
         row = []
+        foreign = None
         for directory in (args.baseline_dir, args.fresh_dir):
             key = (directory, name)
             if key not in docs:
                 docs[key] = json.loads((directory / name).read_text())
             row.append(float(_get(docs[key], path)))
+            foreign = foreign or _foreign_cpu_count(docs[key])
+        if kind == "wall" and foreign is not None:
+            label = f"{name}:{'.'.join(path)}"
+            print(f"{label}: SKIPPED (recorded on a {foreign}-core "
+                  f"machine, this one has {os.cpu_count()}; wall-clock "
+                  "numbers don't transfer)")
+            skipped.append(label)
+            continue
         base, fresh = row
         rel = (fresh - base) / base if base else 0.0
         worse = (-rel if kind == "rate" else rel) > args.threshold
@@ -124,11 +151,14 @@ def main(argv: list[str] | None = None) -> int:
         for line in warnings:
             print(line)
 
+    if skipped:
+        print(f"\n{len(skipped)} wall-clock metric(s) skipped "
+              "(cross-machine core-count mismatch)")
     if regressions:
         print(f"\n{len(regressions)} metric(s) regressed beyond "
               f"{args.threshold:.0%}: {', '.join(regressions)}")
         return 1
-    print("\nall benchmark metrics within threshold")
+    print("\nall compared benchmark metrics within threshold")
     return 0
 
 

@@ -12,7 +12,7 @@ Usage::
     python -m repro obs FILE [FILE ...]  # summarise traces/metrics/manifests
     python -m repro obs report FILE ... [--chrome-trace OUT.json]
                                          # merged report + Perfetto trace
-    python -m repro bench [engine|sweep|train]  # regenerate BENCH_*.json
+    python -m repro bench [--only SUITE ...]    # regenerate BENCH_*.json
     python -m repro train --model-out M.npz     # train once, save the model
     python -m repro predict --model M.npz       # predict anywhere
 
@@ -34,6 +34,14 @@ instead of crashing.
 ``--fast`` shrinks workloads for a quick smoke pass; default sizes match
 the benchmark suite. Results print to stdout; pass ``--out DIR`` to also
 write one text file per experiment.
+
+Sharded simulation: ``--shards N`` partitions each run's *server
+domains* (one per OSS) over N resident worker processes synchronised by
+a deterministic conservative time-window protocol (:mod:`repro.sim.
+shard`) — one simulation scales across cores instead of only the sweep.
+Output is bit-identical across shard counts (``--shards 4`` ==
+``--shards 1``), so the run-cache key records only *that* sharding was
+used, never the count.
 
 Sweep execution: ``--jobs N`` fans independent simulation runs over N
 worker processes (``--jobs 0`` = all cores) with bit-identical results;
@@ -501,6 +509,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for simulation sweeps "
                              "(default: 1 = in-process)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="shard each simulation's server domains over "
+                             "N processes (conservative-sync protocol; "
+                             "output bit-identical across shard counts; "
+                             "default: unsharded legacy path)")
     parser.add_argument("--cache-dir", type=pathlib.Path,
                         default=pathlib.Path("results/.runcache"),
                         help="content-addressed run cache directory "
@@ -546,6 +559,8 @@ def main(argv: list[str] | None = None) -> int:
                      f"(choose from: {', '.join(known)})")
     if args.jobs <= 0:
         return _fail(f"--jobs must be a positive integer, got {args.jobs}")
+    if args.shards is not None and args.shards <= 0:
+        return _fail(f"--shards must be a positive integer, got {args.shards}")
     if args.run_timeout is not None and args.run_timeout <= 0:
         return _fail(f"--run-timeout must be positive, got {args.run_timeout}")
     if args.retries < 0:
@@ -578,7 +593,8 @@ def main(argv: list[str] | None = None) -> int:
                          f"({exc}); pass --cache-dir or --no-cache")
     executor = SweepExecutor(n_jobs=args.jobs, cache=cache,
                              run_timeout=args.run_timeout,
-                             retries=args.retries, fault_plan=fault_plan)
+                             retries=args.retries, fault_plan=fault_plan,
+                             shards=args.shards)
 
     from repro.parallel import TrainExecutor
 

@@ -1,8 +1,10 @@
 """Performance baselines: the ``repro bench`` subcommand.
 
-Three committed baselines (regenerated with ``python -m repro bench``,
+Four committed baselines (regenerated with ``python -m repro bench``,
+selectable via ``--only SUITE`` (repeatable) or the positional name,
 and compared non-gatingly in CI against the checked-in
-``BENCH_engine.json`` / ``BENCH_sweep.json`` / ``BENCH_train.json``):
+``BENCH_engine.json`` / ``BENCH_sweep.json`` / ``BENCH_train.json`` /
+``BENCH_shard.json``):
 
 * **engine** — microbenchmarks of the discrete-event kernel: raw timeout
   churn through ``Environment.run()``, plus a request-path comparison
@@ -27,6 +29,12 @@ and compared non-gatingly in CI against the checked-in
   deployed (normalizer-fused, buffer-reusing) fast path against the
   unfused predictor. Serial, parallel and cached models must be
   bit-identical; fused predictions class-identical.
+
+* **shard** — the sharded executor (:mod:`repro.sim.shard`): one run's
+  events/sec at shard counts 1/2/4 (byte-identical output asserted at
+  every count) plus a cluster-size curve from 4 to 64 OSTs at one
+  shard. Scaling needs physical cores; the committed baseline embeds
+  ``environment.cpu_count`` so the numbers are read in context.
 
 The end-to-end speedup is Amdahl-bounded: the fluid network, block
 device and page cache perform identical work at identical simulated
@@ -53,8 +61,8 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["bench_engine", "bench_environment", "bench_sweep",
-           "bench_train", "main"]
+__all__ = ["bench_engine", "bench_environment", "bench_shard",
+           "bench_sweep", "bench_train", "main"]
 
 
 def bench_environment() -> dict[str, Any]:
@@ -419,6 +427,123 @@ def bench_train(jobs: int | None = None) -> dict[str, Any]:
     }
 
 
+# -- sharded-simulation benchmark ---------------------------------------------
+
+
+def bench_shard_workload(scale: float = 0.5):
+    """Target + noise mix driving every OSS domain of the cluster."""
+    from repro.experiments.runner import InterferenceSpec
+    from repro.workloads.io500 import make_io500_task
+
+    target = make_io500_task("ior-easy-write", ranks=4, scale=scale)
+    noise = [
+        InterferenceSpec("ior-hard-write", instances=2, ranks=2,
+                         scale=scale / 2),
+        InterferenceSpec("ior-easy-read", instances=1, ranks=2,
+                         scale=scale / 2),
+    ]
+    return target, noise
+
+
+def _shard_config(n_oss: int, osts_per_oss: int = 2):
+    """The shard benchmark's experiment config at a given cluster size."""
+    from repro.experiments.runner import ExperimentConfig, experiment_cluster
+
+    cluster = dataclasses.replace(experiment_cluster(), n_oss=n_oss,
+                                  osts_per_oss=osts_per_oss,
+                                  sim_backend="batch")
+    return ExperimentConfig(cluster=cluster, window_size=0.25,
+                            sample_interval=0.125, warmup=0.5, seed=0)
+
+
+def _shard_run(config, target, noise, shards: int) -> dict[str, Any]:
+    """One sharded execution; returns wall/events plus the run itself."""
+    from repro.obs.metrics import REGISTRY
+    from repro.sim.shard import execute_run_sharded
+
+    REGISTRY.reset()
+    t0 = time.perf_counter()
+    run = execute_run_sharded(target, noise, config, shards=shards)
+    wall = time.perf_counter() - t0
+    events = REGISTRY.gauge("shard.events_scheduled").value
+    windows = REGISTRY.counter("shard.windows").value
+    barrier = REGISTRY.histogram("shard.barrier_wait_seconds")
+    return {
+        "run": run,
+        "stats": {
+            "shards": shards,
+            "wall_seconds": wall,
+            "events": int(events),
+            "events_per_second": events / wall,
+            "windows": int(windows),
+            "messages": int(REGISTRY.counter("shard.messages").value),
+            "barrier_wait_seconds_total": barrier.total,
+            "barrier_wait_seconds_mean": (barrier.total / barrier.count
+                                          if barrier.count else 0.0),
+        },
+    }
+
+
+def bench_shard(shard_counts: tuple[int, ...] = (1, 2, 4),
+                cluster_sizes: tuple[int, ...] = (2, 4, 8, 16, 32),
+                scale: float = 0.5) -> dict[str, Any]:
+    """Sharded-executor scaling: events/sec vs shard count + cluster size.
+
+    Two curves (see DESIGN.md §12):
+
+    * **scaling** — one fixed cluster (4 OSS x 2 OST) run at each shard
+      count; every pass must produce byte-identical records/samples (the
+      conservative protocol's N-invariance contract, asserted here).
+      Speedup only materialises with >= ``shards`` physical cores — the
+      committed baseline records ``environment.cpu_count`` so CI (and
+      ``check_regression.py``) can judge the number in context.
+    * **cluster_size_curve** — domains grow from 4 to 64 OSTs at
+      ``shards=1``: how the per-window coordination cost amortises as
+      the per-domain work grows.
+    """
+    target, noise = bench_shard_workload(scale)
+    config = _shard_config(n_oss=4)
+
+    scaling = []
+    reference = None
+    for shards in shard_counts:
+        result = _shard_run(config, target, noise, shards)
+        run = result.pop("run")
+        if reference is None:
+            reference = run
+        else:
+            assert (run.records == reference.records
+                    and run.server_samples == reference.server_samples
+                    and run.duration == reference.duration), \
+                f"shards={shards} diverged from shards={shard_counts[0]}"
+        scaling.append(result["stats"])
+
+    base = scaling[0]["wall_seconds"]
+    for row in scaling:
+        row["speedup_vs_1"] = base / row["wall_seconds"]
+
+    curve = []
+    for n_oss in cluster_sizes:
+        cfg = _shard_config(n_oss=n_oss)
+        result = _shard_run(cfg, target, noise, shards=1)
+        stats = result["stats"]
+        stats.pop("shards")
+        curve.append({"n_oss": n_oss, "n_osts": cfg.cluster.n_osts, **stats})
+
+    return {
+        "environment": bench_environment(),
+        "workload": {"target": "ior-easy-write", "ranks": 4, "scale": scale,
+                     "noise": ["ior-hard-write x2", "ior-easy-read x1"]},
+        "cluster": {"n_oss": 4, "osts_per_oss": 2,
+                    "sim_backend": "batch"},
+        "shard_counts": list(shard_counts),
+        "scaling": scaling,
+        "speedup_at_max_shards": scaling[-1]["speedup_vs_1"],
+        "bit_identical": True,
+        "cluster_size_curve": curve,
+    }
+
+
 # -- CLI ----------------------------------------------------------------------
 
 
@@ -434,10 +559,20 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro bench",
         description="Regenerate BENCH_engine.json / BENCH_sweep.json / "
-                    "BENCH_train.json.",
+                    "BENCH_train.json / BENCH_shard.json.",
     )
     parser.add_argument("which", nargs="?", default="all",
-                        choices=("engine", "sweep", "train", "all"))
+                        choices=("engine", "sweep", "train", "shard", "all"))
+    parser.add_argument("--only", action="append", default=None,
+                        metavar="SUITE",
+                        choices=("engine", "sweep", "train", "shard"),
+                        help="run only this suite; repeatable "
+                             "(--only engine --only shard). Overrides the "
+                             "positional selection")
+    parser.add_argument("--shards", type=int, nargs="+", default=(1, 2, 4),
+                        metavar="N",
+                        help="shard counts for the shard suite's scaling "
+                             "curve (default: 1 2 4)")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="workers for the parallel passes "
                              "(default: min(4, cores) for sweep, "
@@ -449,7 +584,14 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     args.out_dir.mkdir(parents=True, exist_ok=True)
 
-    if args.which in ("engine", "all"):
+    if args.only:
+        selected = tuple(dict.fromkeys(args.only))  # de-dup, keep order
+    elif args.which == "all":
+        selected = ("engine", "sweep", "train", "shard")
+    else:
+        selected = (args.which,)
+
+    if "engine" in selected:
         result = bench_engine()
         rp = result["request_path"]
         print(f"engine: {result['timeouts_per_second']:,.0f} timeouts/s; "
@@ -457,7 +599,7 @@ def main(argv: list[str] | None = None) -> int:
               f" req/s vs batch {rp['batch_requests_per_second']:,.0f} req/s "
               f"({rp['batch_speedup']:.2f}x)")
         _write(result, args.out_dir / "BENCH_engine.json")
-    if args.which in ("sweep", "all"):
+    if "sweep" in selected:
         result = bench_sweep(jobs=args.jobs)
         print(f"sweep: serial event {result['serial_event_seconds']:.2f}s, "
               f"serial batch {result['serial_batch_seconds']:.2f}s "
@@ -466,7 +608,7 @@ def main(argv: list[str] | None = None) -> int:
               f"({result['cold_improvement_vs_serial_event']:.2f}x), warm "
               f"{result['warm_seconds']:.2f}s")
         _write(result, args.out_dir / "BENCH_sweep.json")
-    if args.which in ("train", "all"):
+    if "train" in selected:
         result = bench_train(jobs=args.jobs)
         fi = result["fused_inference"]
         print(f"train: serial {result['serial_seconds']:.2f}s, cold "
@@ -478,6 +620,15 @@ def main(argv: list[str] | None = None) -> int:
               f"{fi['fused_us_per_window']:.0f}us/window "
               f"({fi['fused_speedup']:.2f}x fused)")
         _write(result, args.out_dir / "BENCH_train.json")
+    if "shard" in selected:
+        result = bench_shard(shard_counts=tuple(args.shards))
+        rows = ", ".join(
+            f"{r['shards']}: {r['events_per_second']:,.0f} ev/s "
+            f"({r['speedup_vs_1']:.2f}x)" for r in result["scaling"])
+        top = result["cluster_size_curve"][-1]
+        print(f"shard: {rows}; {top['n_osts']} OSTs at shards=1: "
+              f"{top['events_per_second']:,.0f} ev/s")
+        _write(result, args.out_dir / "BENCH_shard.json")
     return 0
 
 

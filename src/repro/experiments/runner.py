@@ -129,6 +129,7 @@ def execute_run(
     config: ExperimentConfig,
     seed_salt: str = "",
     abort_at: float | None = None,
+    shards: int | None = None,
 ) -> MonitoredRun:
     """One monitored execution of ``target`` under the given noise.
 
@@ -136,7 +137,19 @@ def execute_run(
     injection: a run that died mid-flight).  The truncated run is still
     a valid :class:`MonitoredRun` — whatever was traced and sampled up
     to the abort — with ``metadata["aborted"]`` recording the cut.
+
+    ``shards`` selects the sharded executor (:mod:`repro.sim.shard`):
+    the cluster's server domains run on that many concurrent processes
+    (``1`` = sharded protocol, all in-process).  Output is bit-identical
+    across shard counts; ``None`` keeps the legacy single-environment
+    path.
     """
+    if shards is not None:
+        from repro.sim.shard import execute_run_sharded
+
+        return execute_run_sharded(target, interference, config,
+                                   seed_salt=seed_salt, abort_at=abort_at,
+                                   shards=shards)
     wall_start = time.perf_counter()
     if abort_at is not None and abort_at <= 0:
         raise ValueError(f"abort_at must be positive, got {abort_at}")

@@ -20,7 +20,13 @@ package removes both without touching determinism:
   keeping results bit-identical to serial execution;
 * :mod:`repro.parallel.trainer` — :class:`TrainExecutor`, the same
   layering for trainings, parallel at restart granularity and
-  bit-identical to the serial restart loop.
+  bit-identical to the serial restart loop;
+* :mod:`repro.parallel.workerinit` — the shared pool-worker initializer
+  (one-time imports and telemetry attach) used by sweep and shard
+  workers alike;
+* :mod:`repro.parallel.shardpool` — :class:`ProcessDomainGroup`,
+  resident shard worker processes hosting server domains for
+  :mod:`repro.sim.shard`.
 
 Quick use::
 
@@ -55,14 +61,17 @@ from repro.parallel.executor import (
     resolve_n_jobs,
 )
 from repro.parallel.modelcache import ModelCache
+from repro.parallel.shardpool import ProcessDomainGroup
 from repro.parallel.supervise import SupervisionStats, run_supervised
 from repro.parallel.trainer import TrainExecutor, TrainJob
+from repro.parallel.workerinit import init_worker
 
 __all__ = [
     "CACHE_FORMAT",
     "InjectedWorkerFault",
     "ModelCache",
     "PairJob",
+    "ProcessDomainGroup",
     "RunCache",
     "RunJob",
     "SupervisionStats",
@@ -70,6 +79,7 @@ __all__ = [
     "TrainExecutor",
     "TrainJob",
     "canonical_json",
+    "init_worker",
     "resolve_n_jobs",
     "run_key",
     "run_key_material",

@@ -85,6 +85,7 @@ def run_key_material(
     seed_salt: str = "",
     salt: str = "",
     faults: dict[str, Any] | None = None,
+    sharded: bool = False,
 ) -> dict[str, Any]:
     """The key's raw material (also persisted next to cache entries).
 
@@ -93,6 +94,14 @@ def run_key_material(
     aborted mid-flight has different content than a clean run and must
     never collide with it in the cache.  Worker- and telemetry-level
     faults don't change run content and stay out of the key.
+
+    ``sharded`` marks runs produced by the sharded executor
+    (:mod:`repro.sim.shard`).  It is a *boolean*, never the shard
+    count: ``--shards N`` is bit-identical to ``--shards 1`` by
+    contract, so keys stay shard-count-invariant and warm caches keep
+    hitting whatever parallelism the machine offers.  Sharded execution
+    is a distinct execution model from the legacy single-environment
+    path (per-domain client-link replicas), hence the key separation.
     """
     interference = tuple(interference)
     cfg = config_to_dict(config)
@@ -110,6 +119,8 @@ def run_key_material(
     }
     if faults:
         material["faults"] = dict(faults)
+    if sharded:
+        material["sharded"] = True
     return material
 
 
@@ -120,11 +131,12 @@ def run_key(
     seed_salt: str = "",
     salt: str = "",
     faults: dict[str, Any] | None = None,
+    sharded: bool = False,
 ) -> str:
     """Content-addressed key of one monitored run."""
     return stable_hash(run_key_material(target, interference, config,
                                         seed_salt=seed_salt, salt=salt,
-                                        faults=faults))
+                                        faults=faults, sharded=sharded))
 
 
 def train_key_material(

@@ -117,7 +117,8 @@ class PairJob:
 
 def _execute_job(item: tuple[str, RunJob, int],
                  plan: FaultPlan | None = None,
-                 trace_ctx: TraceContext | None = None):
+                 trace_ctx: TraceContext | None = None,
+                 shards: int | None = None):
     """Worker body: run one job and return (key, run, wall, metrics, aux).
 
     Runs in a separate process (pool worker or supervised child).  The
@@ -154,7 +155,8 @@ def _execute_job(item: tuple[str, RunJob, int],
     started = time.monotonic()
     start = time.perf_counter()
     run = execute_run(job.target, list(job.interference), job.config,
-                      seed_salt=job.seed_salt, abort_at=abort_at)
+                      seed_salt=job.seed_salt, abort_at=abort_at,
+                      shards=shards)
     wall = time.perf_counter() - start
     aux = {"pid": os.getpid(), "started": started,
            "trace": _dist.ship(worker_tracer)}
@@ -281,6 +283,16 @@ class SweepExecutor:
         Telemetry faults are *not* applied here (apply
         :func:`repro.faults.apply_faults` to the returned runs), so
         cached runs stay clean.
+    shards:
+        Route every run through the sharded executor
+        (:mod:`repro.sim.shard`) with this many shard processes.
+        ``None`` (default) keeps the legacy single-environment path.
+        Cache keys gain a ``sharded`` marker but never the count —
+        sharded output is bit-identical across shard counts, so warm
+        caches hit whatever parallelism the machine offers.  Inside
+        pool workers (daemonic) shards fall back in-process, so
+        combining ``n_jobs > 1`` with ``shards > 1`` parallelises
+        across runs, not within them.
     """
 
     def __init__(self, n_jobs: int = 1,
@@ -289,7 +301,8 @@ class SweepExecutor:
                  run_timeout: float | None = None,
                  retries: int = 0,
                  retry_backoff: float = 0.05,
-                 fault_plan: FaultPlan | None = None) -> None:
+                 fault_plan: FaultPlan | None = None,
+                 shards: int | None = None) -> None:
         if run_timeout is not None and run_timeout <= 0:
             raise ValueError(f"run_timeout must be positive, got {run_timeout}")
         if retries < 0:
@@ -306,6 +319,9 @@ class SweepExecutor:
         self.retries = retries
         self.retry_backoff = retry_backoff
         self.fault_plan = fault_plan
+        if shards is not None and shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
         self.runs_executed = 0
         self.runs_deduplicated = 0
         self.retries_used = 0
@@ -319,7 +335,8 @@ class SweepExecutor:
     def key_for(self, job: RunJob) -> str:
         return run_key(job.target, job.interference, job.config,
                        seed_salt=job.seed_salt, salt=self.salt,
-                       faults=self._fault_material())
+                       faults=self._fault_material(),
+                       sharded=self.shards is not None)
 
     def _fault_material(self) -> dict | None:
         if self.fault_plan is not None and self.fault_plan.affects_simulation:
@@ -398,13 +415,20 @@ class SweepExecutor:
                         emit_job_spans(tracer, [k for k, _ in items],
                                        traced, attempts)
                 elif items and self.n_jobs > 1 and len(items) > 1:
+                    from repro.parallel.workerinit import init_worker
+
                     ctx = multiprocessing.get_context(self.start_method)
                     workers = min(self.n_jobs, len(items))
                     worker_fn = functools.partial(
                         _execute_job, plan=self.fault_plan,
-                        trace_ctx=trace_ctx)
+                        trace_ctx=trace_ctx, shards=self.shards)
                     submit = time.monotonic()
-                    with ctx.Pool(processes=workers) as pool:
+                    # One-time per-worker setup (heavy imports, base
+                    # tracer/registry state) runs in the pool
+                    # initializer instead of on every task.
+                    with ctx.Pool(processes=workers,
+                                  initializer=init_worker,
+                                  initargs=(trace_ctx,)) as pool:
                         for key, run, wall, snapshot, aux in \
                                 pool.imap_unordered(
                                     worker_fn, [(k, j, 0) for k, j in items],
@@ -432,7 +456,8 @@ class SweepExecutor:
                                               list(job.interference),
                                               job.config,
                                               seed_salt=job.seed_salt,
-                                              abort_at=abort_at)
+                                              abort_at=abort_at,
+                                              shards=self.shards)
                         wall_hist.observe(time.perf_counter() - start)
                         self._store(key, job, run)
                         results[key] = run
@@ -469,7 +494,7 @@ class SweepExecutor:
         stats = run_supervised(
             items,
             functools.partial(_execute_job, plan=self.fault_plan,
-                              trace_ctx=trace_ctx),
+                              trace_ctx=trace_ctx, shards=self.shards),
             ctx=multiprocessing.get_context(self.start_method),
             workers=self.n_jobs,
             on_success=on_success,
@@ -521,7 +546,8 @@ class SweepExecutor:
                                                  job.config,
                                                  seed_salt=job.seed_salt,
                                                  salt=self.salt,
-                                                 faults=self._fault_material()))
+                                                 faults=self._fault_material(),
+                                                 sharded=self.shards is not None))
 
     # -- reporting --------------------------------------------------------
 

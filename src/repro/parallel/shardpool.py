@@ -1,0 +1,235 @@
+"""Long-lived shard worker processes hosting server domains.
+
+The sweep pool's unit of work is a whole run; a sharded run instead
+needs workers that stay resident across thousands of sync windows, each
+round-trip carrying one window's columnar message batches.  This module
+provides that: :class:`ProcessDomainGroup` starts one worker process per
+shard (same start-method resolution and worker-init path as the sweep
+pool), assigns server domains round-robin, and drives all workers
+through each conservative window over duplex pipes — send every worker
+its window, then collect every reply (the window barrier).
+
+Telemetry crosses the boundary exactly like sweep workers' does, except
+that spans are **per domain**, not per worker: each
+:class:`~repro.sim.shard.DomainHost` owns a tracer seeded from the
+parent's :class:`~repro.obs.distributed.TraceContext`, and at the end of
+the run every domain's spans ship home and merge in domain-index order
+under a ``domain{d}`` label.  The domain→worker mapping changes with the
+shard count, the domain order does not — so a traced ``--shards 4`` run
+emits the byte-identical span stream of ``--shards 1``.  Registry
+snapshots stay per worker (counters sum; wall-clock gauges get
+``shard{i}`` labels).  Between windows a domain whose span buffer has
+grown past :data:`repro.obs.distributed.SPILL_THRESHOLD` spills it to an
+on-disk JSONL spool (:func:`repro.obs.distributed.spill_spans`), so
+tracing a million-event sharded run keeps worker memory bounded; the
+parent folds each spool back in at merge time.
+
+Wall-clock shard health lands in the registry every window:
+``shard.barrier_wait_seconds`` (spread between the first and last worker
+reply — time the fastest shard spent blocked on the barrier) and the
+``shard.worker_window_seconds{worker=shardN}`` per-worker gauges feeding
+the skew number.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import tempfile
+import time
+from typing import Any
+
+from repro.obs import distributed as _dist
+from repro.obs import trace as _trace
+from repro.obs.log import get_logger
+from repro.obs.metrics import REGISTRY
+from repro.sim.cluster import ClusterConfig
+
+__all__ = ["ProcessDomainGroup"]
+
+logger = get_logger("parallel.shardpool")
+
+_INF = float("inf")
+
+#: Back-compat alias; the canonical constant lives with the spill code.
+SPILL_THRESHOLD = _dist.SPILL_THRESHOLD
+
+
+def _shard_worker_main(conn, config: ClusterConfig, domains: list[int],
+                       sample_interval: float, trace_ctx: dict | None,
+                       spool_dir: str) -> None:
+    """Worker body: host ``domains`` and serve window requests forever.
+
+    Protocol (parent -> worker): ``("window", end, inclusive, outbox,
+    new_jobs)`` answered with ``("ok", completions, next_time)``;
+    ``("finish",)`` answered with ``("done", samples, events, snapshot,
+    shipments)`` — shipments being ``(domain_index, spans)`` pairs — and
+    exit.  The worker announces ``("ready", next_time)`` once its
+    domains are built.
+    """
+    from repro.obs.trace import Tracer
+    from repro.parallel.workerinit import init_worker
+    from repro.sim.shard import DomainHost
+
+    base = init_worker(trace_ctx)
+    hosts = [
+        DomainHost(config, d, sample_interval,
+                   tracer=(None if base is None else
+                           Tracer(trace_id=base.trace_id)),
+                   spill_path=(None if base is None else
+                               os.path.join(spool_dir,
+                                            f"domain{d}.spans.jsonl")))
+        for d in domains
+    ]
+    conn.send(("ready", min((h.env.peek() for h in hosts), default=_INF)))
+    while True:
+        msg = conn.recv()
+        if msg[0] == "window":
+            _, end, inclusive, outbox, new_jobs = msg
+            results = []
+            next_time = _INF
+            for host in hosts:
+                if new_jobs:
+                    host.add_jobs(new_jobs)
+                batch = outbox.get(host.domain_index)
+                if batch is not None:
+                    host.inject(batch)
+                host.run_window(end, inclusive)
+                host.maybe_spill()
+                results.append((host.domain_index,
+                                host.drain_completions()))
+                t = host.env.peek()
+                if t < next_time:
+                    next_time = t
+            conn.send(("ok", results, next_time))
+        elif msg[0] == "finish":
+            samples = []
+            events = 0
+            for host in hosts:
+                samples.extend(host.monitor.samples)
+                events += host.env._seq
+            shipments = [(host.domain_index, host.ship_spans())
+                         for host in hosts] if base is not None else []
+            conn.send(("done", samples, events, REGISTRY.snapshot(),
+                       shipments))
+            conn.close()
+            return
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"shard worker: unknown message {msg[0]!r}")
+
+
+class ProcessDomainGroup:
+    """Server domains fanned out over resident worker processes.
+
+    Drop-in for :class:`repro.sim.shard.LocalDomainGroup`: same
+    ``run_window`` / ``finish`` / ``close`` surface and the same
+    deterministic result ordering (replies are collected in worker-index
+    order and completions re-sorted by domain index), so the coordinator
+    cannot observe which process hosted a domain.
+    """
+
+    def __init__(self, config: ClusterConfig, domains: list[int],
+                 sample_interval: float, n_workers: int,
+                 start_method: str | None = None) -> None:
+        from repro.parallel.executor import _default_start_method
+
+        ctx = multiprocessing.get_context(
+            start_method or _default_start_method())
+        parent_tracer = _trace.get()
+        self._tempdir = tempfile.TemporaryDirectory(prefix="repro-shard-")
+        self._workers: list[dict[str, Any]] = []
+        self.next_time = _INF
+        self.windows = 0
+        for w in range(n_workers):
+            assigned = domains[w::n_workers]
+            trace_ctx = None
+            if parent_tracer is not None:
+                trace_ctx = _dist.TraceContext(
+                    trace_id=parent_tracer.trace_id or "",
+                    worker=f"shard{w}",
+                ).to_dict()
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_shard_worker_main,
+                args=(child_conn, config, assigned, sample_interval,
+                      trace_ctx, self._tempdir.name),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._workers.append({"proc": proc, "conn": parent_conn,
+                                  "domains": assigned, "label": f"shard{w}"})
+        for worker in self._workers:
+            tag, next_time = worker["conn"].recv()
+            if tag != "ready":  # pragma: no cover - defensive
+                raise RuntimeError(f"shard worker failed to start: {tag!r}")
+            if next_time < self.next_time:
+                self.next_time = next_time
+        logger.info("shard pool: %d workers hosting %d domains",
+                    n_workers, len(domains))
+
+    def run_window(self, end: float, inclusive: bool, outbox: dict,
+                   new_jobs: list) -> list[tuple[int, list]]:
+        t0 = time.perf_counter()
+        for worker in self._workers:
+            worker["conn"].send((
+                "window", end, inclusive,
+                {d: outbox[d] for d in worker["domains"] if d in outbox},
+                new_jobs,
+            ))
+        results: list[tuple[int, list]] = []
+        next_time = _INF
+        replies: list[float] = []
+        for worker in self._workers:
+            tag, worker_results, worker_next = worker["conn"].recv()
+            elapsed = time.perf_counter() - t0
+            replies.append(elapsed)
+            if tag != "ok":  # pragma: no cover - defensive
+                raise RuntimeError(f"shard worker error: {tag!r}")
+            results.extend(worker_results)
+            if worker_next < next_time:
+                next_time = worker_next
+            REGISTRY.gauge(
+                f"shard.worker_window_seconds{{worker={worker['label']}}}"
+            ).set(elapsed)
+        if len(replies) > 1:
+            REGISTRY.histogram("shard.barrier_wait_seconds").observe(
+                max(replies) - min(replies))
+        results.sort(key=lambda row: row[0])
+        self.next_time = next_time
+        self.windows += 1
+        return results
+
+    def finish(self) -> dict[str, Any]:
+        samples: list = []
+        events = 0
+        tracer = _trace.get()
+        shipments: list[tuple[int, dict | None]] = []
+        for worker in self._workers:
+            worker["conn"].send(("finish",))
+        for worker in self._workers:
+            tag, worker_samples, worker_events, snapshot, worker_ships = \
+                worker["conn"].recv()
+            if tag != "done":  # pragma: no cover - defensive
+                raise RuntimeError(f"shard worker error: {tag!r}")
+            samples.extend(worker_samples)
+            events += worker_events
+            REGISTRY.merge_snapshot(snapshot, worker=worker["label"])
+            shipments.extend(worker_ships)
+            worker["conn"].close()
+            worker["proc"].join(timeout=30)
+        if tracer is not None:
+            # Domain-index order, not worker order: the domain→worker
+            # mapping depends on the shard count, the domain order does
+            # not, so the merged stream is shard-count invariant.
+            for domain, shipment in sorted(shipments, key=lambda s: s[0]):
+                _dist.merge_spilled(tracer, shipment,
+                                    worker=f"domain{domain}")
+        return {"samples": samples, "events": events}
+
+    def close(self) -> None:
+        for worker in self._workers:
+            if worker["proc"].is_alive():
+                worker["proc"].terminate()
+                worker["proc"].join(timeout=5)
+        self._tempdir.cleanup()

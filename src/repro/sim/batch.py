@@ -284,6 +284,10 @@ class BatchSession(ClientSession):
     ``AllOf`` over per-RPC processes.
     """
 
+    #: Driver walking one data op's pieces; the sharded root cluster
+    #: substitutes a router-posting driver (repro.sim.shard) here.
+    driver_class = _DataOpDriver
+
     def _data_op(self, op: OpType, path: str, offset: int, size: int):
         yield self._data_fast(op, path, offset, size)
 
@@ -299,7 +303,7 @@ class BatchSession(ClientSession):
         req = BatchRequest.from_extent(f, op, path, offset, size,
                                        self.node.params.max_rpc_bytes)
         done = Event(self.env)
-        _DataOpDriver(self, req, f, start, done, span).begin()
+        self.driver_class(self, req, f, start, done, span).begin()
         return done
 
     def _meta_op(self, op: OpType, path: str, parent: str):

@@ -151,9 +151,17 @@ class BurstBufferedSession:
     @classmethod
     def attach(cls, session: ClientSession,
                params: BurstBufferParams | None = None) -> "BurstBufferedSession":
-        """Wrap ``session`` with a node-local burst buffer."""
-        drain = ClientSession(session.node, f"{session.job}-bbdrain",
-                              session.rank, NullCollector())
+        """Wrap ``session`` with a node-local burst buffer.
+
+        The hidden drain session comes from the cluster's session
+        factory, so drain traffic follows the active request path
+        (event, batch or sharded) instead of always taking the
+        per-request event path.
+        """
+        node = session.node
+        drain = node.cluster.session(f"{session.job}-bbdrain",
+                                     session.rank, node.index)
+        drain.collector = NullCollector()
         return cls(session, BurstBuffer(session.env, drain, params))
 
     # -- delegated namespace/metadata ops ------------------------------------------

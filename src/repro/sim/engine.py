@@ -287,6 +287,16 @@ class Environment:
 
     # -- execution --------------------------------------------------------
 
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``+inf`` when idle.
+
+        The sharded executor's barrier computation: a conservative window
+        may only extend to the minimum ``peek()`` across every shard
+        environment (plus lookahead), so the queue head must be readable
+        without firing anything.
+        """
+        return self._queue[0][0] if self._queue else float("inf")
+
     def step(self) -> None:
         """Fire the next scheduled event and run its callbacks."""
         self._step(self._queue, _trace.TRACER)

@@ -1,0 +1,791 @@
+"""Sharded simulation: one run partitioned by server domain.
+
+A single monitored execution is compute-bound on one core however large
+the configured cluster is.  This module partitions one simulation into
+*domains* that advance on independent :class:`~repro.sim.engine.
+Environment` instances and synchronise through a deterministic
+conservative time-window protocol:
+
+* the **root domain** keeps everything that is latency-coupled to the
+  clients with no lookahead: the compute nodes and their RPC credit
+  windows, every workload rank process, the MDS/MDT, the namespace and
+  the trace collector;
+* one **server domain per OSS** owns that OSS's OSTs (disks, caches,
+  QoS) plus its NIC link and a replica of each client NIC link, and
+  serves the data RPCs the root posts to it.
+
+Lookahead and windows
+---------------------
+Every cross-domain interaction is a data RPC, and every data RPC pays
+the fixed client ``rpc_latency`` before it reaches the server — so a
+message *posted* at time ``g`` takes *effect* at ``g + latency``.  That
+latency is the protocol's lookahead ``λ``: with ``B`` the global minimum
+over every domain's next event time and every posted-but-undelivered
+message's effect time, no new effect can materialise before ``B + λ``,
+and all domains may safely advance through the window ``[B, B + λ)``
+without further coordination.  Each window the coordinator
+
+1. takes the columnar outbox batches whose effect falls inside the
+   window and hands them to their server domains,
+2. runs every server domain through the window, collecting completions,
+3. merges completions across domains (sorted by ``(time, domain)``) and
+   schedules them into the root environment at their exact times,
+4. runs the root domain through the same window.
+
+Server domains run *before* the root, which is safe because any message
+the root posts during the window takes effect at ``≥ B + λ`` — past the
+window end — while worker completions are delivered to the root at
+their exact service-completion times inside the window.
+
+Determinism and the ``--shards N ≡ --shards 1`` contract
+--------------------------------------------------------
+The coordinator's decisions (window boundaries, delivery order, merge
+order) are functions of simulation state only — never of how domains
+are mapped onto processes.  ``shards=N`` therefore produces bit-identical
+traces, server samples, window vectors and labels to ``shards=1``;
+``tests/sim/test_shard_equivalence.py`` enforces it for both sim
+backends, and the run-cache key marks *sharded* execution without
+recording N (see :func:`repro.parallel.cachekey.run_key_material`).
+
+Sharded execution is a distinct execution model from the legacy
+single-environment path (each server domain sees replica client links,
+so client-NIC fair sharing is domain-local), hence the separate cache
+namespace: legacy and sharded runs never share cache entries.
+
+Relation to the paper: this is purely an executor change — the
+simulated physics (striping, credit windows, fair-share fabric, disk
+service, dirty throttling) is byte-for-byte the models the paper's
+interference analysis needs, just evaluated on more cores.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.common.records import ServerId
+from repro.common.rng import derive_seed
+from repro.monitor.aggregator import MonitoredRun
+from repro.monitor.server_monitor import ServerMonitor
+from repro.obs import profile as _profile
+from repro.obs import trace as _trace
+from repro.obs.log import get_logger
+from repro.obs.metrics import REGISTRY
+from repro.sim.batch import BatchSession, _DataOpDriver
+from repro.sim.client import ClientSession
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.sim.engine import Event, SimulationError
+from repro.workloads.base import Workload, launch, launch_interference
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import ExperimentConfig, InterferenceSpec
+
+__all__ = [
+    "CrossShardBatch",
+    "ShardRouter",
+    "ShardClientSession",
+    "ShardBatchSession",
+    "ShardedRootCluster",
+    "DomainHost",
+    "LocalDomainGroup",
+    "execute_run_sharded",
+]
+
+logger = get_logger("sim.shard")
+
+_INF = float("inf")
+
+
+class CrossShardBatch:
+    """One window's cross-shard messages for one domain, as columns.
+
+    Parallel plain-int/float lists (the same layout rationale as
+    :class:`~repro.sim.batch.BatchRequest`): cheap to append on the hot
+    root path, cheap to pickle across the worker pipe, walked by index
+    on the domain side.  Rows are appended in root event order, so the
+    ``effect`` column is monotone non-decreasing — splitting a window's
+    prefix is a single scan.
+    """
+
+    __slots__ = ("kind", "ost", "oid", "ooff", "nb", "node", "job",
+                 "token", "effect")
+
+    def __init__(self) -> None:
+        self.kind: list[int] = []      # 1 = write, 0 = read
+        self.ost: list[int] = []
+        self.oid: list[int] = []
+        self.ooff: list[int] = []
+        self.nb: list[int] = []
+        self.node: list[int] = []
+        self.job: list[int] = []       # interned job-name id
+        self.token: list[int] = []     # completion-routing token
+        self.effect: list[float] = []  # absolute effect time (post + λ)
+
+    def __len__(self) -> int:
+        return len(self.token)
+
+    def append(self, kind: int, ost: int, oid: int, ooff: int, nb: int,
+               node: int, job: int, token: int, effect: float) -> None:
+        self.kind.append(kind)
+        self.ost.append(ost)
+        self.oid.append(oid)
+        self.ooff.append(ooff)
+        self.nb.append(nb)
+        self.node.append(node)
+        self.job.append(job)
+        self.token.append(token)
+        self.effect.append(effect)
+
+    def split(self, end: float, inclusive: bool
+              ) -> tuple["CrossShardBatch | None", "CrossShardBatch"]:
+        """Split off the prefix taking effect before ``end`` (``<= end``
+        when ``inclusive``); returns ``(taken, kept)``."""
+        eff = self.effect
+        n = len(eff)
+        cut = 0
+        if inclusive:
+            while cut < n and eff[cut] <= end:
+                cut += 1
+        else:
+            while cut < n and eff[cut] < end:
+                cut += 1
+        if cut == 0:
+            return None, self
+        if cut == n:
+            return self, CrossShardBatch()
+        head = CrossShardBatch()
+        tail = CrossShardBatch()
+        for name in self.__slots__:
+            col = getattr(self, name)
+            setattr(head, name, col[:cut])
+            setattr(tail, name, col[cut:])
+        return head, tail
+
+
+class ShardRouter:
+    """Root-side cross-shard mailbox: outbound batches, completion tokens.
+
+    Sessions *post* data RPCs here at window-grant time; each post buys a
+    token whose completion the coordinator later schedules back into the
+    root environment at the exact service-completion time.  Job names are
+    interned to small ids once and shipped incrementally, so the columnar
+    batches never carry strings.
+    """
+
+    def __init__(self, cluster: "ShardedRootCluster") -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.latency = cluster.config.client.rpc_latency
+        self.osts_per_oss = cluster.config.osts_per_oss
+        self.outbox = [CrossShardBatch()
+                       for _ in range(cluster.config.n_domains)]
+        #: token -> Event (event backend) or 0-arg callable (batch backend)
+        self._waiters: dict[int, Event | Callable[[], None]] = {}
+        self._next_token = 0
+        self._job_ids: dict[str, int] = {}
+        self._new_jobs: list[tuple[int, str]] = []
+        self.messages_posted = 0
+
+    def _job_id(self, job: str) -> int:
+        jid = self._job_ids.get(job)
+        if jid is None:
+            jid = self._job_ids[job] = len(self._job_ids)
+            self._new_jobs.append((jid, job))
+        return jid
+
+    def post(self, is_write: bool, ost_index: int, object_id: int,
+             obj_offset: int, nbytes: int, node_index: int, job: str,
+             waiter: "Event | Callable[[], None]") -> int:
+        """Queue one data RPC taking effect at ``now + latency``."""
+        token = self._next_token
+        self._next_token += 1
+        self._waiters[token] = waiter
+        self.outbox[ost_index // self.osts_per_oss].append(
+            1 if is_write else 0, ost_index, object_id, obj_offset, nbytes,
+            node_index, self._job_id(job), token, self.env.now + self.latency,
+        )
+        self.messages_posted += 1
+        return token
+
+    def send(self, is_write: bool, ost_index: int, object_id: int,
+             obj_offset: int, nbytes: int, node_index: int,
+             job: str) -> Event:
+        """Event-backend post: returns the root event the RPC's waiter
+        yields on; it fires at the remote service-completion time."""
+        ev = Event(self.env)
+        self.post(is_write, ost_index, object_id, obj_offset, nbytes,
+                  node_index, job, ev)
+        return ev
+
+    def take_outbox(self, end: float, inclusive: bool
+                    ) -> tuple[dict[int, CrossShardBatch],
+                               list[tuple[int, str]]]:
+        """Detach every domain's messages taking effect inside the window,
+        plus the job-name ids interned since the last take."""
+        taken: dict[int, CrossShardBatch] = {}
+        for domain, batch in enumerate(self.outbox):
+            if not batch.token:
+                continue
+            head, tail = batch.split(end, inclusive)
+            if head is not None:
+                taken[domain] = head
+                self.outbox[domain] = tail
+        new_jobs, self._new_jobs = self._new_jobs, []
+        return taken, new_jobs
+
+    def min_effect(self) -> float:
+        """Earliest undelivered message effect time (columns are monotone,
+        so each batch's head is its minimum)."""
+        m = _INF
+        for batch in self.outbox:
+            if batch.effect and batch.effect[0] < m:
+                m = batch.effect[0]
+        return m
+
+    def deliver(self, token: int, when: float) -> None:
+        """Schedule one completion into the root environment at ``when``.
+
+        The waiter event is armed and pushed directly onto the heap at
+        its absolute completion time (``Event.succeed`` would fire it at
+        the *current* root time instead).
+        """
+        waiter = self._waiters.pop(token)
+        env = self.env
+        if isinstance(waiter, Event):
+            waiter._ok = True
+            env._schedule(waiter, when - env.now)
+            return
+        ev = Event(env)
+        ev._ok = True
+        ev.callbacks.append(lambda _ev, fn=waiter: fn())
+        env._schedule(ev, when - env.now)
+
+
+class ShardClientSession(ClientSession):
+    """Event-backend session whose data RPCs cross the shard boundary.
+
+    The RPC-window credit discipline stays client-side (root domain);
+    only the post-grant leg — latency, network transfer, OST service —
+    runs in the server domain.  The yielded router event fires at the
+    identical instant the legacy path's last leg would complete, so the
+    credit release times match.
+    """
+
+    def _data_rpc(self, ost_index: int, object_id: int, obj_offset: int,
+                  nbytes: int, is_write: bool, parent_span=None):
+        cluster = self.node.cluster
+        window = self.node.rpc_window(ost_index)
+        tracer = _trace.TRACER
+        span = tracer.start(
+            "client.rpc", self.env.now, parent=parent_span,
+            ost=ost_index, nbytes=nbytes, write=is_write, sharded=True,
+        ) if tracer is not None else None
+        yield window.acquire()
+        try:
+            yield cluster.router.send(is_write, ost_index, object_id,
+                                      obj_offset, nbytes, self.node.index,
+                                      self.job)
+        finally:
+            window.release()
+        if span is not None:
+            tracer.finish(span, self.env.now)
+
+
+class _ShardDataOpDriver(_DataOpDriver):
+    """Batch-backend driver that posts granted pieces to the router.
+
+    Mirrors :meth:`_DataOpDriver.begin`'s grant discipline exactly —
+    pieces with an available credit post immediately, queued pieces post
+    when their FIFO grant fires — but the post replaces the local
+    ``rpc_latency`` timer: the router stamps the same ``grant + λ``
+    effect time onto the cross-shard message.
+    """
+
+    __slots__ = ()
+
+    def begin(self) -> None:
+        req = self.req
+        node = self.session.node
+        cluster = node.cluster
+        touched = self.touched
+        keep = self.keep_record
+        n = len(req)
+        if n == 0:
+            self._finish()
+            return
+        ost_idx = req._ost
+        nbytes = req._nb
+        for i in range(n):
+            oi = ost_idx[i]
+            if keep:
+                sid = cluster.osts[oi].server_id
+                touched[sid] = touched.get(sid, 0) + nbytes[i]
+            window = node.rpc_window(oi)
+            if window.try_acquire():
+                self._post(i)
+            else:
+                window.acquire().callbacks.append(
+                    lambda _ev, i=i: self._post(i)
+                )
+
+    def _post(self, i: int) -> None:
+        req = self.req
+        session = self.session
+        session.node.cluster.router.post(
+            self.is_write, req._ost[i], req._oid[i], req._ooff[i],
+            req._nb[i], session.node.index, session.job,
+            lambda i=i: self._piece_done(i),
+        )
+
+
+class ShardBatchSession(BatchSession):
+    """Batch-backend session for the root domain of a sharded run."""
+
+    driver_class = _ShardDataOpDriver
+
+
+class ShardedRootCluster(Cluster):
+    """The root domain: clients, MDS and namespace live; data RPCs are
+    posted to the :class:`ShardRouter` instead of local OSTs.
+
+    Built as a full :class:`Cluster` — the dormant root-side OST objects
+    schedule no events until touched (caches flush lazily, disks idle),
+    and keeping them preserves ``servers`` ordering and ``ServerId``
+    bookkeeping without a parallel topology type.
+    """
+
+    def __init__(self, config: ClusterConfig | None = None) -> None:
+        super().__init__(config)
+        self.router = ShardRouter(self)
+
+    def session(self, job: str, rank: int, node_index: int) -> ClientSession:
+        node = self.nodes[node_index % len(self.nodes)]
+        if self.config.sim_backend == "batch":
+            return ShardBatchSession(node, job, rank, self.collector)
+        return ShardClientSession(node, job, rank, self.collector)
+
+
+class _DomainView:
+    """Duck-typed :class:`ServerMonitor` target: a subset of one
+    cluster's servers on that cluster's environment."""
+
+    def __init__(self, cluster: Cluster, servers: list[ServerId]) -> None:
+        self.env = cluster.env
+        self.servers = servers
+        self._cluster = cluster
+
+    def server_counters(self, server: ServerId) -> dict[str, float]:
+        return self._cluster.server_counters(server)
+
+
+class DomainHost:
+    """One OSS server domain on its own environment.
+
+    Holds a full cluster replica (bit-identical construction whatever
+    process hosts it) of which only this OSS's OSTs, its NIC link and
+    the replica client links are exercised; a :class:`ServerMonitor`
+    over just those OSTs samples on the same tick schedule as the root.
+    Messages are injected at their effect times and walked through the
+    same network-transfer + ``serve_fast`` chain as the batch backend.
+
+    When tracing is on the host owns a **per-domain tracer** (installed
+    as the module-global tracer while the domain simulates, here and in
+    :meth:`run_window`), so the domain's spans never interleave with the
+    coordinator's.  The merged trace is then shard-count invariant: root
+    spans in root recording order, followed by each domain's spans in
+    domain-index order, labelled ``domain{d}`` — the same stream whether
+    the domain lived in-process or on a shard worker.
+    """
+
+    def __init__(self, config: ClusterConfig, domain_index: int,
+                 sample_interval: float, tracer: _trace.Tracer | None = None,
+                 spill_path: str | None = None) -> None:
+        self.domain_index = domain_index
+        self.tracer = tracer
+        self.spill_path = spill_path
+        self.spilled = 0
+        saved = _trace.TRACER
+        _trace.TRACER = tracer  # even None: never record into the root's
+        try:
+            self.cluster = Cluster(config)
+            self.env = self.cluster.env
+            self.ost_indices = list(config.domain_ost_indices(domain_index))
+            servers = [self.cluster.osts[i].server_id
+                       for i in self.ost_indices]
+            self.monitor = ServerMonitor(_DomainView(self.cluster, servers),
+                                         sample_interval=sample_interval)
+            self.monitor.start()
+        finally:
+            _trace.TRACER = saved
+        self._jobs: list[str] = []
+        self.completions: list[tuple[int, float]] = []
+
+    def add_jobs(self, new_jobs: list[tuple[int, str]]) -> None:
+        for jid, name in new_jobs:
+            if jid != len(self._jobs):
+                raise SimulationError(
+                    f"shard domain {self.domain_index}: job-id stream out "
+                    f"of order ({jid} after {len(self._jobs)})"
+                )
+            self._jobs.append(name)
+
+    def inject(self, batch: CrossShardBatch) -> None:
+        """Schedule each message's arrival at its effect time.  Same-time
+        arrivals keep batch order via the environment's sequence
+        tie-break, so delivery order is shard-count invariant."""
+        env = self.env
+        now = env.now
+        for k in range(len(batch.token)):
+            ev = Event(env)
+            ev._ok = True
+            ev.callbacks.append(functools.partial(
+                self._arrive, batch.kind[k], batch.ost[k], batch.oid[k],
+                batch.ooff[k], batch.nb[k], batch.node[k], batch.job[k],
+                batch.token[k],
+            ))
+            env._schedule(ev, batch.effect[k] - now)
+
+    def _arrive(self, kind: int, oi: int, oid: int, ooff: int, nb: int,
+                node: int, jid: int, token: int, _ev: Event) -> None:
+        cluster = self.cluster
+        ost = cluster.osts[oi]
+        job = self._jobs[jid]
+        links = cluster.route(cluster.client_links[node], ost.oss_link)
+        if kind:  # write: payload crosses the fabric, then OST service
+            cluster.net.transfer_batch([(
+                nb, links,
+                lambda: ost.serve_fast(oid, ooff, nb, job, True,
+                                       lambda: self._complete(token)),
+            )])
+        else:  # read: OST service first, then the payload crosses back
+            ost.serve_fast(
+                oid, ooff, nb, job, False,
+                lambda: cluster.net.transfer_batch(
+                    [(nb, links, lambda: self._complete(token))]
+                ),
+            )
+
+    def _complete(self, token: int) -> None:
+        self.completions.append((token, self.env.now))
+
+    def drain_completions(self) -> list[tuple[int, float]]:
+        out, self.completions = self.completions, []
+        return out
+
+    def run_window(self, end: float, inclusive: bool) -> None:
+        saved = _trace.TRACER
+        _trace.TRACER = tracer = self.tracer
+        try:
+            env = self.env
+            queue = env._queue
+            step = env._step
+            if inclusive:
+                while queue and queue[0][0] <= end:
+                    step(queue, tracer)
+            else:
+                while queue and queue[0][0] < end:
+                    step(queue, tracer)
+        finally:
+            _trace.TRACER = saved
+
+    def maybe_spill(self) -> None:
+        """Spill finished spans once the buffer passes the threshold.
+
+        Same threshold in every hosting mode, so the spill pattern (and
+        with it the deterministic open-parent fallback in the merge) is
+        shard-count invariant.
+        """
+        from repro.obs import distributed as _dist
+
+        if (self.tracer is not None and self.spill_path is not None
+                and len(self.tracer.spans) >= _dist.SPILL_THRESHOLD):
+            self.spilled += _dist.spill_spans(self.tracer, self.spill_path)
+
+    def ship_spans(self) -> dict[str, Any] | None:
+        """This domain's span shipment (plus spool pointer when spilled)."""
+        from repro.obs import distributed as _dist
+
+        shipment = _dist.ship(self.tracer)
+        if shipment is not None and self.spilled:
+            shipment["spill_path"] = self.spill_path
+            shipment["spilled"] = self.spilled
+        return shipment
+
+
+class LocalDomainGroup:
+    """All server domains hosted in-process (``shards=1``, and the
+    fallback inside daemonic pool workers where nested process spawning
+    is forbidden).  Shares the coordinator's registry; spans go through
+    the same per-domain tracers, spill spools and domain-order merge as
+    the process-backed group, so the trace stream is identical either
+    way."""
+
+    def __init__(self, config: ClusterConfig, domains: list[int],
+                 sample_interval: float) -> None:
+        parent_tracer = _trace.get()
+        self._tempdir = None
+        if parent_tracer is not None:
+            import tempfile
+
+            self._tempdir = tempfile.TemporaryDirectory(
+                prefix="repro-shard-")
+        self.hosts = [
+            DomainHost(config, d, sample_interval,
+                       tracer=(None if parent_tracer is None else
+                               _trace.Tracer(trace_id=parent_tracer.trace_id)),
+                       spill_path=(None if self._tempdir is None else
+                                   f"{self._tempdir.name}/domain{d}.spans.jsonl"))
+            for d in domains
+        ]
+        self.next_time = min((h.env.peek() for h in self.hosts),
+                             default=_INF)
+
+    def run_window(self, end: float, inclusive: bool,
+                   outbox: dict[int, CrossShardBatch],
+                   new_jobs: list[tuple[int, str]]
+                   ) -> list[tuple[int, list[tuple[int, float]]]]:
+        results = []
+        nt = _INF
+        for host in self.hosts:
+            if new_jobs:
+                host.add_jobs(new_jobs)
+            batch = outbox.get(host.domain_index)
+            if batch is not None:
+                host.inject(batch)
+            host.run_window(end, inclusive)
+            host.maybe_spill()
+            results.append((host.domain_index, host.drain_completions()))
+            t = host.env.peek()
+            if t < nt:
+                nt = t
+        self.next_time = nt
+        return results
+
+    def finish(self) -> dict[str, Any]:
+        from repro.obs import distributed as _dist
+
+        samples: list[tuple[float, ServerId, dict[str, float]]] = []
+        events = 0
+        for host in self.hosts:
+            samples.extend(host.monitor.samples)
+            events += host.env._seq
+        parent_tracer = _trace.get()
+        if parent_tracer is not None:
+            for host in sorted(self.hosts, key=lambda h: h.domain_index):
+                _dist.merge_spilled(parent_tracer, host.ship_spans(),
+                                    worker=f"domain{host.domain_index}")
+        return {"samples": samples, "events": events}
+
+    def close(self) -> None:
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+
+
+def _make_group(config: ClusterConfig, domains: list[int],
+                sample_interval: float, shards: int):
+    """Map server domains onto processes: ``shards`` is the total number
+    of concurrently simulating processes, the calling process (root
+    domain) included."""
+    n_workers = min(max(0, shards - 1), len(domains))
+    if n_workers > 0:
+        import multiprocessing
+
+        if multiprocessing.current_process().daemon:
+            # Pool workers may not spawn children; in-process sharding is
+            # bit-identical, just without the extra parallelism.
+            logger.info(
+                "sharded run inside a daemonic worker: hosting all %d "
+                "server domains in-process", len(domains)
+            )
+        else:
+            from repro.parallel.shardpool import ProcessDomainGroup
+
+            return ProcessDomainGroup(config, domains, sample_interval,
+                                      n_workers)
+    return LocalDomainGroup(config, domains, sample_interval)
+
+
+def execute_run_sharded(
+    target: Workload,
+    interference: "list[InterferenceSpec]",
+    config: "ExperimentConfig",
+    seed_salt: str = "",
+    abort_at: float | None = None,
+    shards: int = 1,
+) -> MonitoredRun:
+    """Sharded counterpart of :func:`repro.experiments.runner.execute_run`.
+
+    Produces a :class:`MonitoredRun` whose records, samples and derived
+    vectors are bit-identical for every ``shards`` value; ``shards``
+    only chooses how many processes host the server domains.
+    """
+    wall_start = time.perf_counter()
+    if abort_at is not None and abort_at <= 0:
+        raise ValueError(f"abort_at must be positive, got {abort_at}")
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    cfg = config.cluster
+    lookahead = cfg.client.rpc_latency
+    if lookahead <= 0:
+        raise ValueError(
+            "sharded execution needs rpc_latency > 0: the per-RPC latency "
+            "is the conservative protocol's lookahead"
+        )
+    if lookahead >= config.sample_interval:
+        raise ValueError(
+            "sharded execution needs rpc_latency < sample_interval "
+            f"({lookahead} >= {config.sample_interval})"
+        )
+    logger.info(
+        "execute_run_sharded: target=%s noise=%s seed=%d shards=%d "
+        "domains=%d", target.name,
+        [spec.task for spec in interference] or "none", config.seed,
+        shards, cfg.n_domains,
+    )
+
+    windows_counter = REGISTRY.counter("shard.windows")
+    messages_counter = REGISTRY.counter("shard.messages")
+    completions_counter = REGISTRY.counter("shard.completions")
+    window_hist = REGISTRY.histogram("shard.window_wall_seconds")
+
+    cluster = ShardedRootCluster(cfg)
+    router = cluster.router
+    env = cluster.env
+    monitor = ServerMonitor(
+        _DomainView(cluster, [cluster.mds.server_id]),
+        sample_interval=config.sample_interval,
+    )
+    monitor.start()
+    group = _make_group(cfg, list(range(cfg.n_domains)),
+                        config.sample_interval, shards)
+    try:
+        with _profile.phase("shard-run", target=target.name, shards=shards):
+            noise_nodes = list(config.noise_nodes) or list(config.target_nodes)
+            for spec_idx, spec in enumerate(interference):
+                for copy in range(spec.instances):
+                    workload = spec.build(copy)
+                    workload.name = f"{workload.name}-{spec_idx}"
+                    seed = derive_seed(config.seed, "noise", seed_salt,
+                                       spec_idx, copy)
+                    launch_interference(cluster, workload, noise_nodes, seed,
+                                        record=False)
+
+            t_done: list[float] = []
+
+            def _window(end: float, inclusive: bool) -> None:
+                t0 = time.perf_counter()
+                outbox, new_jobs = router.take_outbox(end, inclusive)
+                results = group.run_window(end, inclusive, outbox, new_jobs)
+                merged = [
+                    (when, domain, token)
+                    for domain, comps in results
+                    for token, when in comps
+                ]
+                merged.sort(key=lambda row: (row[0], row[1]))
+                for when, _domain, token in merged:
+                    router.deliver(token, when)
+                queue = env._queue
+                step = env._step
+                tracer = _trace.TRACER
+                if inclusive:
+                    while queue and queue[0][0] <= end:
+                        step(queue, tracer)
+                else:
+                    while queue and queue[0][0] < end:
+                        step(queue, tracer)
+                windows_counter.inc()
+                messages_counter.inc(sum(len(b) for b in outbox.values()))
+                completions_counter.inc(len(merged))
+                window_hist.observe(time.perf_counter() - t0)
+
+            def _frontier() -> float:
+                return min(env.peek(), group.next_time, router.min_effect())
+
+            def _pump_to(boundary: float) -> None:
+                """Advance every domain until nothing is pending before
+                ``boundary`` (events at exactly ``boundary`` stay)."""
+                while True:
+                    frontier = _frontier()
+                    if frontier >= boundary:
+                        return
+                    if frontier == _INF:
+                        raise SimulationError(
+                            "sharded run drained before reaching "
+                            f"t={boundary}"
+                        )
+                    _window(min(frontier + lookahead, boundary),
+                            inclusive=False)
+
+            if interference and config.warmup > 0:
+                _pump_to(config.warmup)
+                _window(config.warmup, inclusive=True)
+                env.now = max(env.now, config.warmup)
+
+            target_seed = derive_seed(config.seed, "target", target.name)
+            handle = launch(cluster, target, list(config.target_nodes),
+                            target_seed)
+            handle.done.callbacks.append(lambda _ev: t_done.append(env.now))
+
+            deadline = (abort_at + config.sample_interval
+                        if abort_at is not None else None)
+            while True:
+                if deadline is None and t_done:
+                    deadline = t_done[0] + config.sample_interval
+                frontier = _frontier()
+                if frontier == _INF:
+                    raise SimulationError(
+                        "event loop drained before the target completed"
+                    )
+                end = frontier + lookahead
+                if deadline is not None and end >= deadline:
+                    _pump_to(deadline)
+                    _window(deadline, inclusive=True)
+                    break
+                _window(end, inclusive=False)
+
+            aborted = abort_at is not None and (
+                not t_done or t_done[0] > abort_at
+            )
+            if aborted:
+                logger.warning("run %s aborted at t=%.3fs (fault injection)",
+                               target.name, abort_at)
+            duration = deadline
+            env.now = max(env.now, duration)
+
+            finish = group.finish()
+            order = {sid: i for i, sid in enumerate(cluster.servers)}
+            rows = [row for row in finish["samples"] + monitor.samples
+                    if row[0] <= duration]
+            rows.sort(key=lambda row: (row[0], order[row[1]]))
+            REGISTRY.gauge("shard.events_scheduled").set(
+                env._seq + finish["events"])
+    finally:
+        group.close()
+
+    run = MonitoredRun(
+        job=target.name,
+        records=cluster.collector.records,
+        server_samples=rows,
+        servers=cluster.servers,
+        duration=duration,
+        metadata={
+            "interference": [spec.task for spec in interference],
+            "instances": sum(spec.instances for spec in interference),
+            "warmup": config.warmup if interference else 0.0,
+            "seed": config.seed,
+            "target_nodes": list(config.target_nodes),
+            "window_size": config.window_size,
+            "sample_interval": config.sample_interval,
+            "sharded": True,
+            **({"aborted": True, "abort_at": abort_at} if aborted else {}),
+        },
+    )
+    logger.info(
+        "execute_run_sharded done: %s finished at t=%.3fs sim (%d records, "
+        "%d samples, %d messages, %.2fs wall)",
+        target.name, run.duration, len(run.records),
+        len(run.server_samples), router.messages_posted,
+        time.perf_counter() - wall_start,
+    )
+    return run
