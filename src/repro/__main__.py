@@ -15,6 +15,8 @@ Usage::
     python -m repro bench [--only SUITE ...]    # regenerate BENCH_*.json
     python -m repro train --model-out M.npz     # train once, save the model
     python -m repro predict --model M.npz       # predict anywhere
+    python -m repro serve --tenants 256 --chaos 'flood=0.1,stall=0.05'
+                                         # multi-tenant service chaos soak
 
 Simulator backend: ``--sim-backend batch`` routes every client burst
 through the vectorised :mod:`repro.sim.batch` request path (one engine
@@ -476,6 +478,135 @@ def main_predict(argv: list[str]) -> int:
     return 0
 
 
+def main_serve(argv: list[str]) -> int:
+    """``python -m repro serve`` — run the multi-tenant service soak."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run the resilient multi-tenant prediction service "
+                    "against a simulated tenant population: micro-batched "
+                    "fused inference, admission control, backpressure, "
+                    "deadlines, per-tenant circuit breakers and an "
+                    "optional deterministic chaos plan.",
+    )
+    parser.add_argument("--tenants", type=int, default=64, metavar="N",
+                        help="concurrent tenant streams (default: %(default)s)")
+    parser.add_argument("--windows", type=int, default=8, metavar="N",
+                        help="windows per tenant stream "
+                             "(default: %(default)s)")
+    parser.add_argument("--model", type=pathlib.Path, default=None,
+                        metavar="MODEL.npz",
+                        help="serve a model saved by 'repro train'; omitted "
+                             "= train a small synthetic model first")
+    parser.add_argument("--chaos", metavar="SPEC", default=None,
+                        help="deterministic tenant-chaos spec, e.g. "
+                             "'flood=0.1,stall=0.05,disconnect=0.05,"
+                             "reorder=0.1,dup=0.1,slow=0.02,seed=3' (see "
+                             "repro.faults.SERVICE_FAULT_SPEC_FIELDS)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for the tenants' synthetic window "
+                             "streams (default: %(default)s)")
+    parser.add_argument("--think", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="nominal seconds between one tenant's windows "
+                             "(default: 0 = submit as fast as served)")
+    parser.add_argument("--max-tenants", type=int, default=1024,
+                        help="admission cap (default: %(default)s)")
+    parser.add_argument("--queue-depth", type=int, default=8,
+                        help="per-tenant ingest queue bound "
+                             "(default: %(default)s)")
+    parser.add_argument("--max-batch", type=int, default=256,
+                        help="largest fused micro-batch "
+                             "(default: %(default)s)")
+    parser.add_argument("--deadline", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="per-request deadline before degradation "
+                             "(default: %(default)s)")
+    parser.add_argument("--report-out", type=pathlib.Path, default=None,
+                        metavar="REPORT.json",
+                        help="write the soak report as JSON here")
+    parser.add_argument("--metrics-out", type=pathlib.Path, default=None,
+                        help="write the final metrics-registry snapshot "
+                             "to this JSON file")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="-v: INFO logs, -vv: DEBUG logs")
+    args = parser.parse_args(argv)
+    if args.verbose:
+        obs.configure_logging("DEBUG" if args.verbose > 1 else "INFO")
+    if args.tenants <= 0:
+        return _fail(f"--tenants must be a positive integer, "
+                     f"got {args.tenants}")
+    if args.windows <= 0:
+        return _fail(f"--windows must be a positive integer, "
+                     f"got {args.windows}")
+    if args.think < 0:
+        return _fail(f"--think must be >= 0, got {args.think}")
+    plan = None
+    if args.chaos:
+        from repro.faults import parse_service_fault_spec
+
+        try:
+            plan = parse_service_fault_spec(args.chaos)
+        except ValueError as exc:
+            return _fail(f"bad --chaos spec: {exc}")
+    from repro.serve import ServeConfig, run_soak
+
+    try:
+        config = ServeConfig(max_tenants=args.max_tenants,
+                             queue_depth=args.queue_depth,
+                             max_batch=args.max_batch,
+                             deadline=args.deadline)
+    except ValueError as exc:
+        return _fail(str(exc))
+
+    from repro.core.predictor import InterferencePredictor
+
+    if args.model is not None:
+        try:
+            predictor = InterferencePredictor.load(args.model)
+        except (OSError, ValueError, KeyError) as exc:
+            return _fail(f"cannot load model {args.model}: {exc}")
+    else:
+        from repro.bench import bench_train_dataset
+        from repro.core.nn.train import TrainConfig
+
+        print("(no --model given: training a small synthetic model)")
+        predictor = InterferencePredictor.train(
+            bench_train_dataset(),
+            config=TrainConfig(epochs=10, patience=5, seed=0), restarts=1)
+
+    report = run_soak(predictor.deploy(), n_tenants=args.tenants,
+                      n_windows=args.windows, config=config, plan=plan,
+                      seed=args.seed, think=args.think)
+    doc = report.to_dict()
+    terminal = report.terminal_counts
+    print(f"soak: {args.tenants} tenant(s) x {args.windows} window(s)"
+          + (f" under chaos plan {plan.digest()}" if plan else " (no chaos)"))
+    print(f"  terminal: " + ", ".join(
+        f"{state}={terminal[state]}" for state in sorted(terminal)))
+    print(f"  resolved {doc['windows_resolved']} windows at "
+          f"{doc['windows_per_second']:,.0f}/s "
+          f"(p50 {1e3 * doc['latency_p50_seconds']:.2f}ms, "
+          f"p99 {1e3 * doc['latency_p99_seconds']:.2f}ms)")
+    from repro.obs.report import service_health
+
+    for line in service_health(obs.REGISTRY.snapshot()):
+        print(f"  {line}")
+    if args.report_out is not None:
+        import json
+
+        args.report_out.parent.mkdir(parents=True, exist_ok=True)
+        args.report_out.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {args.report_out}")
+    if args.metrics_out:
+        obs.save_metrics(obs.REGISTRY, args.metrics_out)
+        print(f"wrote metrics snapshot to {args.metrics_out}")
+    if report.errors:
+        print(f"ERROR: {len(report.errors)} tenant(s) hit unhandled "
+              f"exceptions", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "obs":
@@ -488,6 +619,8 @@ def main(argv: list[str] | None = None) -> int:
         return main_train(argv[1:])
     if argv and argv[0] == "predict":
         return main_predict(argv[1:])
+    if argv and argv[0] == "serve":
+        return main_serve(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -559,8 +692,21 @@ def main(argv: list[str] | None = None) -> int:
                      f"(choose from: {', '.join(known)})")
     if args.jobs <= 0:
         return _fail(f"--jobs must be a positive integer, got {args.jobs}")
-    if args.shards is not None and args.shards <= 0:
-        return _fail(f"--shards must be a positive integer, got {args.shards}")
+    if args.shards is not None:
+        if args.shards <= 0:
+            return _fail(f"--shards must be a positive integer, "
+                         f"got {args.shards}")
+        # A shard worker hosts whole OSS domains, so shards beyond the
+        # domain count would just be idle processes blocking on every
+        # window barrier.  Clamp (with a note) rather than reject: the
+        # request is over-provisioned, not wrong.
+        n_domains = _cluster().n_domains
+        if args.shards > n_domains:
+            print(f"note: --shards {args.shards} exceeds the cluster's "
+                  f"{n_domains} OSS domain(s); clamping to {n_domains} "
+                  f"(one worker per domain is the maximum useful "
+                  f"sharding)", file=sys.stderr)
+            args.shards = n_domains
     if args.run_timeout is not None and args.run_timeout <= 0:
         return _fail(f"--run-timeout must be positive, got {args.run_timeout}")
     if args.retries < 0:

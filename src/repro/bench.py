@@ -1,10 +1,10 @@
 """Performance baselines: the ``repro bench`` subcommand.
 
-Four committed baselines (regenerated with ``python -m repro bench``,
+Five committed baselines (regenerated with ``python -m repro bench``,
 selectable via ``--only SUITE`` (repeatable) or the positional name,
 and compared non-gatingly in CI against the checked-in
 ``BENCH_engine.json`` / ``BENCH_sweep.json`` / ``BENCH_train.json`` /
-``BENCH_shard.json``):
+``BENCH_shard.json`` / ``BENCH_serve.json``):
 
 * **engine** — microbenchmarks of the discrete-event kernel: raw timeout
   churn through ``Environment.run()``, plus a request-path comparison
@@ -36,6 +36,12 @@ and compared non-gatingly in CI against the checked-in
   shard. Scaling needs physical cores; the committed baseline embeds
   ``environment.cpu_count`` so the numbers are read in context.
 
+* **serve** — the multi-tenant prediction service (:mod:`repro.serve`):
+  windows/sec and p50/p99 request latency against growing concurrent
+  stream counts, clean and under a fixed chaos plan (with shed/degraded
+  tenant rates). Demonstrates micro-batching amortising the fused
+  forward pass across tenants.
+
 The end-to-end speedup is Amdahl-bounded: the fluid network, block
 device and page cache perform identical work at identical simulated
 instants on both backends (that *is* the equivalence contract), so only
@@ -61,8 +67,8 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["bench_engine", "bench_environment", "bench_shard",
-           "bench_sweep", "bench_train", "main"]
+__all__ = ["bench_engine", "bench_environment", "bench_serve",
+           "bench_shard", "bench_sweep", "bench_train", "main"]
 
 
 def bench_environment() -> dict[str, Any]:
@@ -544,6 +550,98 @@ def bench_shard(shard_counts: tuple[int, ...] = (1, 2, 4),
     }
 
 
+# -- prediction-service benchmark ---------------------------------------------
+
+
+def _serve_scorer():
+    """A small deployed predictor for the service benchmark.
+
+    Trained quickly on the synthetic training set — the benchmark
+    measures the service machinery (batching, queues, chaos), not
+    training, so one restart and few epochs suffice.
+    """
+    from repro.core.nn.train import TrainConfig
+    from repro.core.predictor import InterferencePredictor
+
+    dataset = bench_train_dataset()
+    predictor = InterferencePredictor.train(
+        dataset, config=TrainConfig(epochs=10, patience=5, seed=0),
+        restarts=1)
+    return predictor.deploy()
+
+
+def bench_serve(stream_counts: tuple[int, ...] = (16, 64, 256),
+                n_windows: int = 20) -> dict[str, Any]:
+    """Multi-tenant service throughput/latency vs concurrent streams.
+
+    Two curves over the stream counts:
+
+    * **clean** — well-behaved tenants only: windows/sec, p50/p99
+      request latency, mean micro-batch size.  Throughput should grow
+      with stream count as batching amortises the per-forward cost —
+      the whole point of sharing one model across tenants.
+    * **chaos** — the same populations under a fixed
+      :class:`~repro.faults.ServiceFaultPlan` (floods, stalls,
+      disconnects, reorder, duplicates, slow batches): throughput plus
+      the shed/degraded tenant rates, i.e. what the robustness envelope
+      costs and contains.
+
+    Wall-clock numbers; the committed baseline embeds the environment
+    block like every other suite.
+    """
+    from repro.faults import ServiceFaultPlan
+    from repro.obs.metrics import REGISTRY
+    from repro.serve import run_soak
+    from repro.serve.service import BATCH_SIZE_BUCKETS
+
+    scorer = _serve_scorer()
+    plan = ServiceFaultPlan(seed=3, flood_rate=0.15, stall_rate=0.1,
+                            disconnect_rate=0.05, reorder_rate=0.15,
+                            duplicate_rate=0.1, slow_batch_rate=0.02,
+                            slow_batch_seconds=0.02)
+
+    def _one(n_tenants: int, with_chaos: bool) -> dict[str, Any]:
+        REGISTRY.reset()
+        report = run_soak(scorer, n_tenants=n_tenants, n_windows=n_windows,
+                          plan=plan if with_chaos else None, seed=7)
+        assert not report.errors, \
+            f"soak raised unhandled exceptions: {report.errors}"
+        latency = REGISTRY.histogram("serve.latency_seconds")
+        sizes = REGISTRY.histogram("serve.batch_size",
+                                   boundaries=BATCH_SIZE_BUCKETS)
+        terminal = report.terminal_counts
+        row = {
+            "tenants": n_tenants,
+            "windows_resolved": report.windows_served,
+            "wall_seconds": report.elapsed,
+            "windows_per_second": report.throughput,
+            "latency_p50_ms": 1e3 * latency.quantile(0.5),
+            "latency_p99_ms": 1e3 * latency.quantile(0.99),
+            "mean_batch_size": (sizes.total / sizes.count
+                                if sizes.count else 0.0),
+        }
+        if with_chaos:
+            row["degraded_rate"] = terminal["degraded"] / n_tenants
+            row["shed_rate"] = terminal["shed"] / n_tenants
+            row["statuses"] = report.status_totals
+        return row
+
+    clean = [_one(n, with_chaos=False) for n in stream_counts]
+    chaos = [_one(n, with_chaos=True) for n in stream_counts]
+    REGISTRY.reset()
+    return {
+        "environment": bench_environment(),
+        "stream_counts": list(stream_counts),
+        "windows_per_tenant": n_windows,
+        "fault_plan": plan.to_dict(),
+        "fault_plan_digest": plan.digest(),
+        "clean": clean,
+        "chaos": chaos,
+        "peak_windows_per_second": max(r["windows_per_second"]
+                                       for r in clean),
+    }
+
+
 # -- CLI ----------------------------------------------------------------------
 
 
@@ -562,10 +660,12 @@ def main(argv: list[str] | None = None) -> int:
                     "BENCH_train.json / BENCH_shard.json.",
     )
     parser.add_argument("which", nargs="?", default="all",
-                        choices=("engine", "sweep", "train", "shard", "all"))
+                        choices=("engine", "sweep", "train", "shard",
+                                 "serve", "all"))
     parser.add_argument("--only", action="append", default=None,
                         metavar="SUITE",
-                        choices=("engine", "sweep", "train", "shard"),
+                        choices=("engine", "sweep", "train", "shard",
+                                 "serve"),
                         help="run only this suite; repeatable "
                              "(--only engine --only shard). Overrides the "
                              "positional selection")
@@ -587,7 +687,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.only:
         selected = tuple(dict.fromkeys(args.only))  # de-dup, keep order
     elif args.which == "all":
-        selected = ("engine", "sweep", "train", "shard")
+        selected = ("engine", "sweep", "train", "shard", "serve")
     else:
         selected = (args.which,)
 
@@ -629,6 +729,17 @@ def main(argv: list[str] | None = None) -> int:
         print(f"shard: {rows}; {top['n_osts']} OSTs at shards=1: "
               f"{top['events_per_second']:,.0f} ev/s")
         _write(result, args.out_dir / "BENCH_shard.json")
+    if "serve" in selected:
+        result = bench_serve()
+        rows = ", ".join(
+            f"{r['tenants']}: {r['windows_per_second']:,.0f} w/s "
+            f"(p99 {r['latency_p99_ms']:.1f}ms)" for r in result["clean"])
+        worst = result["chaos"][-1]
+        print(f"serve: clean {rows}; chaos at {worst['tenants']} tenants: "
+              f"{worst['windows_per_second']:,.0f} w/s, "
+              f"{worst['degraded_rate']:.0%} degraded, "
+              f"{worst['shed_rate']:.0%} shed")
+        _write(result, args.out_dir / "BENCH_serve.json")
     return 0
 
 

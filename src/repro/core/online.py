@@ -121,6 +121,8 @@ class StreamingPredictor:
             if rec.job != self.job:
                 continue
             w = window_index(rec.end, self.window_size)
+            if w <= self._emitted_through:
+                continue
             self._window_records.setdefault(w, []).append(rec)
         samples = self.monitor.samples
         half = self.monitor.sample_interval / 2
@@ -131,9 +133,25 @@ class StreamingPredictor:
             w = window_index(max(0.0, t - half), self.window_size)
             if w <= self._emitted_through:
                 # The sample arrived after its window was already
-                # predicted; it can no longer influence the output.
+                # predicted; it can no longer influence the output, so
+                # count it and drop it instead of buffering it forever —
+                # a long-lived stream (one tenant session of the
+                # prediction service) must hold only windows that can
+                # still be emitted.
                 late_counter.inc()
+                continue
             self._window_samples.setdefault((w, server), []).append(metrics)
+
+    def _evict(self, window: int) -> None:
+        """Release the buffers of an emitted window.
+
+        Emitted windows are never revisited (late arrivals are dropped
+        in :meth:`_ingest`), so holding their records/samples would be a
+        per-window memory leak over an unbounded stream.
+        """
+        self._window_records.pop(window, None)
+        for sid in self.cluster.servers:
+            self._window_samples.pop((window, sid), None)
 
     def _completeness(self, window: int) -> float:
         """Fraction of expected server samples present for ``window``."""
@@ -233,6 +251,7 @@ class StreamingPredictor:
             )
             self.predictions.append(pred)
             self._emitted_through = window
+            self._evict(window)
             if not stale:
                 self._last_good = pred
             if self.on_prediction is not None:

@@ -385,6 +385,14 @@ class DeployedPredictor:
         self._head_bufs: list[np.ndarray] = []
         self._max_buf: np.ndarray | None = None
         self._sum_buf: np.ndarray | None = None
+        # predict_proba_rows keeps its own buffers so mixed batch/row
+        # scoring through one deployed instance never thrashes the
+        # batch-size-keyed set above.
+        self._row_buf_n: int | None = None
+        self._row_kernel_bufs: list[np.ndarray] = []
+        self._head1_bufs: list[np.ndarray] | None = None
+        self._max1_buf: np.ndarray | None = None
+        self._sum1_buf: np.ndarray | None = None
 
     def _ensure_buffers(self, n: int) -> None:
         if self._buf_n == n:
@@ -444,6 +452,67 @@ class DeployedPredictor:
         # running the softmax keeps the numerics identical to
         # ``predict_proba(...).argmax`` for near-tied windows.
         return self.predict_proba(X).argmax(axis=-1)
+
+    def predict_proba_rows(self, X: np.ndarray) -> np.ndarray:
+        """Batch scoring whose every row is bit-identical to a
+        batch-of-one :meth:`predict_proba` call.
+
+        The prediction service micro-batches windows from many tenants
+        into one forward pass, but must return each tenant the exact
+        bits a standalone per-window scorer would have produced — the
+        batch composition (who else happened to land in this tick)
+        cannot be allowed to perturb anyone's prediction.  A plain
+        batched :meth:`predict_proba` breaks that: the head's 2-D
+        matmuls go through one BLAS gemm whose summation order depends
+        on the row count.  Two facts restore row-invariance:
+
+        * the **kernel stack is 3-D** — numpy evaluates
+          ``(n, s, f) @ (f, h)`` slice by slice, so each window's
+          per-server pass is bitwise independent of ``n``.  This stage
+          carries essentially all the FLOPs and stays one fused matmul
+          call per layer for the whole batch;
+        * the **head is tiny** ``(1, servers)``-shaped work — running it
+          (and the softmax) per row at the exact n=1 shapes of the
+          standalone path reproduces the standalone bits at negligible
+          cost.
+
+        Returns a fresh ``(n, n_classes)`` array (safe to keep).
+        """
+        X = np.asarray(X, dtype=self._dtype)
+        if X.ndim != 3 or X.shape[1] != self.n_servers \
+                or X.shape[2] != self.n_features:
+            raise ValueError(
+                f"expected (n, {self.n_servers}, {self.n_features}), "
+                f"got {X.shape}"
+            )
+        n = len(X)
+        out = np.empty((n, self.n_classes), dtype=self._dtype)
+        if n == 0:
+            return out
+        if self._row_buf_n != n:
+            self._row_kernel_bufs = [
+                np.empty((n, self.n_servers, W.shape[1]), dtype=self._dtype)
+                for W, _, _ in self._kernel
+            ]
+            self._row_buf_n = n
+        if self._head1_bufs is None:
+            self._head1_bufs = [
+                np.empty((1, W.shape[1]), dtype=self._dtype)
+                for W, _, _ in self._head
+            ]
+            self._max1_buf = np.empty((1, 1), dtype=self._dtype)
+            self._sum1_buf = np.empty((1, 1), dtype=self._dtype)
+        per_server = self._forward(X, self._kernel, self._row_kernel_bufs)
+        for i in range(n):
+            logits = self._forward(per_server[i:i + 1, ..., 0], self._head,
+                                   self._head1_bufs)
+            np.amax(logits, axis=-1, keepdims=True, out=self._max1_buf)
+            logits -= self._max1_buf
+            np.exp(logits, out=logits)
+            np.sum(logits, axis=-1, keepdims=True, out=self._sum1_buf)
+            logits /= self._sum1_buf
+            out[i] = logits[0]
+        return out
 
     def scores(self, X: np.ndarray) -> np.ndarray:
         """Unfused reference probabilities (allocating; for verification)."""

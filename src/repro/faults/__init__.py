@@ -11,7 +11,11 @@ can be exercised bit-reproducibly:
   regime whose every decision derives from ``repro.common.rng``;
 * :mod:`repro.faults.inject` — pure post-hoc transforms that corrupt a
   monitored run's telemetry (cache-friendly: clean simulations are
-  cached, faults are re-applied per grid point).
+  cached, faults are re-applied per grid point);
+* :mod:`repro.faults.service` — :class:`ServiceFaultPlan`, the
+  tenant-level chaos regime (floods, stalls, disconnects, reordered and
+  duplicated windows, slow-model stalls) the prediction service's soak
+  harness (:func:`repro.serve.run_soak`) injects.
 
 Live injection points live with their hosts: the
 :class:`~repro.monitor.server_monitor.ServerMonitor` accepts a plan and
@@ -28,12 +32,22 @@ from repro.faults.inject import (
     sample_clock_skews,
 )
 from repro.faults.plan import FAULT_SPEC_FIELDS, FaultPlan, parse_fault_spec
+from repro.faults.service import (
+    SERVICE_FAULT_SPEC_FIELDS,
+    ServiceFaultPlan,
+    TenantProfile,
+    parse_service_fault_spec,
+)
 
 __all__ = [
     "FaultPlan",
     "FaultStats",
     "FAULT_SPEC_FIELDS",
+    "SERVICE_FAULT_SPEC_FIELDS",
+    "ServiceFaultPlan",
+    "TenantProfile",
     "parse_fault_spec",
+    "parse_service_fault_spec",
     "apply_faults",
     "inject_sample_faults",
     "blank_client_windows",

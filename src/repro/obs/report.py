@@ -32,7 +32,7 @@ from repro.obs.summary import render_metrics_table, render_span_summary
 from repro.obs.trace import Span
 
 __all__ = [
-    "split_spans", "worker_breakdown", "executor_health",
+    "split_spans", "worker_breakdown", "executor_health", "service_health",
     "chrome_trace_doc", "save_chrome_trace", "render_report",
 ]
 
@@ -124,6 +124,51 @@ def executor_health(snapshot: dict[str, dict]) -> list[str]:
             util = (", busy seconds per worker: "
                     + "/".join(f"{b:.2f}" for b in busy))
         lines.append(f"workers used: {int(workers)}{util}")
+    return lines
+
+
+def service_health(snapshot: dict[str, dict]) -> list[str]:
+    """Health lines for the prediction service's ``serve.*`` namespace.
+
+    Renders the degradation ladder (fresh/stale/masked/shed/duplicate
+    resolution counts), the pressure-relief counters (backpressure,
+    load shed, breaker trips, deadline misses, abandoned windows) and
+    the batching economics (batches, mean batch size, latency
+    percentiles).  Empty when the snapshot has no service metrics.
+    """
+    submitted = _metric_value(snapshot, "serve.submitted")
+    if not submitted:
+        return []
+    lines = [f"windows submitted: {int(submitted)}"]
+    ladder = []
+    for status in ("fresh", "stale", "masked", "shed", "duplicate"):
+        value = _metric_value(snapshot, f"serve.{status}") or 0.0
+        ladder.append(f"{status} {int(value)} ({value / submitted:.0%})")
+    lines.append("ladder: " + ", ".join(ladder))
+    admitted = _metric_value(snapshot, "serve.tenants_admitted")
+    rejected = _metric_value(snapshot, "serve.tenants_rejected")
+    if admitted or rejected:
+        lines.append(f"tenants: {int(admitted or 0)} admitted, "
+                     f"{int(rejected or 0)} rejected")
+    for name, label in (("serve.backpressure", "backpressure signals"),
+                        ("serve.load_shed", "load-shed submissions"),
+                        ("serve.breaker_trips", "circuit-breaker trips"),
+                        ("serve.deadline_misses", "deadline misses"),
+                        ("serve.abandoned_windows", "abandoned windows"),
+                        ("serve.injected_stalls", "injected model stalls")):
+        value = _metric_value(snapshot, name)
+        if value:
+            lines.append(f"{label}: {int(value)}")
+    batches = snapshot.get("serve.batches")
+    sizes = snapshot.get("serve.batch_size")
+    if batches and sizes and sizes.get("count"):
+        mean = sizes["sum"] / sizes["count"]
+        lines.append(f"batches: {int(batches['value'])}, mean size "
+                     f"{mean:.1f}, max {int(sizes['max'])}")
+    latency = snapshot.get("serve.latency_seconds")
+    if latency and latency.get("count"):
+        lines.append(f"latency: mean {latency['mean'] * 1e3:.2f}ms, "
+                     f"max {latency['max'] * 1e3:.2f}ms")
     return lines
 
 
@@ -268,6 +313,10 @@ def render_report(manifest: RunManifest | None = None,
         if health:
             sections.append("-- executor / cache health --\n"
                             + "\n".join(f"  {line}" for line in health))
+        serving = service_health(metrics)
+        if serving:
+            sections.append("-- prediction service --\n"
+                            + "\n".join(f"  {line}" for line in serving))
         sections.append("-- metrics --\n" + render_metrics_table(metrics))
     if not sections:
         return "(nothing to report: no manifest, trace or metrics supplied)"

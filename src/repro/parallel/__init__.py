@@ -61,8 +61,12 @@ from repro.parallel.executor import (
     resolve_n_jobs,
 )
 from repro.parallel.modelcache import ModelCache
-from repro.parallel.shardpool import ProcessDomainGroup
-from repro.parallel.supervise import SupervisionStats, run_supervised
+from repro.parallel.shardpool import ProcessDomainGroup, ShardWorkerError
+from repro.parallel.supervise import (
+    SupervisionStats,
+    backoff_delay,
+    run_supervised,
+)
 from repro.parallel.trainer import TrainExecutor, TrainJob
 from repro.parallel.workerinit import init_worker
 
@@ -74,10 +78,12 @@ __all__ = [
     "ProcessDomainGroup",
     "RunCache",
     "RunJob",
+    "ShardWorkerError",
     "SupervisionStats",
     "SweepExecutor",
     "TrainExecutor",
     "TrainJob",
+    "backoff_delay",
     "canonical_json",
     "init_worker",
     "resolve_n_jobs",

@@ -45,7 +45,7 @@ from repro.obs.log import get_logger
 from repro.obs.metrics import REGISTRY
 from repro.sim.cluster import ClusterConfig
 
-__all__ = ["ProcessDomainGroup"]
+__all__ = ["ProcessDomainGroup", "ShardWorkerError"]
 
 logger = get_logger("parallel.shardpool")
 
@@ -53,6 +53,19 @@ _INF = float("inf")
 
 #: Back-compat alias; the canonical constant lives with the spill code.
 SPILL_THRESHOLD = _dist.SPILL_THRESHOLD
+
+#: Seconds between liveness checks while waiting on a worker reply.
+_LIVENESS_POLL = 0.05
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker died (or went silent) mid-run.
+
+    Raised instead of blocking forever on the worker's pipe; the message
+    names the dead worker, the server domains it hosted and its exit
+    code, so the failed run is attributable without attaching a
+    debugger to a wedged coordinator.
+    """
 
 
 def _shard_worker_main(conn, config: ClusterConfig, domains: list[int],
@@ -130,9 +143,14 @@ class ProcessDomainGroup:
 
     def __init__(self, config: ClusterConfig, domains: list[int],
                  sample_interval: float, n_workers: int,
-                 start_method: str | None = None) -> None:
+                 start_method: str | None = None,
+                 recv_timeout: float | None = None) -> None:
         from repro.parallel.executor import _default_start_method
 
+        if recv_timeout is not None and recv_timeout <= 0:
+            raise ValueError(f"recv_timeout must be positive, "
+                             f"got {recv_timeout}")
+        self.recv_timeout = recv_timeout
         ctx = multiprocessing.get_context(
             start_method or _default_start_method())
         parent_tracer = _trace.get()
@@ -160,13 +178,54 @@ class ProcessDomainGroup:
             self._workers.append({"proc": proc, "conn": parent_conn,
                                   "domains": assigned, "label": f"shard{w}"})
         for worker in self._workers:
-            tag, next_time = worker["conn"].recv()
+            tag, next_time = self._recv(worker, waiting_for="ready")
             if tag != "ready":  # pragma: no cover - defensive
                 raise RuntimeError(f"shard worker failed to start: {tag!r}")
             if next_time < self.next_time:
                 self.next_time = next_time
         logger.info("shard pool: %d workers hosting %d domains",
                     n_workers, len(domains))
+
+    def _recv(self, worker: dict[str, Any], waiting_for: str):
+        """One pipe read that cannot deadlock on a dead worker.
+
+        A worker killed mid-window (OOM, signal, crash in the domain
+        host) never answers, and a bare ``conn.recv()`` would park the
+        whole run forever.  Poll the pipe at liveness granularity
+        instead: a closed pipe or a dead process raises a descriptive
+        :class:`ShardWorkerError` naming the domains that went down,
+        and ``recv_timeout`` (optional) bounds the wait for a live but
+        wedged worker.
+        """
+        conn, proc = worker["conn"], worker["proc"]
+        where = (f"shard worker {worker['label']} hosting domain(s) "
+                 f"{', '.join(str(d) for d in worker['domains'])}")
+        deadline = (None if self.recv_timeout is None
+                    else time.monotonic() + self.recv_timeout)
+        while True:
+            try:
+                if conn.poll(_LIVENESS_POLL):
+                    return conn.recv()
+            except (EOFError, OSError) as exc:
+                raise ShardWorkerError(
+                    f"{where} closed its pipe while the coordinator "
+                    f"awaited {waiting_for} ({exc or 'EOF'})") from exc
+            if not proc.is_alive():
+                # One last zero-timeout poll: the worker may have sent
+                # its reply and exited between our poll and the check.
+                if conn.poll(0):
+                    try:
+                        return conn.recv()
+                    except (EOFError, OSError):
+                        pass
+                raise ShardWorkerError(
+                    f"{where} died (exitcode {proc.exitcode}) before "
+                    f"replying with {waiting_for}")
+            if deadline is not None and time.monotonic() > deadline:
+                raise ShardWorkerError(
+                    f"{where} sent no {waiting_for} within "
+                    f"{self.recv_timeout}s (process alive but "
+                    f"unresponsive)")
 
     def run_window(self, end: float, inclusive: bool, outbox: dict,
                    new_jobs: list) -> list[tuple[int, list]]:
@@ -181,7 +240,8 @@ class ProcessDomainGroup:
         next_time = _INF
         replies: list[float] = []
         for worker in self._workers:
-            tag, worker_results, worker_next = worker["conn"].recv()
+            tag, worker_results, worker_next = self._recv(
+                worker, waiting_for="its window reply")
             elapsed = time.perf_counter() - t0
             replies.append(elapsed)
             if tag != "ok":  # pragma: no cover - defensive
@@ -209,7 +269,7 @@ class ProcessDomainGroup:
             worker["conn"].send(("finish",))
         for worker in self._workers:
             tag, worker_samples, worker_events, snapshot, worker_ships = \
-                worker["conn"].recv()
+                self._recv(worker, waiting_for="its final results")
             if tag != "done":  # pragma: no cover - defensive
                 raise RuntimeError(f"shard worker error: {tag!r}")
             samples.extend(worker_samples)

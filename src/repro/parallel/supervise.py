@@ -25,12 +25,33 @@ from typing import Any, Callable
 from repro.obs.log import get_logger
 from repro.obs.metrics import REGISTRY
 
-__all__ = ["SupervisionStats", "run_supervised", "supervised_entry"]
+__all__ = ["SupervisionStats", "backoff_delay", "run_supervised",
+           "supervised_entry"]
 
 logger = get_logger("parallel.supervise")
 
 #: Seconds between supervision polls (watchdog granularity).
 POLL_INTERVAL = 0.005
+
+
+def backoff_delay(base: float, attempt: int, *, cap: float = 30.0,
+                  jitter: float = 0.0) -> float:
+    """The retry-backoff policy shared by every supervised retry loop.
+
+    Exponential in the (0-based) attempt number, capped so a deep retry
+    chain never sleeps unboundedly.  ``jitter`` in ``[0, 1)`` spreads a
+    retrying herd: the delay is stretched by up to that fraction — pass
+    a deterministic draw (e.g. ``rng.random()``) so replays stay
+    reproducible.  The sweep/training executors retry with ``jitter=0``;
+    the prediction service's tenants retry with a ``derive_rng`` draw.
+    """
+    if base < 0:
+        raise ValueError(f"backoff base must be >= 0, got {base}")
+    if attempt < 0:
+        raise ValueError(f"attempt must be >= 0, got {attempt}")
+    if not 0.0 <= jitter < 1.0:
+        raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+    return min(cap, base * (2 ** attempt)) * (1.0 + jitter)
 
 
 def supervised_entry(conn, worker, item) -> None:
@@ -118,7 +139,7 @@ def run_supervised(
         if attempt < retries:
             stats.retries_used += 1
             retry_counter.inc()
-            backoff = retry_backoff * (2 ** attempt)
+            backoff = backoff_delay(retry_backoff, attempt)
             logger.warning(
                 "%s attempt %d failed (%s); retrying in %.2fs",
                 key[:12], attempt, message, backoff,

@@ -1,0 +1,182 @@
+"""StreamingPredictor reorder-buffer edge cases (satellite of the
+prediction-service PR): duplicated window delivery, samples landing
+after their window was already emitted, buffer eviction, and a
+property-style check that shuffled delivery matches in-order delivery.
+
+The harness bypasses the simulated monitor loop entirely: samples are
+appended straight to ``monitor.samples`` in controlled orders while the
+engine clock is stepped by hand, so delivery order is the *only*
+variable between two runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.core.labeling import BINARY_THRESHOLDS
+from repro.core.nn.train import TrainConfig
+from repro.core.online import StreamingPredictor
+from repro.core.predictor import InterferencePredictor
+from repro.experiments.runner import experiment_cluster
+from repro.monitor.schema import SERVER_METRICS, vector_dim
+from repro.monitor.server_monitor import ServerMonitor
+from repro.obs.metrics import REGISTRY
+from repro.sim.cluster import Cluster
+
+WINDOW = 0.5
+INTERVAL = 0.125
+PER_WINDOW = int(WINDOW / INTERVAL)  # samples per (window, server)
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    n_servers = len(Cluster(experiment_cluster()).servers)
+    rng = np.random.default_rng(0)
+    n = 100
+    X = rng.normal(0, 0.5, size=(n, n_servers, vector_dim()))
+    y = (X[:, :, 0].sum(axis=1) > 0).astype(int)
+    ds = Dataset(X, y,
+                 feature_names=tuple(f"f{i}" for i in range(vector_dim())))
+    return InterferencePredictor.train(
+        ds, BINARY_THRESHOLDS, config=TrainConfig(epochs=6, seed=0),
+        restarts=1)
+
+
+def make_stream(predictor, **kwargs):
+    cluster = Cluster(experiment_cluster())
+    monitor = ServerMonitor(cluster, sample_interval=INTERVAL)
+    streaming = StreamingPredictor(
+        predictor=predictor, cluster=cluster, monitor=monitor, job="job",
+        window_size=WINDOW, **kwargs)
+    streaming.start()
+    return cluster, monitor, streaming
+
+
+def window_block(cluster, w, si):
+    """The PER_WINDOW samples of one (window, server), in sample order."""
+    sid = cluster.servers[si]
+    rows = []
+    for k in range(PER_WINDOW):
+        t = w * WINDOW + INTERVAL * (k + 1)
+        metrics = {m: float((w * 37 + si * 11 + k * 5 + j * 3) % 17)
+                   for j, m in enumerate(SERVER_METRICS)}
+        rows.append((t, sid, metrics))
+    return rows
+
+
+def all_blocks(cluster, n_windows):
+    return [(w, si, window_block(cluster, w, si))
+            for w in range(n_windows)
+            for si in range(len(cluster.servers))]
+
+
+def run_in_order(predictor, n_windows, **kwargs):
+    cluster, monitor, streaming = make_stream(predictor, **kwargs)
+    for _, _, block in all_blocks(cluster, n_windows):
+        monitor.samples.extend(block)
+    reorder = kwargs.get("reorder_windows", 0)
+    cluster.env.run(until=(n_windows + reorder) * WINDOW + 0.1)
+    return cluster, monitor, streaming
+
+
+def emitted(streaming, n_windows):
+    preds = streaming.predictions[:n_windows]
+    return [(p.window, p.severity, p.probabilities, p.completeness,
+             p.stale) for p in preds]
+
+
+def test_harness_baseline_is_complete(predictor):
+    _, _, streaming = run_in_order(predictor, 4)
+    assert [p.window for p in streaming.predictions[:4]] == [0, 1, 2, 3]
+    for p in streaming.predictions[:4]:
+        assert p.completeness == pytest.approx(1.0)
+        assert not p.stale
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_shuffled_delivery_matches_in_order(predictor, seed):
+    """Any delivery order the reorder allowance can absorb must produce
+    bit-identical predictions to in-order delivery."""
+    n_windows = 6
+    baseline = emitted(run_in_order(predictor, n_windows)[2], n_windows)
+
+    cluster, monitor, streaming = make_stream(predictor,
+                                              reorder_windows=1)
+    rng = np.random.default_rng(seed)
+    # Each (window, server) block is delayed by up to one window — the
+    # exact slack reorder_windows=1 grants — and blocks landing in the
+    # same phase arrive in shuffled order.
+    phases = {}
+    for w, si, block in all_blocks(cluster, n_windows):
+        phases.setdefault(w + int(rng.integers(0, 2)), []).append(block)
+    for phase in range(n_windows + 2):
+        arrivals = phases.get(phase, [])
+        for i in rng.permutation(len(arrivals)):
+            monitor.samples.extend(arrivals[i])
+        cluster.env.run(until=(phase + 1) * WINDOW + 1e-6)
+    cluster.env.run(until=(n_windows + 1) * WINDOW + 0.1)
+
+    assert emitted(streaming, n_windows) == baseline
+
+
+def test_duplicate_window_delivery_is_contained(predictor):
+    """A window delivered twice perturbs only itself: every other
+    window's prediction stays bit-identical, and nothing crashes."""
+    n_windows = 4
+    baseline = emitted(run_in_order(predictor, n_windows)[2], n_windows)
+
+    cluster, monitor, streaming = make_stream(predictor)
+    for w, si, block in all_blocks(cluster, n_windows):
+        monitor.samples.extend(block)
+        if w == 1:
+            monitor.samples.extend(block)  # the duplicate delivery
+    cluster.env.run(until=n_windows * WINDOW + 0.1)
+
+    got = emitted(streaming, n_windows)
+    assert [g for g in got if g[0] != 1] == \
+        [b for b in baseline if b[0] != 1]
+    dup = got[1]
+    assert dup[0] == 1 and np.isfinite(dup[2]).all()
+    assert dup[3] == pytest.approx(1.0)  # completeness stays capped
+
+
+def test_samples_after_emission_are_counted_and_dropped(predictor):
+    """Once a window was emitted (here: as a stale fallback), straggler
+    samples for it are dropped and counted, never buffered."""
+    n_windows = 4
+    cluster, monitor, streaming = make_stream(predictor,
+                                              min_completeness=0.6)
+    for w, si, block in all_blocks(cluster, n_windows):
+        if w != 2:  # window 2's telemetry is withheld entirely
+            monitor.samples.extend(block)
+    cluster.env.run(until=n_windows * WINDOW + 0.1)
+
+    preds = streaming.predictions[:n_windows]
+    assert preds[2].stale
+    assert preds[2].completeness == 0.0
+    assert preds[2].probabilities == preds[1].probabilities  # last good
+
+    # The stragglers arrive long after window 2 was answered.
+    before = REGISTRY.counter("online.late_samples").value
+    n_servers = len(cluster.servers)
+    for si in range(n_servers):
+        monitor.samples.extend(window_block(cluster, 2, si))
+    cluster.env.run(until=(n_windows + 1) * WINDOW + 0.1)
+    assert REGISTRY.counter("online.late_samples").value - before == \
+        n_servers * PER_WINDOW
+    for sid in cluster.servers:
+        assert (2, sid) not in streaming._window_samples
+    # The emitted prediction for window 2 is untouched.
+    assert streaming.predictions[2] is preds[2]
+
+
+def test_emitted_windows_are_evicted(predictor):
+    """Emitted windows release their buffers — the stream holds only
+    windows that can still be predicted, whatever the delivery order."""
+    n_windows = 5
+    _, _, streaming = run_in_order(predictor, n_windows,
+                                   reorder_windows=1)
+    assert streaming._emitted_through >= n_windows - 1
+    assert not streaming._window_records
+    leftover = {w for (w, _) in streaming._window_samples}
+    assert all(w > streaming._emitted_through for w in leftover)

@@ -117,3 +117,30 @@ def test_deployed_after_round_trip(tmp_path, trained):
     predictor.save(path)
     deployed = InterferencePredictor.load(path).deploy()
     assert np.array_equal(predictor.predict(ds.X), deployed.predict(ds.X))
+
+
+def test_predict_proba_rows_matches_batch_of_one(trained):
+    """Every row of a fused micro-batch must be bit-identical to scoring
+    that window alone — batch composition cannot perturb anyone."""
+    predictor, ds = trained
+    deployed = predictor.deploy()
+    for n in (1, 3, 7, len(ds.X)):
+        rows = np.asarray(deployed.predict_proba_rows(ds.X[:n]))
+        assert rows.shape == (n, deployed.n_classes)
+        for i in range(n):
+            solo = np.asarray(deployed.predict_proba(ds.X[i:i + 1]))[0]
+            assert np.array_equal(rows[i], solo), f"row {i} of batch {n}"
+
+
+def test_predict_proba_rows_validates_shape(trained):
+    predictor, _ = trained
+    deployed = predictor.deploy()
+    with pytest.raises(ValueError, match="expected"):
+        deployed.predict_proba_rows(np.zeros((2, deployed.n_servers + 1,
+                                              deployed.n_features)))
+    with pytest.raises(ValueError, match="expected"):
+        deployed.predict_proba_rows(np.zeros((deployed.n_servers,
+                                              deployed.n_features)))
+    empty = np.asarray(deployed.predict_proba_rows(
+        np.zeros((0, deployed.n_servers, deployed.n_features))))
+    assert empty.shape == (0, deployed.n_classes)

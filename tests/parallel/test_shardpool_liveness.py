@@ -1,0 +1,64 @@
+"""Shard-worker liveness: a dead or wedged worker must raise a
+descriptive ShardWorkerError instead of deadlocking the coordinator."""
+
+import pytest
+
+from repro.experiments.runner import experiment_cluster
+from repro.parallel import ProcessDomainGroup, ShardWorkerError
+
+
+@pytest.fixture()
+def group():
+    config = experiment_cluster()
+    g = ProcessDomainGroup(config, list(range(config.n_domains)),
+                           sample_interval=0.25, n_workers=1)
+    yield g
+    g.close()
+
+
+def test_recv_timeout_validation():
+    config = experiment_cluster()
+    with pytest.raises(ValueError, match="recv_timeout"):
+        ProcessDomainGroup(config, list(range(config.n_domains)),
+                           sample_interval=0.25, n_workers=1,
+                           recv_timeout=0.0)
+
+
+def test_dead_worker_raises_named_error(group):
+    """Kill the worker mid-run: the next pipe read must name the worker
+    and the domains it hosted instead of blocking forever."""
+    worker = group._workers[0]
+    worker["proc"].terminate()
+    worker["proc"].join(timeout=10)
+    with pytest.raises(ShardWorkerError) as err:
+        group._recv(worker, waiting_for="its window reply")
+    message = str(err.value)
+    assert "shard0" in message
+    assert "domain" in message
+    for d in worker["domains"]:
+        assert str(d) in message
+    assert "its window reply" in message
+
+
+def test_unresponsive_worker_hits_recv_timeout():
+    """A live worker that never answers trips the bounded wait."""
+    config = experiment_cluster()
+    group = ProcessDomainGroup(config, list(range(config.n_domains)),
+                               sample_interval=0.25, n_workers=1,
+                               recv_timeout=0.3)
+    try:
+        # Nothing was sent, so the worker (alive, blocked on its own
+        # recv) will never reply.
+        with pytest.raises(ShardWorkerError, match="no its final results"):
+            group._recv(group._workers[0],
+                        waiting_for="its final results")
+        assert group._workers[0]["proc"].is_alive()
+    finally:
+        group.close()
+
+
+def test_healthy_group_still_finishes(group):
+    """The liveness machinery must not break the clean path."""
+    result = group.finish()
+    assert result["events"] >= 0
+    assert isinstance(result["samples"], list)

@@ -277,3 +277,80 @@ def test_train_then_predict_end_to_end(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "window" in out
     assert "2 classes" in out
+
+
+# -- serve --------------------------------------------------------------------
+
+
+def test_serve_bad_args_rejected(capsys):
+    assert main(["serve", "--tenants", "0"]) == 2
+    assert main(["serve", "--windows", "-1"]) == 2
+    assert main(["serve", "--think", "-0.5"]) == 2
+    assert main(["serve", "--queue-depth", "0"]) == 2  # ServeConfig check
+    assert "error:" in capsys.readouterr().err
+
+
+def test_serve_bad_chaos_spec_rejected(capsys):
+    assert main(["serve", "--chaos", "floods=0.2"]) == 2
+    assert "bad --chaos spec" in capsys.readouterr().err
+    assert main(["serve", "--chaos", "flood=lots"]) == 2
+    assert "not a number" in capsys.readouterr().err
+
+
+def test_serve_rejects_bad_model(tmp_path, capsys):
+    missing = tmp_path / "missing.npz"
+    assert main(["serve", "--model", str(missing), "--tenants", "2"]) == 2
+    assert "cannot load model" in capsys.readouterr().err
+
+
+def test_serve_end_to_end_with_saved_model(tmp_path, capsys):
+    """A saved model served to a small chaotic tenant population through
+    the real CLI: clean exit, accounted report, obs section, artifacts."""
+    import json
+
+    import numpy as np
+
+    from repro.core.dataset import Dataset
+    from repro.core.labeling import BINARY_THRESHOLDS
+    from repro.core.nn.train import TrainConfig
+    from repro.core.predictor import InterferencePredictor
+
+    rng = np.random.default_rng(0)
+    X = rng.normal(0, 0.5, size=(80, 3, 5))
+    y = (X[:, :, 0].sum(axis=1) > 0).astype(int)
+    ds = Dataset(X, y, feature_names=("a", "b", "c", "d", "e"))
+    model = tmp_path / "model.npz"
+    InterferencePredictor.train(
+        ds, BINARY_THRESHOLDS, config=TrainConfig(epochs=4, seed=0),
+        restarts=1).save(model)
+
+    report = tmp_path / "soak.json"
+    metrics = tmp_path / "metrics.json"
+    assert main(["serve", "--model", str(model), "--tenants", "6",
+                 "--windows", "4",
+                 "--chaos", "flood=0.3,dup=0.3,reorder=0.3,seed=1",
+                 "--report-out", str(report),
+                 "--metrics-out", str(metrics)]) == 0
+    out = capsys.readouterr().out
+    assert "terminal:" in out
+    assert "ladder:" in out
+    assert "wrote" in out
+    doc = json.loads(report.read_text())
+    assert doc["errors"] == []
+    assert doc["n_tenants"] == 6
+    assert sum(doc["terminal"].values()) == 6
+    assert metrics.exists()
+
+
+def test_shards_zero_rejected(capsys):
+    assert main(["table2", "--shards", "0"]) == 2
+    assert "--shards must be a positive integer" in capsys.readouterr().err
+
+
+def test_shards_clamped_to_domain_count(capsys):
+    """--shards beyond the OSS domain count prints the clamp note (and
+    here stops at the next validation error, so nothing actually runs)."""
+    assert main(["table2", "--shards", "999", "--run-timeout", "0"]) == 2
+    err = capsys.readouterr().err
+    assert "clamping" in err
+    assert "--shards 999 exceeds" in err
