@@ -50,7 +50,21 @@ METRICS = (
     ("BENCH_train.json",
      ("fused_inference", "fused_us_per_window"), "wall"),
     ("BENCH_train.json", ("fused_inference", "fused_speedup"), "rate"),
+    ("BENCH_dataset.json", ("cold_build_seconds",), "wall"),
+    ("BENCH_dataset.json", ("warm_rebuild_seconds",), "wall"),
+    ("BENCH_dataset.json", ("append", "append_large_seconds"), "wall"),
+    # Append cost must stay flat as the store grows: the ratio between
+    # appending one pair into the large vs the small store is the
+    # out-of-core contract in one number.
+    ("BENCH_dataset.json", ("append", "ratio_large_vs_small"), "wall"),
+    ("BENCH_dataset.json",
+     ("memmap_training", "memmap_peak_rss_bytes"), "wall"),
 )
+
+#: Environment keys excluded from the mismatch warning: they differ on
+#: every run by design. ``peak_rss_bytes`` is recording provenance, not
+#: machine identity; it is compared separately (and non-fatally) below.
+_ENV_IGNORE = ("peak_rss_bytes",)
 
 
 def _get(obj, path):
@@ -85,6 +99,9 @@ def check_environments(docs: dict) -> list[str]:
         if len(envs) < 2:
             continue
         (d1, e1), (d2, e2) = sorted(envs.items())
+        if e1 is not None and e2 is not None:
+            e1 = {k: v for k, v in e1.items() if k not in _ENV_IGNORE}
+            e2 = {k: v for k, v in e2.items() if k not in _ENV_IGNORE}
         if e1 is None or e2 is None:
             missing = d1 if e1 is None else d2
             warnings.append(
@@ -109,6 +126,31 @@ def check_environments(docs: dict) -> list[str]:
     return warnings
 
 
+def compare_peak_rss(docs: dict) -> list[str]:
+    """Non-fatal per-file comparison of the recorded peak RSS.
+
+    Memory numbers drift with allocator/page-cache state, so they never
+    gate; the printed drift is context for reading the wall numbers.
+    """
+    by_name: dict[str, dict[str, int | None]] = {}
+    for (directory, name), doc in docs.items():
+        env = doc.get("environment") or {}
+        by_name.setdefault(name, {})[str(directory)] = env.get(
+            "peak_rss_bytes")
+    lines = []
+    for name, values in sorted(by_name.items()):
+        if len(values) < 2:
+            continue
+        (d1, first), (d2, second) = sorted(values.items())
+        if first is None or second is None:
+            continue
+        rel = (second - first) / first if first else 0.0
+        lines.append(f"{name}: recording peak RSS {first / 1e6:,.0f}MB "
+                     f"({d1}) vs {second / 1e6:,.0f}MB ({d2}) "
+                     f"({rel:+.1%}) [informational]")
+    return lines
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[1])
     parser.add_argument("baseline_dir", type=pathlib.Path)
@@ -120,15 +162,29 @@ def main(argv: list[str] | None = None) -> int:
     docs: dict[tuple[pathlib.Path, str], dict] = {}
     regressions = []
     skipped = []
+    missing_files: set[str] = set()
     for name, path, kind in METRICS:
         row = []
         foreign = None
+        absent = None
         for directory in (args.baseline_dir, args.fresh_dir):
             key = (directory, name)
             if key not in docs:
-                docs[key] = json.loads((directory / name).read_text())
+                try:
+                    docs[key] = json.loads((directory / name).read_text())
+                except FileNotFoundError:
+                    absent = directory / name
+                    break
             row.append(float(_get(docs[key], path)))
             foreign = foreign or _foreign_cpu_count(docs[key])
+        if absent is not None:
+            # A run may regenerate only some suites; compare what exists
+            # instead of failing the whole check on the rest.
+            if name not in missing_files:
+                missing_files.add(name)
+                print(f"{name}: SKIPPED ({absent} not found; suite not "
+                      "regenerated in this run)")
+            continue
         if kind == "wall" and foreign is not None:
             label = f"{name}:{'.'.join(path)}"
             print(f"{label}: SKIPPED (recorded on a {foreign}-core "
@@ -149,6 +205,12 @@ def main(argv: list[str] | None = None) -> int:
     if warnings:
         print()
         for line in warnings:
+            print(line)
+
+    rss_lines = compare_peak_rss(docs)
+    if rss_lines:
+        print()
+        for line in rss_lines:
             print(line)
 
     if skipped:

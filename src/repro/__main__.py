@@ -120,7 +120,7 @@ def _scales(fast: bool) -> dict[str, float]:
     }
 
 
-def run_table1(fast: bool, executor, trainer=None) -> str:
+def run_table1(fast: bool, executor, trainer=None, store=None) -> str:
     from repro.experiments.table1 import run_table1, shape_checks
 
     s = _scales(fast)
@@ -135,7 +135,7 @@ def run_table1(fast: bool, executor, trainer=None) -> str:
     return "\n".join(lines)
 
 
-def run_fig1(fast: bool, executor, trainer=None) -> str:
+def run_fig1(fast: bool, executor, trainer=None, store=None) -> str:
     from repro.experiments.fig1 import run_fig1a, run_fig1b
     from repro.workloads.apps import EnzoConfig
 
@@ -147,7 +147,7 @@ def run_fig1(fast: bool, executor, trainer=None) -> str:
     return "Figure 1(a)\n" + a.render() + "\n\nFigure 1(b)\n" + b.render()
 
 
-def run_table2(fast: bool, executor, trainer=None) -> str:
+def run_table2(fast: bool, executor, trainer=None, store=None) -> str:
     from repro.experiments.table2 import run_table2
 
     return run_table2(_config(fast),
@@ -155,7 +155,7 @@ def run_table2(fast: bool, executor, trainer=None) -> str:
                       executor=executor).render()
 
 
-def run_fig3(fast: bool, executor, trainer=None) -> str:
+def run_fig3(fast: bool, executor, trainer=None, store=None) -> str:
     from repro.experiments.fig3 import (
         collect_dlio_bank,
         collect_io500_bank,
@@ -167,37 +167,37 @@ def run_fig3(fast: bool, executor, trainer=None) -> str:
     io500 = collect_io500_bank(_config(fast), target_scale=s["target_scale"],
                                max_level=2 if fast else 3,
                                noise_scale=s["noise_scale"],
-                               executor=executor)
+                               executor=executor, store=store)
     dlio_cfg = ExperimentConfig(cluster=_cluster(), window_size=0.5,
                                 sample_interval=0.125, warmup=1.0, seed=0)
     dlio = collect_dlio_bank(dlio_cfg, max_level=2 if fast else 3,
                              noise_scale=s["noise_scale"],
                              steps_per_epoch=8 if fast else 12,
-                             executor=executor)
+                             executor=executor, store=store)
     a = run_fig3_io500(bank=io500, trainer=trainer)
     b = run_fig3_dlio(bank=dlio, trainer=trainer)
     return a.render() + "\n\n" + b.render()
 
 
-def run_fig4(fast: bool, executor, trainer=None) -> str:
+def run_fig4(fast: bool, executor, trainer=None, store=None) -> str:
     from repro.experiments.fig4 import run_fig4 as _run
 
     s = _scales(fast)
     return _run(_config(fast), target_scale=s["target_scale"],
                 max_level=2 if fast else 3,
                 noise_scale=s["noise_scale"],
-                executor=executor, trainer=trainer).render()
+                executor=executor, trainer=trainer, store=store).render()
 
 
-def run_fig5(fast: bool, executor, trainer=None) -> str:
+def run_fig5(fast: bool, executor, trainer=None, store=None) -> str:
     from repro.experiments.fig5 import run_fig5 as _run
 
     return _run(_config(fast), max_level=2 if fast else 3,
                 noise_scale=_scales(fast)["noise_scale"],
-                executor=executor, trainer=trainer).render()
+                executor=executor, trainer=trainer, store=store).render()
 
 
-def run_devices(fast: bool, executor, trainer=None) -> str:
+def run_devices(fast: bool, executor, trainer=None, store=None) -> str:
     from repro.experiments.devices import run_device_ablation
 
     return run_device_ablation(
@@ -205,7 +205,7 @@ def run_devices(fast: bool, executor, trainer=None) -> str:
     ).render()
 
 
-def run_crosscluster(fast: bool, executor, trainer=None) -> str:
+def run_crosscluster(fast: bool, executor, trainer=None, store=None) -> str:
     from repro.experiments.cross_cluster import run_cross_cluster
 
     kwargs = {}
@@ -213,10 +213,10 @@ def run_crosscluster(fast: bool, executor, trainer=None) -> str:
         kwargs = dict(target_tasks=("ior-easy-write", "ior-easy-read"),
                       target_scale=0.4, max_level=2)
     return run_cross_cluster(_config(fast), trainer=trainer,
-                             **kwargs).render()
+                             store=store, **kwargs).render()
 
 
-def run_robustness(fast: bool, executor, trainer=None) -> str:
+def run_robustness(fast: bool, executor, trainer=None, store=None) -> str:
     from repro.experiments.robustness import run_robustness as _run
 
     kwargs = {}
@@ -225,7 +225,7 @@ def run_robustness(fast: bool, executor, trainer=None) -> str:
                       blank_rates=(0.0, 0.4), gap_policies=("zero", "mean"),
                       slow_factors=(8.0,), epochs=30)
     result = _run(_config(fast), executor=executor, trainer=trainer,
-                  **kwargs)
+                  store=store, **kwargs)
     _REPORTS["robustness"] = result.to_report()
     return result.render()
 
@@ -247,6 +247,32 @@ def _fail(message: str) -> int:
     """One-line CLI error: print to stderr, exit nonzero (no traceback)."""
     print(f"error: {message}", file=sys.stderr)
     return 2
+
+
+def _add_dataset_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset-dir", type=pathlib.Path,
+                        default=pathlib.Path("results/.dataset"),
+                        help="columnar dataset store directory: labelled "
+                             "windows persist as content-addressed shards "
+                             "and rebuilds simulate only missing pairs "
+                             "(default: %(default)s)")
+    parser.add_argument("--no-dataset-cache", action="store_true",
+                        help="collect windows in memory instead of through "
+                             "the on-disk dataset store")
+
+
+def _open_store(args):
+    """The CLI's DatasetStore (or ``None`` with ``--no-dataset-cache``)."""
+    if args.no_dataset_cache:
+        return None
+    from repro.data import DatasetStore
+
+    try:
+        return DatasetStore(args.dataset_dir)
+    except OSError as exc:
+        raise SystemExit(_fail(
+            f"dataset dir {args.dataset_dir} is not usable ({exc}); "
+            f"pass --dataset-dir or --no-dataset-cache"))
 
 
 def main_obs_report(argv: list[str]) -> int:
@@ -357,6 +383,7 @@ def main_train(argv: list[str]) -> int:
                         help="model cache directory (default: %(default)s)")
     parser.add_argument("--no-model-cache", action="store_true",
                         help="do not read or write the model cache")
+    _add_dataset_flags(parser)
     parser.add_argument("-v", "--verbose", action="count", default=0,
                         help="-v: INFO logs, -vv: DEBUG logs")
     args = parser.parse_args(argv)
@@ -375,6 +402,7 @@ def main_train(argv: list[str]) -> int:
         n_jobs=args.jobs,
         cache=None if args.no_model_cache else args.model_cache_dir,
     )
+    store = _open_store(args)
     thresholds = (MULTICLASS_THRESHOLDS if args.multiclass
                   else BINARY_THRESHOLDS)
     s = _scales(args.fast)
@@ -383,7 +411,7 @@ def main_train(argv: list[str]) -> int:
                               target_scale=s["target_scale"],
                               max_level=2 if args.fast else 3,
                               noise_scale=s["noise_scale"],
-                              executor=executor)
+                              executor=executor, store=store)
     result = evaluate_bank(bank, "train-io500", thresholds, trainer=trainer)
     elapsed = time.time() - start
     result.predictor.save(args.model_out)
@@ -395,6 +423,13 @@ def main_train(argv: list[str]) -> int:
                       f"{stats['cache']['misses']} miss(es)")
     print(f"\ntrained {stats['trainings_executed']} restart(s) "
           f"in {elapsed:.0f}s ({cache_note})")
+    if store is not None:
+        # One parseable line: the CI warm-append smoke greps it to prove
+        # a second build simulates and re-aggregates nothing.
+        print(f"dataset: appended={store.pairs_appended} "
+              f"reused={store.pairs_reused} "
+              f"shards_scanned={store.shards_scanned} "
+              f"runs_executed={executor.runs_executed}")
     print(f"wrote {args.model_out}")
     return 0
 
@@ -659,6 +694,7 @@ def main(argv: list[str] | None = None) -> int:
                              "directory (default: %(default)s)")
     parser.add_argument("--no-model-cache", action="store_true",
                         help="do not read or write the model cache")
+    _add_dataset_flags(parser)
     parser.add_argument("--faults", metavar="SPEC", default=None,
                         help="deterministic fault injection spec, e.g. "
                              "'drop=0.2,blank=0.1,kill=0.05,seed=1' "
@@ -751,6 +787,8 @@ def main(argv: list[str] | None = None) -> int:
         retries=args.retries,
     )
 
+    store = _open_store(args)
+
     tracer = None
     if args.trace:
         # Deterministic trace id: a digest of what is being run, never
@@ -773,7 +811,7 @@ def main(argv: list[str] | None = None) -> int:
             start = time.time()
             print(f"==== {name} ====")
             try:
-                text = _RUNNERS[name](args.fast, executor, trainer)
+                text = _RUNNERS[name](args.fast, executor, trainer, store)
             finally:
                 _profile.uninstall()
             elapsed = time.time() - start
@@ -793,6 +831,7 @@ def main(argv: list[str] | None = None) -> int:
                 extra={"scales": _scales(args.fast),
                        "sweep": executor.stats(),
                        "training": trainer.stats(),
+                       "dataset": store.stats() if store is not None else None,
                        "profile": profiler.summary()},
             )
             obs.write_manifest(manifest,

@@ -1,10 +1,10 @@
 """Performance baselines: the ``repro bench`` subcommand.
 
-Five committed baselines (regenerated with ``python -m repro bench``,
+Six committed baselines (regenerated with ``python -m repro bench``,
 selectable via ``--only SUITE`` (repeatable) or the positional name,
 and compared non-gatingly in CI against the checked-in
 ``BENCH_engine.json`` / ``BENCH_sweep.json`` / ``BENCH_train.json`` /
-``BENCH_shard.json`` / ``BENCH_serve.json``):
+``BENCH_shard.json`` / ``BENCH_serve.json`` / ``BENCH_dataset.json``):
 
 * **engine** — microbenchmarks of the discrete-event kernel: raw timeout
   churn through ``Environment.run()``, plus a request-path comparison
@@ -42,6 +42,13 @@ and compared non-gatingly in CI against the checked-in
   tenant rates). Demonstrates micro-batching amortising the fused
   forward pass across tenants.
 
+* **dataset** — the columnar :class:`repro.data.DatasetStore` against
+  the in-memory ETL path: cold build vs warm rebuild (zero simulations,
+  zero shard reads, bit-identical ``content_digest``), one-pair warm
+  appends into stores of different ingested sizes (walls must match),
+  and a >=100k-window training run memmap-backed vs fully in memory,
+  recording the peak-RSS contrast with bit-identical parameters.
+
 The end-to-end speedup is Amdahl-bounded: the fluid network, block
 device and page cache perform identical work at identical simulated
 instants on both backends (that *is* the equivalence contract), so only
@@ -67,8 +74,21 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["bench_engine", "bench_environment", "bench_serve",
-           "bench_shard", "bench_sweep", "bench_train", "main"]
+__all__ = ["bench_dataset", "bench_engine", "bench_environment",
+           "bench_serve", "bench_shard", "bench_sweep", "bench_train",
+           "main"]
+
+
+def _peak_rss_bytes() -> int:
+    """This process's lifetime peak resident set size, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux; the benchmark workers run in
+    fresh spawn children, so the number is the worker's own peak, not
+    the parent's.
+    """
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
 
 
 def bench_environment() -> dict[str, Any]:
@@ -90,6 +110,10 @@ def bench_environment() -> dict[str, Any]:
         # Commit provenance: lets check_regression.py distinguish "code
         # changed" from "machine changed" when wall numbers drift.
         "git_sha": git_revision(),
+        # Peak RSS of the recording process: memory provenance for the
+        # wall numbers.  check_regression.py compares it non-fatally and
+        # excludes it from the environment-mismatch check.
+        "peak_rss_bytes": _peak_rss_bytes(),
     }
 
 
@@ -642,6 +666,239 @@ def bench_serve(stream_counts: tuple[int, ...] = (16, 64, 256),
     }
 
 
+# -- dataset-store benchmark --------------------------------------------------
+
+
+def _dataset_memmap_files(base: pathlib.Path, n: int = 120_000,
+                          n_servers: int = 7,
+                          n_features: int = 10) -> tuple[pathlib.Path,
+                                                         pathlib.Path]:
+    """A deterministic >=100k-window training set, written out-of-core.
+
+    Same learnable structure as :func:`bench_train_dataset`, but filled
+    chunk-by-chunk straight into an ``open_memmap`` so generating the
+    file never holds the tensor in memory either.
+    """
+    from repro.common.rng import derive_rng
+
+    x_path = base / "bench-windows.npy"
+    y_path = base / "bench-labels.npy"
+    X = np.lib.format.open_memmap(x_path, mode="w+", dtype=np.float64,
+                                  shape=(n, n_servers, n_features))
+    y = np.empty(n, dtype=np.int64)
+    rng = derive_rng(0, "bench-dataset-memmap")
+    step = 8192
+    for start in range(0, n, step):
+        stop = min(n, start + step)
+        chunk = rng.normal(size=(stop - start, n_servers, n_features))
+        labels = (chunk[:, :, :3].mean(axis=(1, 2))
+                  + 0.3 * rng.normal(size=stop - start) > 0).astype(np.int64)
+        chunk[labels == 1, :, :3] += 0.5
+        X[start:stop] = chunk
+        y[start:stop] = labels
+    X.flush()
+    del X
+    np.save(y_path, y)
+    return x_path, y_path
+
+
+def _dataset_train_worker(x_path: str, y_path: str,
+                          in_memory: bool) -> dict[str, Any]:
+    """Train once and report wall/peak-RSS/params-digest (spawn child).
+
+    ``in_memory=True`` reproduces the pre-store footprint: the whole
+    tensor on the heap plus the eager normalised copy the lazy training
+    path no longer makes.  ``in_memory=False`` opens the same file as a
+    read-only memmap and trains through the lazy per-batch path.  The
+    two must produce bit-identical parameters.
+    """
+    import hashlib
+
+    from repro.core.dataset import Dataset, Normalizer
+    from repro.core.nn.train import TrainConfig
+    from repro.core.predictor import InterferencePredictor
+
+    y = np.load(y_path)
+    eager_copy = None
+    if in_memory:
+        X = np.load(x_path)
+        eager_copy = Normalizer().fit(X).transform(X)
+    else:
+        X = np.lib.format.open_memmap(x_path, mode="r")
+    names = tuple(f"f{i}" for i in range(X.shape[2]))
+    dataset = Dataset(X, y, feature_names=names)
+    config = TrainConfig(epochs=2, patience=2, batch_size=256, seed=0)
+    t0 = time.perf_counter()
+    predictor = InterferencePredictor.train(dataset, config=config,
+                                            restarts=1)
+    wall = time.perf_counter() - t0
+    h = hashlib.blake2b(digest_size=16)
+    for param in predictor.model.params():
+        h.update(np.ascontiguousarray(param.value).tobytes())
+    return {
+        "seconds": wall,
+        "peak_rss_bytes": _peak_rss_bytes(),
+        "params_digest": h.hexdigest(),
+        # eager_copy stays referenced to here so the legacy footprint is
+        # held through training, exactly as the pre-store path did.
+        "eager_copies": 0 if eager_copy is None else 1,
+    }
+
+
+def _in_spawn_child(fn, *args):
+    """Run ``fn(*args)`` in a fresh spawn child (its own peak RSS)."""
+    import concurrent.futures
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("spawn")
+    with concurrent.futures.ProcessPoolExecutor(max_workers=1,
+                                                mp_context=ctx) as pool:
+        return pool.submit(fn, *args).result()
+
+
+def bench_dataset(jobs: int | None = None,
+                  memmap_windows: int = 120_000) -> dict[str, Any]:
+    """The columnar dataset store vs the in-memory ETL path.
+
+    Four store passes over the sweep grid (run cache pre-primed, so the
+    numbers measure ETL, not simulation): the in-memory
+    ``collect_windows`` baseline, a cold ``DatasetStore.build`` (shard
+    append + assembly), a warm rebuild (manifest + assembly-cache hit:
+    zero simulations, zero shard reads, asserted), and a one-pair
+    warm append into both a small and a 3x-larger store — the append
+    walls must match, demonstrating cost scales with *new* windows, not
+    ingested ones.  All store-built datasets must match the in-memory
+    ``content_digest()`` exactly.
+
+    Separately, a ``memmap_windows``-window synthetic set is trained
+    once fully in memory with the legacy eager-normalised copy and once
+    memmap-backed through the lazy path, in fresh spawn children, to
+    record the peak-RSS contrast; parameters must be bit-identical.
+    """
+    from repro.core.labeling import BINARY_THRESHOLDS
+    from repro.data import DatasetStore
+    from repro.experiments.datagen import (Scenario, bank_to_dataset,
+                                           collect_windows)
+    from repro.experiments.runner import InterferenceSpec
+    from repro.parallel import RunCache, SweepExecutor
+
+    jobs = jobs or min(4, os.cpu_count() or 1)
+    targets, scenarios, config = bench_grid("batch")
+    extra = Scenario(
+        "io500-x3",
+        (InterferenceSpec("ior-easy-write", instances=3, ranks=2, scale=0.2),
+         InterferenceSpec("ior-easy-read", instances=2, ranks=2, scale=0.2)),
+    )
+
+    with tempfile.TemporaryDirectory(prefix="bench-dataset-") as tmpdir:
+        tmp = pathlib.Path(tmpdir)
+        runcache = RunCache(tmp / "runcache")
+
+        def _executor() -> SweepExecutor:
+            return SweepExecutor(n_jobs=jobs, cache=runcache)
+
+        # Prime the run cache (untimed): every timed pass below measures
+        # ETL cost, not simulator cost.
+        collect_windows(targets, scenarios + [extra], config,
+                        executor=_executor())
+
+        t0 = time.perf_counter()
+        bank_mem = collect_windows(targets, scenarios, config,
+                                   executor=_executor())
+        ds_mem = bank_to_dataset(bank_mem, BINARY_THRESHOLDS, source="bench")
+        in_memory_s = time.perf_counter() - t0
+
+        cold_store = DatasetStore(tmp / "store")
+        t0 = time.perf_counter()
+        ds_cold = cold_store.build(targets, scenarios, config,
+                                   source="bench", executor=_executor())
+        cold_s = time.perf_counter() - t0
+
+        warm_store = DatasetStore(tmp / "store")
+        warm_exec = _executor()
+        t0 = time.perf_counter()
+        ds_warm = warm_store.build(targets, scenarios, config,
+                                   source="bench", executor=warm_exec)
+        warm_s = time.perf_counter() - t0
+
+        digest = ds_mem.content_digest()
+        identical = (ds_cold.content_digest() == digest
+                     and ds_warm.content_digest() == digest)
+        assert identical, "store-built dataset digests diverge from in-memory"
+        assert warm_store.last_build["missing_pairs"] == 0, \
+            "warm rebuild re-appended pairs"
+        assert warm_exec.runs_executed == 0, "warm rebuild still simulated"
+        assert warm_store.shards_scanned == 0, "warm rebuild re-read shards"
+        assert warm_store.assembly_hits == 1, \
+            "warm rebuild missed the assembly cache"
+
+        # Warm append: the same single new pair into a 1-target store
+        # and into the full-grid store.  The walls must not scale with
+        # what is already ingested.
+        small_store = DatasetStore(tmp / "store-small")
+        small_store.build_bank(targets[:1], scenarios, config,
+                               executor=_executor())
+        t0 = time.perf_counter()
+        small_store.build_bank(targets[:1], [extra], config,
+                               executor=_executor())
+        append_small_s = time.perf_counter() - t0
+
+        large_store = DatasetStore(tmp / "store")
+        t0 = time.perf_counter()
+        large_store.build_bank(targets[:1], [extra], config,
+                               executor=_executor())
+        append_large_s = time.perf_counter() - t0
+        assert small_store.last_build["missing_pairs"] == 1
+        assert large_store.last_build["missing_pairs"] == 1
+
+        small_windows = small_store.stats()["windows"]
+        large_windows = large_store.stats()["windows"]
+
+        memmap_x, memmap_y = _dataset_memmap_files(tmp, n=memmap_windows)
+        lazy = _in_spawn_child(_dataset_train_worker, str(memmap_x),
+                               str(memmap_y), False)
+        eager = _in_spawn_child(_dataset_train_worker, str(memmap_x),
+                                str(memmap_y), True)
+        assert lazy["params_digest"] == eager["params_digest"], \
+            "memmap-backed training diverged from in-memory training"
+
+        return {
+            "environment": bench_environment(),
+            "grid": {"targets": len(targets), "scenarios": len(scenarios),
+                     "pairs": len(targets) * len(scenarios),
+                     "windows": len(ds_mem)},
+            "in_memory_seconds": in_memory_s,
+            "cold_build_seconds": cold_s,
+            "warm_rebuild_seconds": warm_s,
+            "speedup_warm_vs_in_memory": in_memory_s / warm_s if warm_s
+            else None,
+            "bit_identical": identical,
+            "content_digest": digest,
+            "warm": {"missing_pairs": 0,
+                     "runs_executed": warm_exec.runs_executed,
+                     "shards_scanned": warm_store.shards_scanned,
+                     "assembly_hits": warm_store.assembly_hits},
+            "append": {
+                "small_store_windows": small_windows,
+                "large_store_windows": large_windows,
+                "append_small_seconds": append_small_s,
+                "append_large_seconds": append_large_s,
+                "ratio_large_vs_small": append_large_s / append_small_s,
+            },
+            "memmap_training": {
+                "windows": memmap_windows,
+                "in_memory_seconds": eager["seconds"],
+                "memmap_seconds": lazy["seconds"],
+                "in_memory_peak_rss_bytes": eager["peak_rss_bytes"],
+                "memmap_peak_rss_bytes": lazy["peak_rss_bytes"],
+                "rss_ratio_in_memory_vs_memmap":
+                    eager["peak_rss_bytes"] / lazy["peak_rss_bytes"],
+                "bit_identical": True,
+            },
+            "cold": cold_store.stats(),
+        }
+
+
 # -- CLI ----------------------------------------------------------------------
 
 
@@ -661,11 +918,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("which", nargs="?", default="all",
                         choices=("engine", "sweep", "train", "shard",
-                                 "serve", "all"))
+                                 "serve", "dataset", "all"))
     parser.add_argument("--only", action="append", default=None,
                         metavar="SUITE",
                         choices=("engine", "sweep", "train", "shard",
-                                 "serve"),
+                                 "serve", "dataset"),
                         help="run only this suite; repeatable "
                              "(--only engine --only shard). Overrides the "
                              "positional selection")
@@ -687,7 +944,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.only:
         selected = tuple(dict.fromkeys(args.only))  # de-dup, keep order
     elif args.which == "all":
-        selected = ("engine", "sweep", "train", "shard", "serve")
+        selected = ("engine", "sweep", "train", "shard", "serve", "dataset")
     else:
         selected = (args.which,)
 
@@ -740,6 +997,20 @@ def main(argv: list[str] | None = None) -> int:
               f"{worst['degraded_rate']:.0%} degraded, "
               f"{worst['shed_rate']:.0%} shed")
         _write(result, args.out_dir / "BENCH_serve.json")
+    if "dataset" in selected:
+        result = bench_dataset(jobs=args.jobs)
+        mm = result["memmap_training"]
+        ap = result["append"]
+        print(f"dataset: in-memory {result['in_memory_seconds']:.2f}s, cold "
+              f"build {result['cold_build_seconds']:.2f}s, warm rebuild "
+              f"{result['warm_rebuild_seconds']:.2f}s; append 1 pair: "
+              f"{ap['append_small_seconds']:.2f}s small vs "
+              f"{ap['append_large_seconds']:.2f}s large "
+              f"({ap['ratio_large_vs_small']:.2f}x); "
+              f"{mm['windows']:,} windows train: "
+              f"{mm['in_memory_peak_rss_bytes'] / 1e6:,.0f}MB in-memory vs "
+              f"{mm['memmap_peak_rss_bytes'] / 1e6:,.0f}MB memmap peak RSS")
+        _write(result, args.out_dir / "BENCH_dataset.json")
     return 0
 
 

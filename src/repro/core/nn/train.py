@@ -47,8 +47,10 @@ class TrainConfig:
     patience: int = 25
     class_weighting: bool = True
     seed: int = 0
-    #: Compute dtype of the training loop. ``"float32"`` casts the data
-    #: and the model parameters once up front and roughly halves the
+    #: Compute dtype of the training loop. ``"float32"`` casts the model
+    #: parameters once up front (minibatches are cast as they are
+    #: gathered, so a memmap-backed ``X`` is never densified) and
+    #: roughly halves the
     #: per-step matmul cost on these small models; opt-in because the
     #: default float64 path is what the paper-reproduction figures (and
     #: their bit-exactness tests) are pinned to.
@@ -84,7 +86,8 @@ def _class_weights(y: np.ndarray, n_classes: int) -> np.ndarray:
 
 
 def train_classifier(model, X: np.ndarray, y: np.ndarray,
-                     config: TrainConfig | None = None) -> TrainHistory:
+                     config: TrainConfig | None = None,
+                     normalizer=None) -> TrainHistory:
     """Train a classifier (softmax cross-entropy) in place.
 
     A validation slice is held out for early stopping; the parameters of
@@ -97,23 +100,32 @@ def train_classifier(model, X: np.ndarray, y: np.ndarray,
     return _train(model, X, y,
                   lambda logits, target: softmax_cross_entropy(
                       logits, target, weights),
-                  config)
+                  config, normalizer=normalizer)
 
 
 def train_regressor(model, X: np.ndarray, y: np.ndarray,
                     config: TrainConfig | None = None,
-                    delta: float = 1.0) -> TrainHistory:
+                    delta: float = 1.0, normalizer=None) -> TrainHistory:
     """Train a 1-output regression model (Huber loss) in place."""
     config = config or TrainConfig()
     y = np.asarray(y, dtype=float)
     return _train(model, X, y,
                   lambda pred, target: huber_loss(pred, target, delta),
-                  config)
+                  config, normalizer=normalizer)
 
 
 def _train(model, X: np.ndarray, y: np.ndarray, loss_fn,
-           config: TrainConfig) -> TrainHistory:
-    """Shared minibatch loop: any model exposing params/forward/backward."""
+           config: TrainConfig, normalizer=None) -> TrainHistory:
+    """Shared minibatch loop: any model exposing params/forward/backward.
+
+    ``X`` is only ever read in row batches — it may be a memmap (the
+    out-of-core :class:`repro.data.DatasetStore` path) and is never
+    densified.  A fitted ``normalizer`` is applied per batch *after* the
+    row gather, and the optional float32 cast after that; both are
+    elementwise, so they commute with row indexing and the resulting
+    parameter trajectory is bit-identical to transforming and casting
+    the whole array up front (pinned by tests/data).
+    """
     X = np.asarray(X, dtype=float)
     if len(X) != len(y):
         raise ValueError(f"{len(X)} samples but {len(y)} labels")
@@ -124,13 +136,21 @@ def _train(model, X: np.ndarray, y: np.ndarray, loss_fn,
     # model, and the optimiser, gradient-norm probe and best-state
     # snapshots all iterate it every epoch.
     params = model.params()
-    if config.dtype == "float32":
-        X = X.astype(np.float32)
+    cast32 = config.dtype == "float32"
+    if cast32:
         if y.dtype.kind == "f":
             y = y.astype(np.float32)
         for p in params:
             p.value = p.value.astype(np.float32)
             p.grad = np.zeros_like(p.value)
+
+    def fetch(rows: np.ndarray) -> np.ndarray:
+        batch = X[rows]
+        if normalizer is not None:
+            batch = normalizer.transform(batch)
+        if cast32:
+            batch = batch.astype(np.float32)
+        return batch
 
     rng = derive_rng(config.seed, "train")
     perm = rng.permutation(len(X))
@@ -138,8 +158,8 @@ def _train(model, X: np.ndarray, y: np.ndarray, loss_fn,
     val_idx, train_idx = perm[:n_val], perm[n_val:]
     if len(train_idx) == 0:
         train_idx = perm
-    Xtr, ytr = X[train_idx], y[train_idx]
-    Xval, yval = X[val_idx], y[val_idx]
+    ytr = y[train_idx]
+    Xval, yval = fetch(val_idx), y[val_idx]
 
     opt = Adam(params, lr=config.lr, weight_decay=config.weight_decay)
     history = TrainHistory()
@@ -149,7 +169,7 @@ def _train(model, X: np.ndarray, y: np.ndarray, loss_fn,
 
     logger.info(
         "training %s: %d train / %d val samples, <=%d epochs, batch %d",
-        type(model).__name__, len(Xtr), len(Xval), config.epochs,
+        type(model).__name__, len(train_idx), len(Xval), config.epochs,
         config.batch_size,
     )
     epoch_timer = REGISTRY.histogram("train.epoch_seconds")
@@ -159,13 +179,13 @@ def _train(model, X: np.ndarray, y: np.ndarray, loss_fn,
 
     for epoch in range(config.epochs):
         t0 = time.perf_counter()
-        order = rng.permutation(len(Xtr))
+        order = rng.permutation(len(train_idx))
         epoch_loss = 0.0
         n_batches = 0
         for start in range(0, len(order), config.batch_size):
             idx = order[start:start + config.batch_size]
             opt.zero_grad()
-            out = model.forward(Xtr[idx], training=True)
+            out = model.forward(fetch(train_idx[idx]), training=True)
             loss, dout = loss_fn(out, ytr[idx])
             model.backward(dout)
             opt.step()

@@ -105,15 +105,19 @@ class InterferencePredictor:
         head_hidden: tuple[int, ...] = (32,),
         seed: int = 0,
         restart: int = 0,
+        normalizer: Normalizer | None = None,
     ) -> tuple[float, KernelInterferenceNet, TrainHistory]:
         """One independent initialisation of the restart loop.
 
-        ``X`` is the already-normalised training tensor.  Returns the
-        restart's ``(validation score, trained model, history)``; the
-        caller keeps the restart with the lowest score, ties broken by
-        the lowest restart index.  Every stochastic choice derives from
-        ``(seed, restart)`` alone, so running restarts serially,
-        out of order, or in worker processes yields bit-identical models.
+        ``X`` is the raw training tensor with a fitted ``normalizer`` to
+        apply per batch (or an already-normalised tensor and ``None`` —
+        the two are bit-identical; the lazy form never densifies a
+        memmap-backed ``X``).  Returns the restart's ``(validation
+        score, trained model, history)``; the caller keeps the restart
+        with the lowest score, ties broken by the lowest restart index.
+        Every stochastic choice derives from ``(seed, restart)`` alone,
+        so running restarts serially, out of order, or in worker
+        processes yields bit-identical models.
         """
         model = KernelInterferenceNet(
             n_servers=n_servers,
@@ -123,7 +127,8 @@ class InterferencePredictor:
             head_hidden=head_hidden,
             seed=restart_seed(seed, restart),
         )
-        history = train_classifier(model, X, y, config)
+        history = train_classifier(model, X, y, config,
+                                   normalizer=normalizer)
         score = min(history.val_loss) if history.val_loss else float("inf")
         return score, model, history
 
@@ -147,15 +152,19 @@ class InterferencePredictor:
         loss (deterministic given ``seed``).
         """
         n_classes = cls.check_train_inputs(train_set, thresholds, restarts)
+        # Fit streams over X; the transform is applied lazily per batch
+        # inside the training loop.  Neither densifies train_set.X, so a
+        # memmap-backed dataset trains with peak RSS bounded by batch
+        # and validation-slice size — bit-identical to the eager path.
         normalizer = Normalizer().fit(train_set.X)
-        X = normalizer.transform(train_set.X)
         config = config or TrainConfig(seed=seed)
         best: tuple[float, KernelInterferenceNet, TrainHistory] | None = None
         for restart in range(restarts):
             score, model, history = cls.train_restart(
-                X, train_set.y, train_set.n_servers, train_set.n_features,
-                n_classes, config, kernel_hidden=kernel_hidden,
-                head_hidden=head_hidden, seed=seed, restart=restart,
+                train_set.X, train_set.y, train_set.n_servers,
+                train_set.n_features, n_classes, config,
+                kernel_hidden=kernel_hidden, head_hidden=head_hidden,
+                seed=seed, restart=restart, normalizer=normalizer,
             )
             if best is None or score < best[0]:
                 best = (score, model, history)

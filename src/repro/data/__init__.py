@@ -1,0 +1,19 @@
+"""Columnar out-of-core dataset ETL.
+
+Streams labelled interference windows to content-addressed columnar
+shards during datagen sweeps and rebuilds datasets incrementally —
+simulate once, append forever, never re-aggregate what a prior sweep
+already produced.  See :mod:`repro.data.store` for the architecture and
+DESIGN.md §14 for the on-disk contract.
+"""
+
+from repro.data.shard import SHARD_FORMAT, WindowShard, read_shard, write_shard
+from repro.data.store import DatasetStore
+
+__all__ = [
+    "SHARD_FORMAT",
+    "WindowShard",
+    "read_shard",
+    "write_shard",
+    "DatasetStore",
+]

@@ -86,8 +86,13 @@ def run_cross_cluster(
     noise_scale: float = 0.25,
     seed: int = 0,
     trainer: "TrainExecutor | None" = None,
+    store=None,
 ) -> CrossClusterResult:
-    """Collect data on clusters A and B; score the three adaptation arms."""
+    """Collect data on clusters A and B; score the three adaptation arms.
+
+    Both clusters' windows may share one ``store`` — their shard keys
+    embed the full cluster config, so A and B never collide in it.
+    """
     config = config or ExperimentConfig()
     cluster_b = replace(config.cluster, n_oss=4)
     config_b = replace(config, cluster=cluster_b)
@@ -97,8 +102,8 @@ def run_cross_cluster(
     scenarios = standard_scenarios(max_level=max_level,
                                    tasks=DEFAULT_NOISE_TASKS,
                                    ranks=3, scale=noise_scale)
-    bank_a = collect_windows(targets, scenarios, config)
-    bank_b = collect_windows(targets, scenarios, config_b)
+    bank_a = collect_windows(targets, scenarios, config, store=store)
+    bank_b = collect_windows(targets, scenarios, config_b, store=store)
     ds_a = bank_to_dataset(bank_a, BINARY_THRESHOLDS, source="clusterA")
     ds_b = bank_to_dataset(bank_b, BINARY_THRESHOLDS, source="clusterB")
     train_b, test_b = train_test_split(ds_b, 0.2, seed=seed)

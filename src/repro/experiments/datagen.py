@@ -25,17 +25,25 @@ import numpy as np
 
 from repro.core.dataset import Dataset
 from repro.core.labeling import BINARY_THRESHOLDS, DegradationLabeller, bin_level
-from repro.monitor.aggregator import assemble_vectors
+from repro.monitor.aggregator import assemble_vectors, select_labelled
 from repro.workloads.base import Workload
-from repro.experiments.runner import ExperimentConfig, InterferenceSpec, run_pair
+from repro.experiments.runner import (
+    ExperimentConfig,
+    InterferenceSpec,
+    PairedRuns,
+    run_pair,
+)
 
 if TYPE_CHECKING:  # imported lazily at run time (circular with repro.parallel)
+    from repro.data import DatasetStore
     from repro.parallel import RunCache, SweepExecutor
 
 __all__ = [
     "Scenario",
     "WindowBank",
     "standard_scenarios",
+    "sweep_pairs",
+    "label_pair",
     "collect_windows",
     "bank_to_dataset",
     "generate_dataset",
@@ -105,6 +113,66 @@ def standard_scenarios(
     return scenarios
 
 
+def label_pair(
+    labeller: DegradationLabeller,
+    target: Workload,
+    scenario: Scenario,
+    pair: PairedRuns,
+    config: ExperimentConfig,
+) -> WindowBank | None:
+    """Label one pair's windows against its baseline, or ``None`` if empty.
+
+    The single shared post-processing step of the in-memory dataset path
+    (:func:`collect_windows`) and the columnar on-disk path
+    (:class:`repro.data.DatasetStore`): both produce per-window vectors
+    and raw levels through exactly this code, which is what makes the
+    store's assembled dataset bit-identical to the in-memory one.
+    Windows without matched target operations carry no label and are
+    dropped (the paper's labelling is defined over windows with I/O).
+    """
+    run = pair.interfered
+    levels = labeller.window_levels(
+        pair.baseline.records, run.records, target.name
+    )
+    if not levels:
+        return None
+    X, windows = assemble_vectors(run, config.window_size,
+                                  config.sample_interval)
+    keep = select_labelled(windows, levels)
+    if not keep:
+        return None
+    return WindowBank(
+        X[keep],
+        np.array([levels[w] for w in keep]),
+        sources=[f"{target.name}:{scenario.name}"] * len(keep),
+    )
+
+
+def _skip_pair(target: Workload, scenario: Scenario) -> None:
+    """Count and log one quarantined pair (sweeps degrade, never crash)."""
+    from repro.obs.log import get_logger
+    from repro.obs.metrics import REGISTRY
+
+    REGISTRY.counter("datagen.pairs_skipped").inc()
+    get_logger("experiments.datagen").warning(
+        "skipping pair %s:%s (run quarantined)", target.name, scenario.name,
+    )
+
+
+def sweep_pairs(
+    targets: list[Workload],
+    scenarios: list[Scenario],
+    include_quiet_windows: bool = True,
+) -> list[tuple[Workload, Scenario]]:
+    """The (target, scenario) grid of one dataset sweep, in sweep order."""
+    return [
+        (target, scenario)
+        for target in targets
+        for scenario in scenarios
+        if not (scenario.is_baseline and not include_quiet_windows)
+    ]
+
+
 def collect_windows(
     targets: list[Workload],
     scenarios: list[Scenario],
@@ -113,29 +181,32 @@ def collect_windows(
     n_jobs: int = 1,
     cache: "RunCache | str | None" = None,
     executor: "SweepExecutor | None" = None,
+    store: "DatasetStore | None" = None,
 ) -> WindowBank:
     """Run every (target, scenario) pair and label windows with levels.
-
-    Windows without matched target operations carry no label and are
-    dropped (the paper's labelling is defined over windows with I/O).
 
     The sweep is delegated to a :class:`repro.parallel.SweepExecutor`
     (pass ``executor`` to share one across experiments, or just
     ``n_jobs``/``cache``).  Parallel execution is bit-identical to
     serial: per-run seeds derive from the config seed and stable string
     paths, and results are consumed in submission order.
+
+    With a ``store`` (:class:`repro.data.DatasetStore`) the collection
+    goes out-of-core: only pairs whose labelled windows are not already
+    on disk are simulated, new windows append as columnar shards, and
+    the returned bank's ``X`` is a read-only memmap — bit-identical
+    content, peak RSS bounded by shard size instead of dataset size.
     """
     from repro.obs import profile as _profile
     from repro.parallel import PairJob, SweepExecutor
 
-    labeller = DegradationLabeller(window_size=config.window_size)
-    sweep = [
-        (target, scenario)
-        for target in targets
-        for scenario in scenarios
-        if not (scenario.is_baseline and not include_quiet_windows)
-    ]
     executor = executor or SweepExecutor(n_jobs=n_jobs, cache=cache)
+    if store is not None:
+        return store.build_bank(targets, scenarios, config,
+                                include_quiet_windows=include_quiet_windows,
+                                executor=executor)
+    labeller = DegradationLabeller(window_size=config.window_size)
+    sweep = sweep_pairs(targets, scenarios, include_quiet_windows)
     with _profile.phase("dataset-sweep", pairs=len(sweep)):
         paired = executor.run_pairs([
             PairJob(target, tuple(scenario.interference), config,
@@ -146,35 +217,11 @@ def collect_windows(
         parts: list[WindowBank] = []
         for (target, scenario), pair in zip(sweep, paired):
             if pair is None:
-                # One of the pair's runs was quarantined by the executor's
-                # resilience layer; the sweep degrades instead of crashing.
-                from repro.obs.log import get_logger
-                from repro.obs.metrics import REGISTRY
-
-                REGISTRY.counter("datagen.pairs_skipped").inc()
-                get_logger("experiments.datagen").warning(
-                    "skipping pair %s:%s (run quarantined)",
-                    target.name, scenario.name,
-                )
+                _skip_pair(target, scenario)
                 continue
-            run = pair.interfered
-            levels = labeller.window_levels(
-                pair.baseline.records, run.records, target.name
-            )
-            if not levels:
-                continue
-            X, windows = assemble_vectors(run, config.window_size,
-                                          config.sample_interval)
-            keep = [w for w in windows if w in levels]
-            if not keep:
-                continue
-            parts.append(
-                WindowBank(
-                    X[keep],
-                    np.array([levels[w] for w in keep]),
-                    sources=[f"{target.name}:{scenario.name}"] * len(keep),
-                )
-            )
+            part = label_pair(labeller, target, scenario, pair, config)
+            if part is not None:
+                parts.append(part)
         return WindowBank.concatenate(parts)
 
 
@@ -205,8 +252,10 @@ def generate_dataset(
     n_jobs: int = 1,
     cache: "RunCache | str | None" = None,
     executor: "SweepExecutor | None" = None,
+    store: "DatasetStore | None" = None,
 ) -> Dataset:
     """One-shot convenience: collect windows and bin them."""
     bank = collect_windows(targets, scenarios, config, include_quiet_windows,
-                           n_jobs=n_jobs, cache=cache, executor=executor)
+                           n_jobs=n_jobs, cache=cache, executor=executor,
+                           store=store)
     return bank_to_dataset(bank, thresholds, source=source)

@@ -170,6 +170,7 @@ def collect_io500_bank(
     n_jobs: int = 1,
     cache=None,
     executor=None,
+    store=None,
 ) -> WindowBank:
     """Windows from IO500 targets under the standard noise sweep.
 
@@ -202,7 +203,8 @@ def collect_io500_bank(
                 )
             )
     return collect_windows(targets, scenarios, config,
-                           n_jobs=n_jobs, cache=cache, executor=executor)
+                           n_jobs=n_jobs, cache=cache, executor=executor,
+                           store=store)
 
 
 def collect_dlio_bank(
@@ -219,6 +221,7 @@ def collect_dlio_bank(
     n_jobs: int = 1,
     cache=None,
     executor=None,
+    store=None,
 ) -> WindowBank:
     """Windows from the two DLIO profiles (Unet3d, BERT).
 
@@ -240,7 +243,8 @@ def collect_dlio_bank(
     scenarios = standard_scenarios(max_level=max_level, tasks=noise_tasks,
                                    ranks=noise_ranks, scale=noise_scale)
     return collect_windows(targets, scenarios, config,
-                           n_jobs=n_jobs, cache=cache, executor=executor)
+                           n_jobs=n_jobs, cache=cache, executor=executor,
+                           store=store)
 
 
 def run_fig3_io500(config: ExperimentConfig | None = None,

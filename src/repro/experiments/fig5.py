@@ -109,6 +109,7 @@ def run_fig5(
     cache=None,
     executor=None,
     trainer: "TrainExecutor | None" = None,
+    store=None,
 ) -> Fig5Result:
     """Train and evaluate one model per application.
 
@@ -125,7 +126,7 @@ def run_fig5(
     executor = executor or SweepExecutor(n_jobs=n_jobs, cache=cache)
     banks = {
         app: collect_windows([workload], scenarios, config,
-                             executor=executor)
+                             executor=executor, store=store)
         for app, workload in targets.items()
     }
     evals = evaluate_banks([(f"fig5-{app}", banks[app]) for app in targets],

@@ -107,6 +107,7 @@ def _train_predictor(
     executor,
     epochs: int,
     trainer=None,
+    store=None,
 ) -> InterferencePredictor:
     """A small interference-trained binary predictor (the A7 recipe)."""
     target = make_io500_task("ior-easy-write", ranks=2, scale=target_scale)
@@ -115,7 +116,8 @@ def _train_predictor(
         tasks=("ior-easy-write", "mdt-hard-write"),
         ranks=2, scale=noise_scale,
     )
-    bank = collect_windows([target], scenarios, config, executor=executor)
+    bank = collect_windows([target], scenarios, config, executor=executor,
+                           store=store)
     dataset = bank_to_dataset(bank, BINARY_THRESHOLDS, source="robustness")
     train_cfg = TrainConfig(epochs=epochs, seed=config.seed)
     if trainer is not None:
@@ -177,6 +179,7 @@ def run_robustness(
     epochs: int = 60,
     executor=None,
     trainer=None,
+    store=None,
 ) -> RobustnessResult:
     """Measure prediction F1 vs telemetry sample loss and window blanking.
 
@@ -193,7 +196,7 @@ def run_robustness(
             raise ValueError(f"unknown gap policy {policy!r}")
     predictor = _train_predictor(config, target_scale, noise_scale,
                                  max_level, executor, epochs,
-                                 trainer=trainer)
+                                 trainer=trainer, store=store)
 
     # Eval runs: the fail-slow harness (quiet cluster, sick OSTs), whose
     # labels come from client records and survive telemetry faults.

@@ -20,8 +20,8 @@ from repro.monitor.schema import CLIENT_FEATURES, SERVER_FEATURES
 from repro.monitor.server_monitor import ServerMonitor
 from repro.obs.metrics import REGISTRY
 
-__all__ = ["MonitoredRun", "assemble_vectors", "GAP_POLICIES",
-           "assert_finite"]
+__all__ = ["MonitoredRun", "assemble_vectors", "select_labelled",
+           "GAP_POLICIES", "assert_finite"]
 
 #: Missing-data policies for (window, server) cells with no server
 #: samples: ``zero`` keeps the historical zero fill, ``mean`` imputes
@@ -72,6 +72,16 @@ class MonitoredRun:
     servers: list[ServerId]
     duration: float
     metadata: dict = field(default_factory=dict)
+
+
+def select_labelled(window_ids: list[int], levels: dict[int, float]) -> list[int]:
+    """Window ids (of :func:`assemble_vectors`) that carry a label.
+
+    Order-preserving and duplicate-keeping; shared by the in-memory
+    dataset path and the columnar :class:`repro.data.DatasetStore` so
+    both keep exactly the same rows of an assembled vector array.
+    """
+    return [w for w in window_ids if w in levels]
 
 
 def assemble_vectors(

@@ -45,7 +45,10 @@ DESIGN.md §7 documents the determinism contract and cache layout;
 from repro.parallel.cache import RunCache
 from repro.parallel.cachekey import (
     CACHE_FORMAT,
+    DATASET_FORMAT,
     canonical_json,
+    dataset_shard_key,
+    dataset_shard_key_material,
     run_key,
     run_key_material,
     stable_hash,
@@ -72,6 +75,7 @@ from repro.parallel.workerinit import init_worker
 
 __all__ = [
     "CACHE_FORMAT",
+    "DATASET_FORMAT",
     "InjectedWorkerFault",
     "ModelCache",
     "PairJob",
@@ -85,6 +89,8 @@ __all__ = [
     "TrainJob",
     "backoff_delay",
     "canonical_json",
+    "dataset_shard_key",
+    "dataset_shard_key_material",
     "init_worker",
     "resolve_n_jobs",
     "run_key",

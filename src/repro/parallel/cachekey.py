@@ -32,6 +32,7 @@ from repro.workloads.base import Workload
 
 __all__ = [
     "CACHE_FORMAT",
+    "DATASET_FORMAT",
     "canonical_json",
     "stable_hash",
     "workload_spec",
@@ -39,6 +40,8 @@ __all__ = [
     "run_key",
     "train_key_material",
     "train_key",
+    "dataset_shard_key_material",
+    "dataset_shard_key",
 ]
 
 #: Bumped whenever the persisted run layout or key material changes.
@@ -46,6 +49,11 @@ __all__ = [
 #: path) — it participates in the key via ``config_to_dict``, and the
 #: bump retires entries written before the batched fast path existed.
 CACHE_FORMAT = 2
+
+#: Bumped whenever the columnar window-shard layout
+#: (:mod:`repro.data.shard`) or its key material changes.  Separate from
+#: ``CACHE_FORMAT`` so retiring shard files does not retire cached runs.
+DATASET_FORMAT = 1
 
 
 def canonical_json(obj: Any) -> str:
@@ -137,6 +145,55 @@ def run_key(
     return stable_hash(run_key_material(target, interference, config,
                                         seed_salt=seed_salt, salt=salt,
                                         faults=faults, sharded=sharded))
+
+
+def dataset_shard_key_material(
+    target: Workload,
+    interference: Iterable[InterferenceSpec],
+    config: ExperimentConfig,
+    seed_salt: str = "",
+    salt: str = "",
+    faults: dict[str, Any] | None = None,
+    sharded: bool = False,
+) -> dict[str, Any]:
+    """Key material of one (target, scenario) pair's labelled windows.
+
+    A window shard holds the *post-processed* product of a baseline +
+    interfered run pair: per-window per-server vectors and degradation
+    levels.  Its content is therefore shaped by both runs' full key
+    material **plus** the post-processing knobs that ``run_key``
+    deliberately drops — ``window_size`` (labelling and vector windows)
+    and ``sample_interval`` (server-feature aggregation).  Re-binning at
+    a new window size keys new shards while reusing the same cached
+    runs, exactly the split the run cache's normalisation was built for.
+    """
+    return {
+        "kind": "window-shard",
+        "salt": _code_salt(salt),
+        "format": DATASET_FORMAT,
+        "baseline": run_key_material(target, (), config, salt=salt,
+                                     faults=faults, sharded=sharded),
+        "interfered": run_key_material(target, tuple(interference), config,
+                                       seed_salt=seed_salt, salt=salt,
+                                       faults=faults, sharded=sharded),
+        "window_size": config.window_size,
+        "sample_interval": config.sample_interval,
+    }
+
+
+def dataset_shard_key(
+    target: Workload,
+    interference: Iterable[InterferenceSpec],
+    config: ExperimentConfig,
+    seed_salt: str = "",
+    salt: str = "",
+    faults: dict[str, Any] | None = None,
+    sharded: bool = False,
+) -> str:
+    """Content-addressed key of one pair's labelled window shards."""
+    return stable_hash(dataset_shard_key_material(
+        target, interference, config, seed_salt=seed_salt, salt=salt,
+        faults=faults, sharded=sharded))
 
 
 def train_key_material(

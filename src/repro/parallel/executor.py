@@ -74,7 +74,7 @@ from repro.obs.distributed import WALL_CLOCK, TraceContext
 from repro.obs.log import get_logger
 from repro.obs.metrics import REGISTRY
 from repro.parallel.cache import RunCache
-from repro.parallel.cachekey import run_key, run_key_material
+from repro.parallel.cachekey import dataset_shard_key, run_key, run_key_material
 from repro.parallel.supervise import run_supervised
 from repro.workloads.base import Workload
 
@@ -337,6 +337,19 @@ class SweepExecutor:
                        seed_salt=job.seed_salt, salt=self.salt,
                        faults=self._fault_material(),
                        sharded=self.shards is not None)
+
+    def shard_key_for(self, pair: PairJob) -> str:
+        """Content-addressed key of the pair's labelled window shards.
+
+        Mirrors :meth:`key_for` — same salt, fault material and
+        sharded-execution marker — so a :class:`repro.data.DatasetStore`
+        keyed through one executor agrees with the run cache about what
+        counts as "the same" sweep.
+        """
+        return dataset_shard_key(pair.target, pair.interference, pair.config,
+                                 seed_salt=pair.seed_salt, salt=self.salt,
+                                 faults=self._fault_material(),
+                                 sharded=self.shards is not None)
 
     def _fault_material(self) -> dict | None:
         if self.fault_plan is not None and self.fault_plan.affects_simulation:

@@ -92,7 +92,7 @@ def _train_restart_task(item, trace_ctx: TraceContext | None = None):
     """
     task_key, payload, _attempt = item
     (X, y, n_servers, n_features, n_classes, config,
-     kernel_hidden, head_hidden, seed, restart) = payload
+     kernel_hidden, head_hidden, seed, restart, normalizer) = payload
     worker_tracer = _dist.attach(trace_ctx)
     REGISTRY.reset()
     started = time.monotonic()
@@ -100,7 +100,7 @@ def _train_restart_task(item, trace_ctx: TraceContext | None = None):
     score, model, history = InterferencePredictor.train_restart(
         X, y, n_servers, n_features, n_classes, config,
         kernel_hidden=kernel_hidden, head_hidden=head_hidden,
-        seed=seed, restart=restart,
+        seed=seed, restart=restart, normalizer=normalizer,
     )
     wall = time.perf_counter() - start
     aux = {"pid": os.getpid(), "started": started,
@@ -283,8 +283,9 @@ class TrainExecutor:
         """Fan restarts over worker processes; select best per job.
 
         The normaliser is fitted once per job in the parent — exactly as
-        the serial loop does — and its transform of the training tensor
-        is shipped to every restart, so workers train on the same bits.
+        the serial loop does — and shipped (fitted, not applied) with
+        the raw training tensor to every restart; workers apply it per
+        batch, which trains on the same bits as transforming up front.
         """
         wall_hist = REGISTRY.histogram("parallel.train.seconds")
         wait_hist = REGISTRY.histogram("parallel.train.queue_wait_seconds")
@@ -294,14 +295,14 @@ class TrainExecutor:
             for key, job in pending.items():
                 norm = Normalizer().fit(job.dataset.X)
                 normalizers[key] = norm
-                X = norm.transform(job.dataset.X)
                 config = job.effective_config()
                 n_classes = len(job.thresholds) + 1
                 for restart in range(job.restarts):
-                    payload = (X, job.dataset.y, job.dataset.n_servers,
+                    payload = (job.dataset.X, job.dataset.y,
+                               job.dataset.n_servers,
                                job.dataset.n_features, n_classes, config,
                                job.kernel_hidden, job.head_hidden,
-                               job.seed, restart)
+                               job.seed, restart, norm)
                     tasks.append((f"{key}/r{restart}", payload))
 
         tracer = _trace.get()

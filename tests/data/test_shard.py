@@ -1,0 +1,106 @@
+"""Tests for the columnar window-shard format."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import SHARD_FORMAT, read_shard, write_shard
+
+
+def make_windows(n=5, servers=3, feats=4, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, servers, feats))
+    levels = rng.uniform(1.0, 6.0, size=n)
+    sources = [f"target:scenario"] * n
+    return X, levels, sources
+
+
+class TestRoundTrip:
+    def test_bit_exact(self, tmp_path):
+        X, levels, sources = make_windows()
+        path = write_shard(tmp_path / "s.npz", X, levels, sources,
+                           meta={"key": "k0", "shard_index": 0})
+        shard = read_shard(path)
+        assert np.array_equal(shard.X, X)
+        assert shard.X.dtype == np.float64
+        assert np.array_equal(shard.levels, levels)
+        assert shard.sources == sources
+        assert len(shard) == len(X)
+        assert shard.meta["kind"] == "repro-window-shard"
+        assert shard.meta["format"] == SHARD_FORMAT
+        assert shard.meta["key"] == "k0"
+        assert shard.meta["n_windows"] == len(X)
+
+    def test_fortran_order_input_round_trips(self, tmp_path):
+        X, levels, sources = make_windows()
+        path = write_shard(tmp_path / "s.npz", np.asfortranarray(X),
+                           levels, sources)
+        assert np.array_equal(read_shard(path).X, X)
+
+    def test_empty_shard(self, tmp_path):
+        path = write_shard(tmp_path / "s.npz", np.empty((0, 3, 4)),
+                           np.empty(0), [])
+        shard = read_shard(path)
+        assert len(shard) == 0
+        assert shard.X.shape == (0, 3, 4)
+
+
+class TestValidation:
+    def test_write_rejects_non_3d(self, tmp_path):
+        with pytest.raises(ValueError, match="windows, servers, features"):
+            write_shard(tmp_path / "s.npz", np.zeros((4, 5)), np.zeros(4),
+                        ["a"] * 4)
+
+    def test_write_rejects_length_mismatch(self, tmp_path):
+        with pytest.raises(ValueError, match="inconsistent shard lengths"):
+            write_shard(tmp_path / "s.npz", np.zeros((4, 2, 3)), np.zeros(3),
+                        ["a"] * 4)
+        with pytest.raises(ValueError, match="inconsistent shard lengths"):
+            write_shard(tmp_path / "s.npz", np.zeros((4, 2, 3)), np.zeros(4),
+                        ["a"] * 2)
+
+    def test_read_rejects_garbage_bytes(self, tmp_path):
+        path = tmp_path / "s.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(ValueError, match="not a valid npz"):
+            read_shard(path)
+
+    def test_read_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "s.npz"
+        with open(path, "wb") as fp:
+            np.savez_compressed(fp, X=np.zeros(3))
+        with pytest.raises(ValueError, match="no meta"):
+            read_shard(path)
+
+    def test_read_rejects_wrong_kind(self, tmp_path):
+        path = tmp_path / "s.npz"
+        doc = {"kind": "something-else", "format": SHARD_FORMAT}
+        with open(path, "wb") as fp:
+            np.savez_compressed(fp, meta=np.array(json.dumps(doc)),
+                                X=np.zeros((1, 1, 1)), levels=np.zeros(1),
+                                sources=np.array(["s"], dtype=np.str_))
+        with pytest.raises(ValueError, match="unexpected kind"):
+            read_shard(path)
+
+    def test_read_rejects_future_format(self, tmp_path):
+        path = tmp_path / "s.npz"
+        doc = {"kind": "repro-window-shard", "format": SHARD_FORMAT + 1,
+               "n_windows": 1}
+        with open(path, "wb") as fp:
+            np.savez_compressed(fp, meta=np.array(json.dumps(doc)),
+                                X=np.zeros((1, 1, 1)), levels=np.zeros(1),
+                                sources=np.array(["s"], dtype=np.str_))
+        with pytest.raises(ValueError, match="format"):
+            read_shard(path)
+
+    def test_read_rejects_window_count_mismatch(self, tmp_path):
+        path = tmp_path / "s.npz"
+        doc = {"kind": "repro-window-shard", "format": SHARD_FORMAT,
+               "n_windows": 7}
+        with open(path, "wb") as fp:
+            np.savez_compressed(fp, meta=np.array(json.dumps(doc)),
+                                X=np.zeros((1, 1, 1)), levels=np.zeros(1),
+                                sources=np.array(["s"], dtype=np.str_))
+        with pytest.raises(ValueError, match="meta says 7"):
+            read_shard(path)

@@ -1,0 +1,54 @@
+"""Out-of-core training: memmap-backed datasets train bit-identically."""
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.nn.train import TrainConfig
+from repro.core.predictor import InterferencePredictor
+
+
+def _params(predictor):
+    return [np.array(p.value) for p in predictor.model.params()]
+
+
+def make_memmap_dataset(tmp_path, n=96, servers=3, feats=5, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, servers, feats))
+    y = (X[:, :, :2].mean(axis=(1, 2)) > 0).astype(int)
+    X[y == 1, :, :2] += 0.4
+    x_path = tmp_path / "X.npy"
+    np.save(x_path, X)
+    names = tuple(f"f{i}" for i in range(feats))
+    in_memory = Dataset(X, y, feature_names=names)
+    memmap = Dataset(np.lib.format.open_memmap(x_path, mode="r"), y,
+                     feature_names=names)
+    assert isinstance(memmap.X.base, np.memmap)
+    return in_memory, memmap
+
+
+def test_memmap_training_bit_identical(tmp_path):
+    in_memory, memmap = make_memmap_dataset(tmp_path)
+    config = TrainConfig(epochs=4, patience=3, seed=0)
+    p_mem = InterferencePredictor.train(in_memory, config=config, restarts=2)
+    p_mmap = InterferencePredictor.train(memmap, config=config, restarts=2)
+    for a, b in zip(_params(p_mem), _params(p_mmap)):
+        assert np.array_equal(a, b)
+    assert np.array_equal(p_mem.normalizer.mean, p_mmap.normalizer.mean)
+    assert np.array_equal(p_mem.normalizer.std, p_mmap.normalizer.std)
+    assert np.array_equal(p_mem.predict(in_memory.X),
+                          p_mmap.predict(in_memory.X))
+
+
+def test_memmap_training_float32_bit_identical(tmp_path):
+    in_memory, memmap = make_memmap_dataset(tmp_path, seed=3)
+    config = TrainConfig(epochs=4, patience=3, seed=0, dtype="float32")
+    p_mem = InterferencePredictor.train(in_memory, config=config, restarts=1)
+    p_mmap = InterferencePredictor.train(memmap, config=config, restarts=1)
+    for a, b in zip(_params(p_mem), _params(p_mmap)):
+        assert np.array_equal(a, b)
+
+
+def test_memmap_digest_matches_in_memory(tmp_path):
+    """The model-cache key survives switching to the out-of-core path."""
+    in_memory, memmap = make_memmap_dataset(tmp_path, seed=5)
+    assert memmap.content_digest() == in_memory.content_digest()
