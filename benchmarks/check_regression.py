@@ -33,6 +33,9 @@ import pathlib
 import sys
 
 #: (file, path-into-json, kind): "rate" regresses down, "wall" up.
+#: "count" regresses up like "wall" but is deterministic (simulation
+#: structure, not timing) — it is never skipped on a foreign core
+#: count and any growth is a real protocol regression.
 METRICS = (
     ("BENCH_engine.json", ("timeouts_per_second",), "rate"),
     ("BENCH_engine.json",
@@ -59,6 +62,12 @@ METRICS = (
     ("BENCH_dataset.json", ("append", "ratio_large_vs_small"), "wall"),
     ("BENCH_dataset.json",
      ("memmap_training", "memmap_peak_rss_bytes"), "wall"),
+    # Coordinator window counts are deterministic functions of the
+    # committed workload: fixed must stay put and adaptive must not
+    # creep back toward it (the barrier-elision contract in numbers).
+    ("BENCH_shard.json", ("scaling", "fixed", 0, "windows"), "count"),
+    ("BENCH_shard.json", ("scaling", "adaptive", 0, "windows"), "count"),
+    ("BENCH_shard.json", ("window_reduction",), "rate"),
 )
 
 #: Environment keys excluded from the mismatch warning: they differ on
@@ -186,7 +195,7 @@ def main(argv: list[str] | None = None) -> int:
                       "regenerated in this run)")
             continue
         if kind == "wall" and foreign is not None:
-            label = f"{name}:{'.'.join(path)}"
+            label = f"{name}:{'.'.join(str(key) for key in path)}"
             print(f"{label}: SKIPPED (recorded on a {foreign}-core "
                   f"machine, this one has {os.cpu_count()}; wall-clock "
                   "numbers don't transfer)")
@@ -195,7 +204,7 @@ def main(argv: list[str] | None = None) -> int:
         base, fresh = row
         rel = (fresh - base) / base if base else 0.0
         worse = (-rel if kind == "rate" else rel) > args.threshold
-        label = f"{name}:{'.'.join(path)}"
+        label = f"{name}:{'.'.join(str(key) for key in path)}"
         print(f"{label}: baseline {base:.4g}, fresh {fresh:.4g} "
               f"({rel:+.1%}) [{'REGRESSED' if worse else 'ok'}]")
         if worse:

@@ -31,10 +31,13 @@ and compared non-gatingly in CI against the checked-in
   bit-identical; fused predictions class-identical.
 
 * **shard** — the sharded executor (:mod:`repro.sim.shard`): one run's
-  events/sec at shard counts 1/2/4 (byte-identical output asserted at
-  every count) plus a cluster-size curve from 4 to 64 OSTs at one
-  shard. Scaling needs physical cores; the committed baseline embeds
-  ``environment.cpu_count`` so the numbers are read in context.
+  events/sec at shard counts 1/2/4 under both window policies
+  (byte-identical output asserted at every count and policy, digests
+  recorded per row), the fixed→adaptive coordinator-window reduction
+  (deterministic; gated by ``check_regression.py``), plus a
+  cluster-size curve from 4 to 64 OSTs at one shard. Wall-clock
+  scaling needs physical cores; the committed baseline embeds
+  ``environment.cpu_count`` so those numbers are read in context.
 
 * **serve** — the multi-tenant prediction service (:mod:`repro.serve`):
   windows/sec and p50/p99 request latency against growing concurrent
@@ -486,14 +489,33 @@ def _shard_config(n_oss: int, osts_per_oss: int = 2):
                             sample_interval=0.125, warmup=0.5, seed=0)
 
 
-def _shard_run(config, target, noise, shards: int) -> dict[str, Any]:
+def _run_digest(run) -> str:
+    """Content digest of a run's protocol-visible output.
+
+    Records, server samples and duration are byte-identical across shard
+    counts and window policies; the digest lets the committed baseline
+    (and CI's fixed-vs-adaptive gate) assert that without shipping the
+    runs themselves.
+    """
+    import hashlib
+
+    h = hashlib.sha256()
+    h.update(repr(run.records).encode())
+    h.update(repr(run.server_samples).encode())
+    h.update(repr(run.duration).encode())
+    return h.hexdigest()
+
+
+def _shard_run(config, target, noise, shards: int,
+               window_policy: str = "adaptive") -> dict[str, Any]:
     """One sharded execution; returns wall/events plus the run itself."""
     from repro.obs.metrics import REGISTRY
     from repro.sim.shard import execute_run_sharded
 
     REGISTRY.reset()
     t0 = time.perf_counter()
-    run = execute_run_sharded(target, noise, config, shards=shards)
+    run = execute_run_sharded(target, noise, config, shards=shards,
+                              window_policy=window_policy)
     wall = time.perf_counter() - t0
     events = REGISTRY.gauge("shard.events_scheduled").value
     windows = REGISTRY.counter("shard.windows").value
@@ -502,14 +524,20 @@ def _shard_run(config, target, noise, shards: int) -> dict[str, Any]:
         "run": run,
         "stats": {
             "shards": shards,
+            "policy": window_policy,
             "wall_seconds": wall,
             "events": int(events),
             "events_per_second": events / wall,
             "windows": int(windows),
+            "windows_elided": int(
+                REGISTRY.counter("shard.windows_elided").value),
             "messages": int(REGISTRY.counter("shard.messages").value),
+            "ipc_roundtrips": int(
+                REGISTRY.counter("shard.ipc_roundtrips").value),
             "barrier_wait_seconds_total": barrier.total,
             "barrier_wait_seconds_mean": (barrier.total / barrier.count
                                           if barrier.count else 0.0),
+            "run_digest": _run_digest(run),
         },
     }
 
@@ -519,38 +547,53 @@ def bench_shard(shard_counts: tuple[int, ...] = (1, 2, 4),
                 scale: float = 0.5) -> dict[str, Any]:
     """Sharded-executor scaling: events/sec vs shard count + cluster size.
 
-    Two curves (see DESIGN.md §12):
+    Three curves (see DESIGN.md §12):
 
-    * **scaling** — one fixed cluster (4 OSS x 2 OST) run at each shard
-      count; every pass must produce byte-identical records/samples (the
-      conservative protocol's N-invariance contract, asserted here).
-      Speedup only materialises with >= ``shards`` physical cores — the
-      committed baseline records ``environment.cpu_count`` so CI (and
-      ``check_regression.py``) can judge the number in context.
+    * **scaling.fixed / scaling.adaptive** — one fixed cluster
+      (4 OSS x 2 OST) run at each shard count under both window
+      policies; every pass must produce byte-identical records/samples
+      (the conservative protocol's N- and policy-invariance contract,
+      asserted here and recorded as ``run_digest`` per row).  Adaptive
+      must pay strictly fewer coordinator windows; ``window_reduction``
+      records the shards=1 ratio — a deterministic, cpu-count-
+      independent number that ``check_regression.py`` gates on.
+      Wall-clock speedup only materialises with >= ``shards`` physical
+      cores — the committed baseline records ``environment.cpu_count``
+      so CI can judge those numbers in context.
     * **cluster_size_curve** — domains grow from 4 to 64 OSTs at
-      ``shards=1``: how the per-window coordination cost amortises as
-      the per-domain work grows.
+      ``shards=1`` (adaptive): how the per-window coordination cost
+      amortises as the per-domain work grows.
     """
     target, noise = bench_shard_workload(scale)
     config = _shard_config(n_oss=4)
 
-    scaling = []
+    scaling: dict[str, list[dict[str, Any]]] = {}
     reference = None
-    for shards in shard_counts:
-        result = _shard_run(config, target, noise, shards)
-        run = result.pop("run")
-        if reference is None:
-            reference = run
-        else:
-            assert (run.records == reference.records
-                    and run.server_samples == reference.server_samples
-                    and run.duration == reference.duration), \
-                f"shards={shards} diverged from shards={shard_counts[0]}"
-        scaling.append(result["stats"])
+    for policy in ("fixed", "adaptive"):
+        rows = []
+        for shards in shard_counts:
+            result = _shard_run(config, target, noise, shards,
+                                window_policy=policy)
+            run = result.pop("run")
+            if reference is None:
+                reference = run
+            else:
+                assert (run.records == reference.records
+                        and run.server_samples == reference.server_samples
+                        and run.duration == reference.duration), \
+                    (f"policy={policy} shards={shards} diverged from "
+                     f"policy=fixed shards={shard_counts[0]}")
+            rows.append(result["stats"])
+        base = rows[0]["wall_seconds"]
+        for row in rows:
+            row["speedup_vs_1"] = base / row["wall_seconds"]
+        scaling[policy] = rows
 
-    base = scaling[0]["wall_seconds"]
-    for row in scaling:
-        row["speedup_vs_1"] = base / row["wall_seconds"]
+    for fixed_row, adaptive_row in zip(scaling["fixed"],
+                                       scaling["adaptive"]):
+        assert adaptive_row["windows"] < fixed_row["windows"], \
+            (f"adaptive paid {adaptive_row['windows']} windows vs fixed "
+             f"{fixed_row['windows']} at shards={fixed_row['shards']}")
 
     curve = []
     for n_oss in cluster_sizes:
@@ -568,7 +611,9 @@ def bench_shard(shard_counts: tuple[int, ...] = (1, 2, 4),
                     "sim_backend": "batch"},
         "shard_counts": list(shard_counts),
         "scaling": scaling,
-        "speedup_at_max_shards": scaling[-1]["speedup_vs_1"],
+        "window_reduction": (scaling["fixed"][0]["windows"]
+                             / scaling["adaptive"][0]["windows"]),
+        "speedup_at_max_shards": scaling["adaptive"][-1]["speedup_vs_1"],
         "bit_identical": True,
         "cluster_size_curve": curve,
     }
@@ -980,11 +1025,15 @@ def main(argv: list[str] | None = None) -> int:
     if "shard" in selected:
         result = bench_shard(shard_counts=tuple(args.shards))
         rows = ", ".join(
-            f"{r['shards']}: {r['events_per_second']:,.0f} ev/s "
-            f"({r['speedup_vs_1']:.2f}x)" for r in result["scaling"])
+            f"{a['shards']}: {f['windows']}w -> {a['windows']}w, "
+            f"{a['events_per_second']:,.0f} ev/s "
+            f"({a['speedup_vs_1']:.2f}x)"
+            for f, a in zip(result["scaling"]["fixed"],
+                            result["scaling"]["adaptive"]))
         top = result["cluster_size_curve"][-1]
-        print(f"shard: {rows}; {top['n_osts']} OSTs at shards=1: "
-              f"{top['events_per_second']:,.0f} ev/s")
+        print(f"shard: fixed->adaptive {rows}; window reduction "
+              f"{result['window_reduction']:.2f}x; {top['n_osts']} OSTs "
+              f"at shards=1: {top['events_per_second']:,.0f} ev/s")
         _write(result, args.out_dir / "BENCH_shard.json")
     if "serve" in selected:
         result = bench_serve()

@@ -118,7 +118,8 @@ class PairJob:
 def _execute_job(item: tuple[str, RunJob, int],
                  plan: FaultPlan | None = None,
                  trace_ctx: TraceContext | None = None,
-                 shards: int | None = None):
+                 shards: int | None = None,
+                 window_policy=None):
     """Worker body: run one job and return (key, run, wall, metrics, aux).
 
     Runs in a separate process (pool worker or supervised child).  The
@@ -156,7 +157,7 @@ def _execute_job(item: tuple[str, RunJob, int],
     start = time.perf_counter()
     run = execute_run(job.target, list(job.interference), job.config,
                       seed_salt=job.seed_salt, abort_at=abort_at,
-                      shards=shards)
+                      shards=shards, window_policy=window_policy)
     wall = time.perf_counter() - start
     aux = {"pid": os.getpid(), "started": started,
            "trace": _dist.ship(worker_tracer)}
@@ -293,6 +294,13 @@ class SweepExecutor:
         pool workers (daemonic) shards fall back in-process, so
         combining ``n_jobs > 1`` with ``shards > 1`` parallelises
         across runs, not within them.
+    window_policy:
+        Sync-window sizing for the sharded executor — a
+        :class:`repro.sim.shard.WindowPolicy`, its string spec
+        (``fixed``, ``adaptive``, ``adaptive:cap=SECONDS``) or ``None``
+        for the adaptive default.  Like ``shards`` it never changes run
+        output, so it stays out of cache keys; ignored when ``shards``
+        is ``None``.
     """
 
     def __init__(self, n_jobs: int = 1,
@@ -302,7 +310,8 @@ class SweepExecutor:
                  retries: int = 0,
                  retry_backoff: float = 0.05,
                  fault_plan: FaultPlan | None = None,
-                 shards: int | None = None) -> None:
+                 shards: int | None = None,
+                 window_policy=None) -> None:
         if run_timeout is not None and run_timeout <= 0:
             raise ValueError(f"run_timeout must be positive, got {run_timeout}")
         if retries < 0:
@@ -322,6 +331,7 @@ class SweepExecutor:
         if shards is not None and shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.shards = shards
+        self.window_policy = window_policy
         self.runs_executed = 0
         self.runs_deduplicated = 0
         self.retries_used = 0
@@ -434,7 +444,8 @@ class SweepExecutor:
                     workers = min(self.n_jobs, len(items))
                     worker_fn = functools.partial(
                         _execute_job, plan=self.fault_plan,
-                        trace_ctx=trace_ctx, shards=self.shards)
+                        trace_ctx=trace_ctx, shards=self.shards,
+                        window_policy=self.window_policy)
                     submit = time.monotonic()
                     # One-time per-worker setup (heavy imports, base
                     # tracer/registry state) runs in the pool
@@ -470,7 +481,8 @@ class SweepExecutor:
                                               job.config,
                                               seed_salt=job.seed_salt,
                                               abort_at=abort_at,
-                                              shards=self.shards)
+                                              shards=self.shards,
+                                              window_policy=self.window_policy)
                         wall_hist.observe(time.perf_counter() - start)
                         self._store(key, job, run)
                         results[key] = run
@@ -507,7 +519,8 @@ class SweepExecutor:
         stats = run_supervised(
             items,
             functools.partial(_execute_job, plan=self.fault_plan,
-                              trace_ctx=trace_ctx, shards=self.shards),
+                              trace_ctx=trace_ctx, shards=self.shards,
+                              window_policy=self.window_policy),
             ctx=multiprocessing.get_context(self.start_method),
             workers=self.n_jobs,
             on_success=on_success,

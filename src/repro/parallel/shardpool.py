@@ -9,6 +9,18 @@ pool), assigns server domains round-robin, and drives all workers
 through each conservative window over duplex pipes — send every worker
 its window, then collect every reply (the window barrier).
 
+IPC thinning: a worker whose domains have no inbound messages this
+window and whose cached horizon clears the window end has provably
+nothing to do — its hosts would fire zero events and report the same
+``next_time`` — so the coordinator skips the round-trip entirely
+(``shard.worker_windows_skipped``; actual sends land in
+``shard.ipc_roundtrips``).  Job-name broadcasts stay contiguous across
+skips: interned job ids are buffered per worker and flushed with its
+next real window, so every worker still sees the id stream in order.
+Combined with the coordinator's adaptive window policy
+(:class:`~repro.sim.shard.WindowPolicy`), quiet stretches of a run cost
+zero pipe traffic instead of one barrier per lookahead.
+
 Telemetry crosses the boundary exactly like sweep workers' does, except
 that spans are **per domain**, not per worker: each
 :class:`~repro.sim.shard.DomainHost` owns a tracer seeded from the
@@ -82,7 +94,7 @@ def _shard_worker_main(conn, config: ClusterConfig, domains: list[int],
     """
     from repro.obs.trace import Tracer
     from repro.parallel.workerinit import init_worker
-    from repro.sim.shard import DomainHost
+    from repro.sim.shard import DomainHost, run_hosts_guarded
 
     base = init_worker(trace_ctx)
     hosts = [
@@ -105,6 +117,13 @@ def _shard_worker_main(conn, config: ClusterConfig, domains: list[int],
                 if new_jobs:
                     host.add_jobs(new_jobs)
                 batch = outbox.get(host.domain_index)
+                if batch is None and host.env.quiet_until(end, inclusive):
+                    # Same per-host skip as LocalDomainGroup: no inbound
+                    # messages and nothing scheduled inside the window.
+                    t = host.env.peek()
+                    if t < next_time:
+                        next_time = t
+                    continue
                 if batch is not None:
                     host.inject(batch)
                 host.run_window(end, inclusive)
@@ -115,6 +134,24 @@ def _shard_worker_main(conn, config: ClusterConfig, domains: list[int],
                 if t < next_time:
                     next_time = t
             conn.send(("ok", results, next_time))
+        elif msg[0] == "guarded":
+            # One guarded domain-ahead round: the worker's hosts advance
+            # through many λ-sub-windows under the first-completion
+            # guard (repro.sim.shard.run_hosts_guarded) in a single
+            # duplex round-trip.  Only issued when every active domain
+            # lives on this worker, so the guard is globally binding.
+            _, stop, lookahead, outbox, new_jobs, active = msg
+            for host in hosts:
+                if new_jobs:
+                    host.add_jobs(new_jobs)
+                batch = outbox.get(host.domain_index)
+                if batch is not None:
+                    host.inject(batch)
+            results, reached, subwindows = run_hosts_guarded(
+                hosts, stop, lookahead, active)
+            next_time = min((h.env.peek() for h in hosts), default=_INF)
+            conn.send(("guarded-ok", results, reached, subwindows,
+                       next_time))
         elif msg[0] == "finish":
             samples = []
             events = 0
@@ -158,6 +195,9 @@ class ProcessDomainGroup:
         self._workers: list[dict[str, Any]] = []
         self.next_time = _INF
         self.windows = 0
+        self._ipc_counter = REGISTRY.counter("shard.ipc_roundtrips")
+        self._skipped_counter = REGISTRY.counter(
+            "shard.worker_windows_skipped")
         for w in range(n_workers):
             assigned = domains[w::n_workers]
             trace_ctx = None
@@ -176,11 +216,15 @@ class ProcessDomainGroup:
             proc.start()
             child_conn.close()
             self._workers.append({"proc": proc, "conn": parent_conn,
-                                  "domains": assigned, "label": f"shard{w}"})
+                                  "domains": assigned,
+                                  "domain_set": set(assigned),
+                                  "label": f"shard{w}",
+                                  "next_time": _INF, "pending_jobs": []})
         for worker in self._workers:
             tag, next_time = self._recv(worker, waiting_for="ready")
             if tag != "ready":  # pragma: no cover - defensive
                 raise RuntimeError(f"shard worker failed to start: {tag!r}")
+            worker["next_time"] = next_time
             if next_time < self.next_time:
                 self.next_time = next_time
         logger.info("shard pool: %d workers hosting %d domains",
@@ -230,16 +274,30 @@ class ProcessDomainGroup:
     def run_window(self, end: float, inclusive: bool, outbox: dict,
                    new_jobs: list) -> list[tuple[int, list]]:
         t0 = time.perf_counter()
+        if new_jobs:
+            for worker in self._workers:
+                worker["pending_jobs"].extend(new_jobs)
+        sent: list[dict[str, Any]] = []
         for worker in self._workers:
-            worker["conn"].send((
-                "window", end, inclusive,
-                {d: outbox[d] for d in worker["domains"] if d in outbox},
-                new_jobs,
-            ))
+            worker_outbox = {d: outbox[d] for d in worker["domains"]
+                             if d in outbox}
+            nt = worker["next_time"]
+            if not worker_outbox and (nt > end if inclusive else nt >= end):
+                # Quiet worker: no inbound messages and its cached
+                # horizon (only a window run can move it) clears the
+                # span — the round-trip would fire nothing and echo the
+                # same next_time.  Buffered job ids flush with its next
+                # real window, keeping the id stream contiguous.
+                self._skipped_counter.inc()
+                continue
+            jobs, worker["pending_jobs"] = worker["pending_jobs"], []
+            worker["conn"].send(("window", end, inclusive, worker_outbox,
+                                 jobs))
+            sent.append(worker)
+        self._ipc_counter.inc(len(sent))
         results: list[tuple[int, list]] = []
-        next_time = _INF
         replies: list[float] = []
-        for worker in self._workers:
+        for worker in sent:
             tag, worker_results, worker_next = self._recv(
                 worker, waiting_for="its window reply")
             elapsed = time.perf_counter() - t0
@@ -247,8 +305,7 @@ class ProcessDomainGroup:
             if tag != "ok":  # pragma: no cover - defensive
                 raise RuntimeError(f"shard worker error: {tag!r}")
             results.extend(worker_results)
-            if worker_next < next_time:
-                next_time = worker_next
+            worker["next_time"] = worker_next
             REGISTRY.gauge(
                 f"shard.worker_window_seconds{{worker={worker['label']}}}"
             ).set(elapsed)
@@ -256,9 +313,57 @@ class ProcessDomainGroup:
             REGISTRY.histogram("shard.barrier_wait_seconds").observe(
                 max(replies) - min(replies))
         results.sort(key=lambda row: row[0])
-        self.next_time = next_time
+        self.next_time = min(
+            (worker["next_time"] for worker in self._workers), default=_INF)
         self.windows += 1
         return results
+
+    def guarded_feasible(self, active: set[int]) -> bool:
+        """A guarded round needs its first-completion guard to bind every
+        domain that could complete; across processes that is only
+        enforceable when all of them share one worker (otherwise an
+        independently-guarded worker could overshoot a sibling's
+        completion reaction)."""
+        hit = 0
+        for worker in self._workers:
+            if active & worker["domain_set"]:
+                hit += 1
+                if hit > 1:
+                    return False
+        return hit == 1
+
+    def run_guarded(self, stop: float, lookahead: float, outbox: dict,
+                    new_jobs: list, active: set[int]
+                    ) -> tuple[list[tuple[int, list]], float, int]:
+        target = None
+        for worker in self._workers:
+            if active & worker["domain_set"]:
+                target = worker
+                break
+        if new_jobs:
+            for worker in self._workers:
+                worker["pending_jobs"].extend(new_jobs)
+        t0 = time.perf_counter()
+        worker_outbox = {d: outbox[d] for d in target["domains"]
+                         if d in outbox}
+        jobs, target["pending_jobs"] = target["pending_jobs"], []
+        target["conn"].send(("guarded", stop, lookahead, worker_outbox,
+                             jobs, active))
+        self._ipc_counter.inc()
+        self._skipped_counter.inc(len(self._workers) - 1)
+        tag, results, reached, subwindows, worker_next = self._recv(
+            target, waiting_for="its guarded-round reply")
+        if tag != "guarded-ok":  # pragma: no cover - defensive
+            raise RuntimeError(f"shard worker error: {tag!r}")
+        target["next_time"] = worker_next
+        REGISTRY.gauge(
+            f"shard.worker_window_seconds{{worker={target['label']}}}"
+        ).set(time.perf_counter() - t0)
+        results.sort(key=lambda row: row[0])
+        self.next_time = min(
+            (worker["next_time"] for worker in self._workers), default=_INF)
+        self.windows += 1
+        return results, reached, subwindows
 
     def finish(self) -> dict[str, Any]:
         samples: list = []

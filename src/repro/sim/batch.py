@@ -175,20 +175,26 @@ class _DataOpDriver:
             if window.try_acquire():
                 immediate.append(i)
             else:
-                # Queued: when the FIFO grant fires (the same instant the
-                # event backend's acquire event would), pay the RPC
-                # latency and dispatch solo.
                 window.acquire().callbacks.append(
-                    lambda _ev, i=i: self.session.env.after(
-                        node.params.rpc_latency,
-                        lambda _ev: self._dispatch((i,)),
-                    )
+                    lambda _ev, i=i: self._granted_one(i)
                 )
         if immediate:
-            group = tuple(immediate)
-            self.session.env.after(
-                node.params.rpc_latency, lambda _ev: self._dispatch(group)
-            )
+            self._granted_group(tuple(immediate))
+
+    def _granted_one(self, i: int) -> None:
+        """A queued piece's FIFO grant fired: pay the RPC latency and
+        dispatch solo (the sharded driver posts to the router instead)."""
+        self.session.env.after(
+            self.session.node.params.rpc_latency,
+            lambda _ev: self._dispatch((i,)),
+        )
+
+    def _granted_group(self, group: tuple[int, ...]) -> None:
+        """Pieces granted at begin-time share one rpc_latency timeout."""
+        self.session.env.after(
+            self.session.node.params.rpc_latency,
+            lambda _ev: self._dispatch(group),
+        )
 
     def _dispatch(self, idxs) -> None:
         """Pieces past the RPC latency: writes enter the network now and
@@ -288,6 +294,11 @@ class BatchSession(ClientSession):
     #: substitutes a router-posting driver (repro.sim.shard) here.
     driver_class = _DataOpDriver
 
+    #: Extra attributes stamped onto every op span; the sharded session
+    #: marks its spans ``sharded=True`` so a merged multi-domain trace
+    #: distinguishes root-posted ops from legacy in-process ones.
+    span_attrs: dict = {}
+
     def _data_op(self, op: OpType, path: str, offset: int, size: int):
         yield self._data_fast(op, path, offset, size)
 
@@ -299,6 +310,7 @@ class BatchSession(ClientSession):
         span = tracer.start(
             f"client.{op.value}", start, job=self.job, rank=self.rank,
             path=path, offset=offset, size=size, batched=True,
+            **self.span_attrs,
         ) if tracer is not None else None
         req = BatchRequest.from_extent(f, op, path, offset, size,
                                        self.node.params.max_rpc_bytes)
@@ -317,7 +329,7 @@ class BatchSession(ClientSession):
         tracer = _trace.TRACER
         span = tracer.start(
             f"client.{op.value}", start, job=self.job, rank=self.rank,
-            path=path, batched=True,
+            path=path, batched=True, **self.span_attrs,
         ) if tracer is not None else None
         done = Event(env)
 

@@ -37,6 +37,61 @@ the root posts during the window takes effect at ``≥ B + λ`` — past the
 window end — while worker completions are delivered to the root at
 their exact service-completion times inside the window.
 
+Adaptive lookahead and barrier elision
+--------------------------------------
+A barrier per ``λ``-window is pure overhead whenever no cross-domain
+effect can land inside the window.  The :class:`WindowPolicy`
+``adaptive`` mode (the default) widens the window to the *proven-safe
+horizon* whenever the coordinator can prove the span
+``[B, H)`` free of cross-domain effects:
+
+* the router outbox is empty (no posted-but-undelivered message — and
+  because effect times are monotone in post order, a pending message
+  always bounds the frontier to within ``λ`` of its effect, so widening
+  is only ever possible with an empty outbox), and
+* every domain environment's :meth:`~repro.sim.engine.Environment.peek`
+  horizon clears the span (``group.next_time ≥ H``) — no domain event,
+  hence no completion and no server sample, can occur before ``H``.
+
+``H = min(group.next_time, B + cap)`` with ``cap`` defaulting to the
+monitor ``sample_interval`` (domains tick their monitors every
+``sample_interval``, so wider spans cannot be proven anyway).  The root
+then runs the span *alone* — zero worker round-trips — under a
+first-post guard: the moment a root event posts a message, the safe
+horizon shrinks to that message's effect time ``t + λ`` (later posts
+have later effects, columns stay monotone) and the quiet run stops
+there; the next ordinary window delivers it.
+
+Root-quiet spans alone barely help, because domain *service* events —
+not root events — pace >90 % of a data-heavy run's windows.  The
+complementary **guarded domain-ahead round** elides those: whenever the
+root's own horizon clears the span (its first queued event is at
+``env.peek()``, and a root reaction to a delivered completion can only
+post with effect ≥ ``tc + λ``), the group advances its domains through
+many λ-sub-windows in a *single* coordinator round
+(:func:`run_hosts_guarded`): the outbox is drained below the round's
+``stop ≤ env.peek() + λ`` up front, and the lockstep halts at the end of
+the first sub-window producing a completion — within ``λ`` of it — so
+every possible root reaction still takes effect at or after the reached
+end.  Sub-window pacing follows only the **active** domains (in-service
+messages or fresh injections; derived from router state, never from the
+process partition), which keeps the reached end — and the root's run
+chunking — partition-invariant; inactive domains hosted elsewhere may
+lag and catch up later, since with nothing in service they can neither
+complete nor post.  Across processes a guarded round is only issued when
+every active domain shares one worker (the guard must bind globally);
+otherwise the coordinator falls back to fixed windows.
+
+Both mechanisms fire exactly the events the fixed protocol would fire,
+at the same simulated times with the domains' chunking irrelevant to
+their state — so records, samples, vectors, labels and the span trace
+stay **byte-identical between policies** (and across shard counts),
+which ``tests/sim/test_shard_adaptive.py`` pins.  The floor is
+structural: every completion is a potential root wake-up whose reaction
+lands ``λ`` later, so a conservative protocol must synchronise once per
+completion cluster; adaptive mode approaches that floor (DESIGN.md §12
+quantifies it on the committed benchmark).
+
 Determinism and the ``--shards N ≡ --shards 1`` contract
 --------------------------------------------------------
 The coordinator's decisions (window boundaries, delivery order, merge
@@ -61,7 +116,9 @@ interference analysis needs, just evaluated on more cores.
 from __future__ import annotations
 
 import functools
+import math
 import time
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.common.records import ServerId
@@ -89,12 +146,108 @@ __all__ = [
     "ShardedRootCluster",
     "DomainHost",
     "LocalDomainGroup",
+    "WindowPolicy",
+    "run_hosts_guarded",
     "execute_run_sharded",
 ]
 
 logger = get_logger("sim.shard")
 
 _INF = float("inf")
+
+#: Constant activity set for the ``n_domains == 1`` bypass.
+_SINGLE_DOMAIN = frozenset((0,))
+
+
+@dataclass(frozen=True)
+class WindowPolicy:
+    """How the coordinator sizes conservative sync windows.
+
+    ``fixed`` reproduces the original protocol: one barrier per
+    ``λ``-window, ``λ = rpc_latency``, unconditionally.  ``adaptive``
+    (the default) elides barriers over provably quiet spans — see the
+    module docstring for the safety argument.  Either policy produces
+    byte-identical simulation output; the policy is an executor knob
+    like the shard count, so it never enters run metadata or cache keys.
+
+    ``cap`` bounds how far one widened span may reach past its frontier,
+    in simulated seconds.  ``None`` defaults to the run's
+    ``sample_interval`` at entry (the largest provable span — domain
+    monitors tick that often); an explicit cap must satisfy
+    ``0 < cap < sample_interval``, mirroring the ``0 < λ <
+    sample_interval`` validation on the lookahead itself.
+
+    ``audit``, when given a list, records one dict per widened span
+    (frontier, planned and actual end, post-guard state) — the hook the
+    property tests use to check every span against the λ-safety
+    invariant.  It is excluded from equality/pickling concerns by being
+    compare-exempt; executors pass policies across process boundaries
+    with ``audit=None``.
+    """
+
+    mode: str = "adaptive"
+    cap: float | None = None
+    audit: list | None = field(default=None, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("fixed", "adaptive"):
+            raise ValueError(
+                f"window policy mode must be 'fixed' or 'adaptive', "
+                f"got {self.mode!r}"
+            )
+        if self.cap is not None:
+            if self.mode != "adaptive":
+                raise ValueError(
+                    "window policy 'fixed' takes no cap (the window is "
+                    "always exactly one lookahead)"
+                )
+            if self.cap <= 0:
+                raise ValueError(
+                    f"adaptive window cap must be positive, got {self.cap}"
+                )
+
+    @property
+    def adaptive(self) -> bool:
+        return self.mode == "adaptive"
+
+    @classmethod
+    def parse(cls, spec: str) -> "WindowPolicy":
+        """Parse a CLI spec: ``fixed``, ``adaptive`` or
+        ``adaptive:cap=SECONDS``."""
+        text = spec.strip()
+        mode, _, rest = text.partition(":")
+        mode = mode.strip()
+        if mode not in ("fixed", "adaptive"):
+            raise ValueError(
+                f"unknown window policy {mode!r} (expected 'fixed', "
+                f"'adaptive' or 'adaptive:cap=SECONDS')"
+            )
+        if not rest:
+            return cls(mode=mode)
+        key, eq, value = rest.partition("=")
+        if key.strip() != "cap" or not eq:
+            raise ValueError(
+                f"bad window policy option {rest!r} (the only option is "
+                f"'cap=SECONDS')"
+            )
+        try:
+            cap = float(value)
+        except ValueError:
+            raise ValueError(
+                f"window policy cap must be a number of simulated "
+                f"seconds, got {value!r}"
+            ) from None
+        return cls(mode=mode, cap=cap)
+
+    @classmethod
+    def resolve(cls, policy: "WindowPolicy | str | None") -> "WindowPolicy":
+        """Normalise an executor-level policy argument: ``None`` means
+        the default (adaptive, uncapped), a string is parsed."""
+        if policy is None:
+            return cls()
+        if isinstance(policy, str):
+            return cls.parse(policy)
+        return policy
 
 
 class CrossShardBatch:
@@ -186,6 +339,11 @@ class ShardRouter:
         self._job_ids: dict[str, int] = {}
         self._new_jobs: list[tuple[int, str]] = []
         self.messages_posted = 0
+        #: undelivered outbox rows across every domain — the adaptive
+        #: policy's O(1) outbox-empty proof and the quiet-window fast
+        #: path's skip test (``pending == 0`` ⇒ ``min_effect() == inf``
+        #: and ``take_outbox`` would be a no-op).
+        self.pending = 0
 
     def _job_id(self, job: str) -> int:
         jid = self._job_ids.get(job)
@@ -206,7 +364,42 @@ class ShardRouter:
             node_index, self._job_id(job), token, self.env.now + self.latency,
         )
         self.messages_posted += 1
+        self.pending += 1
         return token
+
+    def post_many(self, is_write: bool, req, idxs, node_index: int,
+                  job: str, piece_done: Callable[[int], None]) -> None:
+        """Queue a granted group of batch-backend pieces in piece order.
+
+        The columnar counterpart of the event backend's shared
+        ``rpc_latency`` timeout: every piece in the group stamps the one
+        ``now + latency`` effect time, and rows land in their domains'
+        outboxes in piece order with consecutive tokens — exactly the
+        rows ``post`` would append one at a time, minus the per-piece
+        closure and attribute traffic.
+        """
+        effect = self.env.now + self.latency
+        jid = self._job_id(job)
+        kind = 1 if is_write else 0
+        ost = req._ost
+        oid = req._oid
+        ooff = req._ooff
+        nb = req._nb
+        per = self.osts_per_oss
+        outbox = self.outbox
+        waiters = self._waiters
+        token = self._next_token
+        for i in idxs:
+            waiters[token] = functools.partial(piece_done, i)
+            outbox[ost[i] // per].append(
+                kind, ost[i], oid[i], ooff[i], nb[i], node_index, jid,
+                token, effect,
+            )
+            token += 1
+        n = token - self._next_token
+        self._next_token = token
+        self.messages_posted += n
+        self.pending += n
 
     def send(self, is_write: bool, ost_index: int, object_id: int,
              obj_offset: int, nbytes: int, node_index: int,
@@ -231,17 +424,25 @@ class ShardRouter:
             if head is not None:
                 taken[domain] = head
                 self.outbox[domain] = tail
+                self.pending -= len(head)
         new_jobs, self._new_jobs = self._new_jobs, []
         return taken, new_jobs
 
     def min_effect(self) -> float:
         """Earliest undelivered message effect time (columns are monotone,
         so each batch's head is its minimum)."""
+        if not self.pending:
+            return _INF
         m = _INF
         for batch in self.outbox:
             if batch.effect and batch.effect[0] < m:
                 m = batch.effect[0]
         return m
+
+    def outbox_domains(self) -> list[int]:
+        """Domains with undelivered messages (the guarded round's
+        activity set alongside the coordinator's in-service counts)."""
+        return [d for d, batch in enumerate(self.outbox) if batch.token]
 
     def deliver(self, token: int, when: float) -> None:
         """Schedule one completion into the root environment at ``when``.
@@ -295,41 +496,18 @@ class ShardClientSession(ClientSession):
 class _ShardDataOpDriver(_DataOpDriver):
     """Batch-backend driver that posts granted pieces to the router.
 
-    Mirrors :meth:`_DataOpDriver.begin`'s grant discipline exactly —
-    pieces with an available credit post immediately, queued pieces post
-    when their FIFO grant fires — but the post replaces the local
-    ``rpc_latency`` timer: the router stamps the same ``grant + λ``
-    effect time onto the cross-shard message.
+    Inherits :meth:`_DataOpDriver.begin`'s grant discipline verbatim and
+    overrides only the grant hooks: the begin-time group posts as one
+    columnar :meth:`ShardRouter.post_many` sharing a single ``grant + λ``
+    effect stamp, queued pieces post solo when their FIFO grant fires.
+    The post replaces the local ``rpc_latency`` timer — the router
+    stamps the identical effect time the legacy path's shared timeout
+    would fire at, so credit-release instants match across executors.
     """
 
     __slots__ = ()
 
-    def begin(self) -> None:
-        req = self.req
-        node = self.session.node
-        cluster = node.cluster
-        touched = self.touched
-        keep = self.keep_record
-        n = len(req)
-        if n == 0:
-            self._finish()
-            return
-        ost_idx = req._ost
-        nbytes = req._nb
-        for i in range(n):
-            oi = ost_idx[i]
-            if keep:
-                sid = cluster.osts[oi].server_id
-                touched[sid] = touched.get(sid, 0) + nbytes[i]
-            window = node.rpc_window(oi)
-            if window.try_acquire():
-                self._post(i)
-            else:
-                window.acquire().callbacks.append(
-                    lambda _ev, i=i: self._post(i)
-                )
-
-    def _post(self, i: int) -> None:
+    def _granted_one(self, i: int) -> None:
         req = self.req
         session = self.session
         session.node.cluster.router.post(
@@ -338,11 +516,19 @@ class _ShardDataOpDriver(_DataOpDriver):
             lambda i=i: self._piece_done(i),
         )
 
+    def _granted_group(self, group: tuple[int, ...]) -> None:
+        session = self.session
+        session.node.cluster.router.post_many(
+            self.is_write, self.req, group, session.node.index,
+            session.job, self._piece_done,
+        )
+
 
 class ShardBatchSession(BatchSession):
     """Batch-backend session for the root domain of a sharded run."""
 
     driver_class = _ShardDataOpDriver
+    span_attrs = {"sharded": True}
 
 
 class ShardedRootCluster(Cluster):
@@ -475,17 +661,9 @@ class DomainHost:
 
     def run_window(self, end: float, inclusive: bool) -> None:
         saved = _trace.TRACER
-        _trace.TRACER = tracer = self.tracer
+        _trace.TRACER = self.tracer
         try:
-            env = self.env
-            queue = env._queue
-            step = env._step
-            if inclusive:
-                while queue and queue[0][0] <= end:
-                    step(queue, tracer)
-            else:
-                while queue and queue[0][0] < end:
-                    step(queue, tracer)
+            self.env.run_to(end, self.tracer, inclusive=inclusive)
         finally:
             _trace.TRACER = saved
 
@@ -511,6 +689,61 @@ class DomainHost:
             shipment["spill_path"] = self.spill_path
             shipment["spilled"] = self.spilled
         return shipment
+
+
+def run_hosts_guarded(
+    hosts: "list[DomainHost]", stop: float, lookahead: float,
+    active: set[int],
+) -> tuple[list[tuple[int, list[tuple[int, float]]]], float, int]:
+    """Advance ``hosts`` in λ-lockstep sub-windows without coordinator
+    round-trips, under the **first-completion guard**.
+
+    The caller guarantees the root is frozen for the whole span and that
+    every undelivered message with effect < ``stop`` was injected before
+    the call, so the only cross-domain information that can appear inside
+    the span is a completion.  A completion at ``tc`` may wake the root,
+    whose reaction posts take effect at ``tc + λ`` at the earliest —
+    therefore the lockstep stops at the end of the first sub-window that
+    produced any completion (its end is ≤ ``tc + λ`` by construction) or
+    at ``stop``, whichever comes first.
+
+    Only ``active`` domains (in-service messages or fresh injections) can
+    complete, so sub-window pacing follows *their* horizons; that keeps
+    the reached end — and with it the root's run chunking — identical for
+    every domain→process partition, since the coordinator derives
+    ``active`` without reference to the partition.  Inactive hosts still
+    advance when they hold events inside a sub-window, but an inactive
+    host on another worker may equally lag and catch up later: with
+    nothing in service it can neither complete nor post, so its events
+    touch no shared state.
+
+    Returns ``(results, reached, subwindows)`` with every active host
+    advanced to exactly ``reached`` (exclusive); sub-windows beyond the
+    first are barriers the fixed policy would have paid.
+    """
+    guards = [h for h in hosts if h.domain_index in active]
+    results: list[tuple[int, list[tuple[int, float]]]] = []
+    subwindows = 0
+    while True:
+        frontier = min((h.env.peek() for h in guards), default=_INF)
+        if frontier >= stop:
+            return results, stop, subwindows
+        end = frontier + lookahead
+        if end > stop:
+            end = stop
+        got = False
+        for host in hosts:
+            if host.env.quiet_until(end, False):
+                continue
+            host.run_window(end, False)
+            host.maybe_spill()
+            comps = host.drain_completions()
+            if comps:
+                results.append((host.domain_index, comps))
+                got = True
+        subwindows += 1
+        if got or end == stop:
+            return results, end, subwindows
 
 
 class LocalDomainGroup:
@@ -551,6 +784,14 @@ class LocalDomainGroup:
             if new_jobs:
                 host.add_jobs(new_jobs)
             batch = outbox.get(host.domain_index)
+            if batch is None and host.env.quiet_until(end, inclusive):
+                # Nothing arriving and nothing scheduled inside the
+                # window: the host can neither complete a message nor
+                # move its own horizon, so the (empty) run is skipped.
+                t = host.env.peek()
+                if t < nt:
+                    nt = t
+                continue
             if batch is not None:
                 host.inject(batch)
             host.run_window(end, inclusive)
@@ -561,6 +802,27 @@ class LocalDomainGroup:
                 nt = t
         self.next_time = nt
         return results
+
+    def guarded_feasible(self, active: set[int]) -> bool:
+        """In-process hosts always share one guard (the lockstep loop)."""
+        return True
+
+    def run_guarded(self, stop: float, lookahead: float,
+                    outbox: dict[int, CrossShardBatch],
+                    new_jobs: list[tuple[int, str]], active: set[int]
+                    ) -> tuple[list[tuple[int, list[tuple[int, float]]]],
+                               float, int]:
+        for host in self.hosts:
+            if new_jobs:
+                host.add_jobs(new_jobs)
+            batch = outbox.get(host.domain_index)
+            if batch is not None:
+                host.inject(batch)
+        results, reached, subwindows = run_hosts_guarded(
+            self.hosts, stop, lookahead, active)
+        self.next_time = min((h.env.peek() for h in self.hosts),
+                             default=_INF)
+        return results, reached, subwindows
 
     def finish(self) -> dict[str, Any]:
         from repro.obs import distributed as _dist
@@ -613,18 +875,21 @@ def execute_run_sharded(
     seed_salt: str = "",
     abort_at: float | None = None,
     shards: int = 1,
+    window_policy: "WindowPolicy | str | None" = None,
 ) -> MonitoredRun:
     """Sharded counterpart of :func:`repro.experiments.runner.execute_run`.
 
     Produces a :class:`MonitoredRun` whose records, samples and derived
-    vectors are bit-identical for every ``shards`` value; ``shards``
-    only chooses how many processes host the server domains.
+    vectors are bit-identical for every ``shards`` value *and* every
+    ``window_policy``; both only choose how the executor schedules the
+    same simulation (processes hosting domains, barriers per sim-second).
     """
     wall_start = time.perf_counter()
     if abort_at is not None and abort_at <= 0:
         raise ValueError(f"abort_at must be positive, got {abort_at}")
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
+    policy = WindowPolicy.resolve(window_policy)
     cfg = config.cluster
     lookahead = cfg.client.rpc_latency
     if lookahead <= 0:
@@ -637,17 +902,26 @@ def execute_run_sharded(
             "sharded execution needs rpc_latency < sample_interval "
             f"({lookahead} >= {config.sample_interval})"
         )
+    if policy.cap is not None and policy.cap >= config.sample_interval:
+        raise ValueError(
+            "adaptive window cap must be < sample_interval "
+            f"({policy.cap} >= {config.sample_interval}): domain monitors "
+            "tick every sample_interval, so wider spans are never provable"
+        )
     logger.info(
         "execute_run_sharded: target=%s noise=%s seed=%d shards=%d "
-        "domains=%d", target.name,
+        "domains=%d policy=%s", target.name,
         [spec.task for spec in interference] or "none", config.seed,
-        shards, cfg.n_domains,
+        shards, cfg.n_domains, policy.mode,
     )
 
     windows_counter = REGISTRY.counter("shard.windows")
     messages_counter = REGISTRY.counter("shard.messages")
     completions_counter = REGISTRY.counter("shard.completions")
+    widened_counter = REGISTRY.counter("shard.windows_widened")
+    elided_counter = REGISTRY.counter("shard.windows_elided")
     window_hist = REGISTRY.histogram("shard.window_wall_seconds")
+    sim_hist = REGISTRY.histogram("shard.window_sim_seconds")
 
     cluster = ShardedRootCluster(cfg)
     router = cluster.router
@@ -672,35 +946,193 @@ def execute_run_sharded(
                                         record=False)
 
             t_done: list[float] = []
+            adaptive = policy.adaptive
+            cap = (policy.cap if policy.cap is not None
+                   else config.sample_interval)
+            single_domain = cfg.n_domains == 1
+            # Messages injected into each domain but not yet completed
+            # (the guarded round's activity set: only these domains can
+            # produce a completion, everything else may safely lag).
+            in_service = [0] * cfg.n_domains
+            busy = 0
+
+            def _take(end: float, inclusive: bool):
+                nonlocal busy
+                outbox, new_jobs = router.take_outbox(end, inclusive)
+                for domain, batch in outbox.items():
+                    k = len(batch.token)
+                    in_service[domain] += k
+                    busy += k
+                return outbox, new_jobs
+
+            def _deliver(results) -> int:
+                nonlocal busy
+                if single_domain:
+                    # One domain's completions are already time-ordered
+                    # (appended as its clock advances, heap ties resolved
+                    # by its own sequence numbers): skip the merge sort.
+                    merged = [(when, 0, token)
+                              for _domain, comps in results
+                              for token, when in comps]
+                else:
+                    merged = [
+                        (when, domain, token)
+                        for domain, comps in results
+                        for token, when in comps
+                    ]
+                    merged.sort(key=lambda row: (row[0], row[1]))
+                for when, domain, token in merged:
+                    router.deliver(token, when)
+                    in_service[domain] -= 1
+                busy -= len(merged)
+                return len(merged)
 
             def _window(end: float, inclusive: bool) -> None:
                 t0 = time.perf_counter()
-                outbox, new_jobs = router.take_outbox(end, inclusive)
-                results = group.run_window(end, inclusive, outbox, new_jobs)
-                merged = [
-                    (when, domain, token)
-                    for domain, comps in results
-                    for token, when in comps
-                ]
-                merged.sort(key=lambda row: (row[0], row[1]))
-                for when, _domain, token in merged:
-                    router.deliver(token, when)
-                queue = env._queue
-                step = env._step
-                tracer = _trace.TRACER
-                if inclusive:
-                    while queue and queue[0][0] <= end:
-                        step(queue, tracer)
+                begin = env.now
+                if router.pending:
+                    outbox, new_jobs = _take(end, inclusive)
                 else:
-                    while queue and queue[0][0] < end:
-                        step(queue, tracer)
+                    # Nothing posted since the last take: the outbox scan
+                    # and the (always-empty) new-jobs drain are no-ops.
+                    outbox, new_jobs = {}, []
+                results = group.run_window(end, inclusive, outbox, new_jobs)
+                delivered = _deliver(results)
+                env.run_to(end, _trace.TRACER, inclusive)
                 windows_counter.inc()
-                messages_counter.inc(sum(len(b) for b in outbox.values()))
-                completions_counter.inc(len(merged))
+                if outbox:
+                    messages_counter.inc(
+                        sum(len(b) for b in outbox.values()))
+                completions_counter.inc(delivered)
                 window_hist.observe(time.perf_counter() - t0)
+                sim_hist.observe(end - begin)
 
             def _frontier() -> float:
                 return min(env.peek(), group.next_time, router.min_effect())
+
+            def _run_root_quiet(stop: float) -> float:
+                """Run the root alone through ``[now, stop)`` under the
+                first-post guard: a message posted at ``t`` shrinks the
+                safe horizon to its effect ``t + λ`` (later posts have
+                later effects, so one shrink suffices).  Returns the
+                actual end reached."""
+                queue = env._queue
+                step = env._step
+                tracer = _trace.TRACER
+                posted = router.messages_posted
+                while queue and queue[0][0] < stop:
+                    step(queue, tracer)
+                    if router.messages_posted != posted:
+                        posted = router.messages_posted
+                        eff = router.min_effect()
+                        if eff < stop:
+                            stop = eff
+                return stop
+
+            def _try_widen(frontier: float, bound: float | None) -> bool:
+                """Attempt a widened root-only span from ``frontier``.
+
+                Safe ⟺ the outbox is empty (no undelivered effect; and
+                because effects are monotone in post order, a pending
+                message always pins the frontier within ``λ`` of its
+                effect) and every domain's horizon clears the span.  Only
+                spans strictly wider than one fixed window are worth the
+                attempt; a span never crosses ``bound`` (the run deadline
+                or a pump boundary).
+                """
+                if not adaptive or router.pending:
+                    return False
+                horizon = min(group.next_time, frontier + cap)
+                if bound is not None and horizon > bound:
+                    horizon = bound
+                if horizon <= frontier + lookahead:
+                    return False
+                actual = _run_root_quiet(horizon)
+                widened_counter.inc()
+                span = actual - frontier
+                elided_counter.inc(max(0, math.ceil(span / lookahead) - 1))
+                sim_hist.observe(span)
+                if policy.audit is not None:
+                    policy.audit.append({
+                        "kind": "root",
+                        "begin": frontier,
+                        "planned": horizon,
+                        "end": actual,
+                        "min_effect": router.min_effect(),
+                        "domain_next": group.next_time,
+                        "root_next": env.peek(),
+                    })
+                return True
+
+            def _try_guarded(frontier: float, bound: float | None) -> bool:
+                """Attempt a guarded domain-ahead round from ``frontier``.
+
+                When domain activity (not the root) paces the run, the
+                group may advance many λ-sub-windows in one coordinator
+                round: with the outbox drained below ``stop`` and the
+                root frozen, new root posts can only take effect at
+                ``env.peek() + λ`` or later, and the round's internal
+                first-completion guard stops the lockstep within ``λ``
+                of any completion — so every cross-domain effect still
+                lands at or after the reached end.  The round then
+                delivers and runs the root once, exactly as a fixed
+                window would.
+                """
+                if not adaptive or (busy == 0 and not router.pending):
+                    return False
+                stop = min(env.peek() + lookahead, frontier + cap)
+                if bound is not None and stop > bound:
+                    stop = bound
+                if stop <= frontier + lookahead:
+                    return False
+                if single_domain:
+                    # One domain group: the activity set is constant and
+                    # a single guard is trivially global — skip the set
+                    # construction and the feasibility probe outright.
+                    active = _SINGLE_DOMAIN
+                else:
+                    active = {d for d in range(cfg.n_domains)
+                              if in_service[d]}
+                    active.update(router.outbox_domains())
+                    if not group.guarded_feasible(active):
+                        return False
+                t0 = time.perf_counter()
+                if router.pending:
+                    outbox, new_jobs = _take(stop, False)
+                else:
+                    outbox, new_jobs = {}, []
+                results, reached, sub = group.run_guarded(
+                    stop, lookahead, outbox, new_jobs, active)
+                delivered = _deliver(results)
+                if sub == 0 and delivered == 0 and not outbox:
+                    # Every active horizon already cleared ``stop`` and
+                    # nothing moved: an inactive host's event is pacing
+                    # the frontier.  Fall through to a fixed window so
+                    # it fires and the frontier advances.
+                    return False
+                env.run_to(reached, _trace.TRACER, False)
+                windows_counter.inc()
+                widened_counter.inc()
+                elided_counter.inc(max(0, sub - 1))
+                if outbox:
+                    messages_counter.inc(
+                        sum(len(b) for b in outbox.values()))
+                completions_counter.inc(delivered)
+                window_hist.observe(time.perf_counter() - t0)
+                sim_hist.observe(reached - frontier)
+                if policy.audit is not None:
+                    policy.audit.append({
+                        "kind": "guarded",
+                        "begin": frontier,
+                        "planned": stop,
+                        "end": reached,
+                        "subwindows": sub,
+                        "completions": delivered,
+                        "min_effect": router.min_effect(),
+                        "domain_next": group.next_time,
+                        "root_next": env.peek(),
+                    })
+                return True
 
             def _pump_to(boundary: float) -> None:
                 """Advance every domain until nothing is pending before
@@ -714,6 +1146,10 @@ def execute_run_sharded(
                             "sharded run drained before reaching "
                             f"t={boundary}"
                         )
+                    if _try_widen(frontier, boundary):
+                        continue
+                    if _try_guarded(frontier, boundary):
+                        continue
                     _window(min(frontier + lookahead, boundary),
                             inclusive=False)
 
@@ -737,6 +1173,10 @@ def execute_run_sharded(
                     raise SimulationError(
                         "event loop drained before the target completed"
                     )
+                if _try_widen(frontier, deadline):
+                    continue
+                if _try_guarded(frontier, deadline):
+                    continue
                 end = frontier + lookahead
                 if deadline is not None and end >= deadline:
                     _pump_to(deadline)

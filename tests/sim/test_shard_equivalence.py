@@ -162,3 +162,30 @@ def test_sharded_metadata_marks_run():
     many = execute_run(target(), [], cfg, shards=2)
     assert one.metadata["sharded"] is True
     assert one.metadata == many.metadata  # no shard count leaks out
+
+
+def test_cache_key_window_policy_invariant():
+    """The window policy, like the shard count, is an executor knob:
+    one cache key whatever the policy, so a cache warmed under one
+    policy keeps hitting under the other."""
+    job = RunJob(target(), tuple(noise()), config_for("event"))
+    keys = {
+        SweepExecutor(shards=2, window_policy=policy).key_for(job)
+        for policy in (None, "fixed", "adaptive", "adaptive:cap=0.01")
+    }
+    assert len(keys) == 1
+
+
+def test_run_cache_shared_across_window_policies(tmp_path):
+    """A cache warmed under fixed windows satisfies adaptive runs
+    without simulating."""
+    job = RunJob(target(), tuple(noise()), config_for("batch"))
+    cold = SweepExecutor(shards=1, window_policy="fixed",
+                         cache=RunCache(tmp_path))
+    first = cold.run_one(job)
+    assert cold.runs_executed == 1
+    warm = SweepExecutor(shards=1, window_policy="adaptive",
+                         cache=RunCache(tmp_path))
+    second = warm.run_one(job)
+    assert warm.runs_executed == 0
+    assert second.records == first.records
